@@ -1,0 +1,200 @@
+// Package-level benchmarks: one testing.B benchmark per table and figure in
+// the paper's evaluation. Each benchmark reports simulated kHz via
+// b.ReportMetric, so `go test -bench=. -benchmem` regenerates the paper's
+// datapoints. cmd/gsim-bench produces the full formatted tables.
+//
+// Benchmarks use the two smaller designs by default so the suite completes
+// in CI time; run cmd/gsim-bench for the full four-design sweep.
+package gsim_test
+
+import (
+	"fmt"
+	"testing"
+
+	"gsim/internal/core"
+	"gsim/internal/engine"
+	"gsim/internal/gen"
+	"gsim/internal/harness"
+	"gsim/internal/partition"
+	"gsim/internal/rv"
+)
+
+// benchDesigns: the real RV32 core plus the rocket-scale synthetic profile.
+func benchDesigns() []harness.Design {
+	return []harness.Design{
+		harness.StuCore(),
+		harness.Synthetic(gen.RocketLike()),
+	}
+}
+
+// runSim measures one configuration under b, reporting simulated kHz.
+func runSim(b *testing.B, d harness.Design, workload string, cfg core.Config) {
+	b.Helper()
+	sys, drive, err := harness.BuildSystemForDiag(d, workload, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sys.Close()
+	for c := 0; c < 20; c++ {
+		drive(sys.Sim, c)
+		sys.Sim.Step()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		drive(sys.Sim, 20+i)
+		sys.Sim.Step()
+	}
+	b.StopTimer()
+	khz := float64(b.N) / b.Elapsed().Seconds() / 1000
+	b.ReportMetric(khz, "simkHz")
+	b.ReportMetric(sys.Sim.Stats().ActivityFactor(), "af")
+}
+
+// BenchmarkTable1 regenerates Table I: single-thread full-cycle (Verilator
+// model) speed per design.
+func BenchmarkTable1(b *testing.B) {
+	for _, d := range benchDesigns() {
+		b.Run(d.Name, func(b *testing.B) {
+			runSim(b, d, harness.WorkloadLinux, core.Verilator())
+		})
+	}
+}
+
+// BenchmarkFig6 regenerates the overall-performance figure: every simulator
+// on design × workload.
+func BenchmarkFig6(b *testing.B) {
+	for _, d := range benchDesigns() {
+		for _, wl := range []string{harness.WorkloadLinux, harness.WorkloadCoreMark} {
+			for _, cfg := range harness.Fig6Configs() {
+				b.Run(fmt.Sprintf("%s/%s/%s", d.Name, wl, cfg.Name), func(b *testing.B) {
+					runSim(b, d, wl, cfg)
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkFig7 regenerates the SPEC-checkpoint study: GSIM vs Verilator on
+// per-checkpoint stimulus segments.
+func BenchmarkFig7(b *testing.B) {
+	p := gen.RocketLike()
+	d := harness.Synthetic(p)
+	for i, name := range harness.CheckpointNames[:4] {
+		seed := int64(1000 + i*17)
+		for _, cfg := range []core.Config{core.Verilator(), core.GSIM()} {
+			b.Run(fmt.Sprintf("%s/%s", name, cfg.Name), func(b *testing.B) {
+				sys, _, err := harness.BuildSystemForDiag(d, harness.WorkloadLinux, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer sys.Close()
+				drive := harness.CheckpointDriver(p, sys, seed)
+				for c := 0; c < 20; c++ {
+					drive(sys.Sim, c)
+					sys.Sim.Step()
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					drive(sys.Sim, 20+i)
+					sys.Sim.Step()
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(b.N)/b.Elapsed().Seconds()/1000, "simkHz")
+			})
+		}
+	}
+}
+
+// BenchmarkFig8 regenerates the per-technique breakdown on the rocket-scale
+// design: each sub-benchmark is one cumulative stage.
+func BenchmarkFig8(b *testing.B) {
+	d := harness.Synthetic(gen.RocketLike())
+	for _, st := range harness.Fig8StagesForBench() {
+		cfg := st.Cfg()
+		cfg.Name = st.Name
+		b.Run(st.Name, func(b *testing.B) {
+			runSim(b, d, harness.WorkloadCoreMark, cfg)
+		})
+	}
+}
+
+// BenchmarkFig9 regenerates the supernode-size sweep.
+func BenchmarkFig9(b *testing.B) {
+	d := harness.Synthetic(gen.RocketLike())
+	for _, size := range []int{1, 4, 8, 16, 32, 64, 128, 256, 400} {
+		cfg := core.GSIM()
+		cfg.MaxSupernode = size
+		b.Run(fmt.Sprintf("size%d", size), func(b *testing.B) {
+			runSim(b, d, harness.WorkloadCoreMark, cfg)
+		})
+	}
+}
+
+// BenchmarkTable3 regenerates the partitioning-algorithm comparison.
+func BenchmarkTable3(b *testing.B) {
+	d := harness.Synthetic(gen.RocketLike())
+	for _, kind := range []partition.Kind{partition.None, partition.Kernighan, partition.MFFC, partition.Enhanced} {
+		cfg := core.Config{
+			Name:      "part-" + kind.String(),
+			Engine:    core.EngineActivity,
+			Partition: kind,
+			Activity:  engine.ActivityConfig{Activation: engine.ActBranch},
+		}
+		b.Run(kind.String(), func(b *testing.B) {
+			runSim(b, d, harness.WorkloadCoreMark, cfg)
+		})
+	}
+}
+
+// BenchmarkTable4 regenerates the resource comparison: the measured quantity
+// is emission (build) time; code/data sizes are reported as metrics.
+func BenchmarkTable4(b *testing.B) {
+	for _, d := range benchDesigns() {
+		for _, cfg := range []core.Config{core.Verilator(), core.Essent(), core.Arcilator(), core.GSIM()} {
+			b.Run(fmt.Sprintf("%s/%s", d.Name, cfg.Name), func(b *testing.B) {
+				g, _, err := d.Build(harness.WorkloadLinux)
+				if err != nil {
+					b.Fatal(err)
+				}
+				var code, data int
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					sys, err := core.Build(g, cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					code, data = sys.Prog.CodeBytes(), sys.Prog.DataBytes()
+					sys.Close()
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(code), "codeB")
+				b.ReportMetric(float64(data), "dataB")
+			})
+		}
+	}
+}
+
+// BenchmarkInterpreter measures raw interpreter throughput (instructions per
+// second) on the RV core — the substrate's own datapoint.
+func BenchmarkInterpreter(b *testing.B) {
+	prog, err := rv.Assemble(rv.CoreMarkLike)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := rv.BuildCore(prog, rv.DefaultCoreConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys, err := core.Build(c.Graph, core.Verilator())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sys.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.Sim.Step()
+	}
+	b.StopTimer()
+	st := sys.Sim.Stats()
+	b.ReportMetric(float64(st.InstrsExecuted)/b.Elapsed().Seconds()/1e6, "Minstr/s")
+}

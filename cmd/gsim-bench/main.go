@@ -1,0 +1,117 @@
+// Command gsim-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	gsim-bench -exp table1|fig6|fig7|fig8|fig9|table3|table4|all [-quick] [-cycles N]
+//
+// Results print as text tables in the paper's layout; EXPERIMENTS.md records
+// a full run with commentary.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gsim/internal/gen"
+	"gsim/internal/harness"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: table1, fig6, fig7, fig8, fig9, table3, table4, all")
+	quick := flag.Bool("quick", false, "small designs and short measurements (smoke run)")
+	medium := flag.Bool("medium", false, "stucore + rocket-scale designs, full budget (the EXPERIMENTS.md tier)")
+	cycles := flag.Int("cycles", 0, "override timed cycles per measurement")
+	flag.Parse()
+
+	budget := harness.DefaultBudget()
+	designs := harness.Designs()
+	fig7Profile := gen.XiangShanLike()
+	table3Design := harness.Synthetic(gen.BoomLike())
+	fig9Sizes := harness.Fig9Sizes
+	if *medium {
+		designs = []harness.Design{harness.StuCore(), harness.Synthetic(gen.RocketLike())}
+		fig7Profile = gen.RocketLike()
+		table3Design = harness.Synthetic(gen.RocketLike())
+	}
+	if *quick {
+		budget = harness.QuickBudget()
+		designs = harness.SmallDesigns()
+		fig7Profile = gen.StuCoreLike()
+		table3Design = harness.Synthetic(gen.StuCoreLike())
+		fig9Sizes = []int{1, 20, 50, 200}
+	}
+	if *cycles > 0 {
+		budget.TimedCycles = *cycles
+	}
+
+	run := func(name string, f func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		fmt.Printf("=== %s ===\n", name)
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	run("table1", func() error {
+		rows, err := harness.Table1(designs, budget)
+		if err != nil {
+			return err
+		}
+		harness.RenderTable1(os.Stdout, rows)
+		return nil
+	})
+	run("fig6", func() error {
+		cells, err := harness.Fig6(designs, budget)
+		if err != nil {
+			return err
+		}
+		harness.RenderFig6(os.Stdout, cells)
+		return nil
+	})
+	run("fig7", func() error {
+		rows, err := harness.Fig7(fig7Profile, budget)
+		if err != nil {
+			return err
+		}
+		harness.RenderFig7(os.Stdout, rows)
+		return nil
+	})
+	run("fig8", func() error {
+		steps, err := harness.Fig8(designs, budget)
+		if err != nil {
+			return err
+		}
+		harness.RenderFig8(os.Stdout, steps)
+		return nil
+	})
+	run("fig9", func() error {
+		pts, err := harness.Fig9(designs, fig9Sizes, budget)
+		if err != nil {
+			return err
+		}
+		harness.SortFig9(pts)
+		harness.RenderFig9(os.Stdout, pts)
+		return nil
+	})
+	run("table3", func() error {
+		rows, err := harness.Table3(table3Design, budget)
+		if err != nil {
+			return err
+		}
+		harness.RenderTable3(os.Stdout, rows)
+		return nil
+	})
+	run("table4", func() error {
+		rows, err := harness.Table4(designs)
+		if err != nil {
+			return err
+		}
+		harness.RenderTable4(os.Stdout, rows)
+		return nil
+	})
+}

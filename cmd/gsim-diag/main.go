@@ -1,0 +1,80 @@
+// Command gsim-diag prints per-configuration engine counters (activity
+// factor, evaluations, examinations, activations, instructions per cycle,
+// speed) for one synthetic design profile — the tool used to tune the
+// partitioner defaults and to sanity-check the cost model against the
+// paper's T = ((E+Asucc)*af + Aexam)*N.
+//
+//	go run ./cmd/gsim-diag [rocket|boom|xiangshan]
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"gsim/internal/core"
+	"gsim/internal/gen"
+	"gsim/internal/harness"
+	"gsim/internal/partition"
+)
+
+func main() {
+	prof := gen.StuCoreLike()
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "rocket":
+			prof = gen.RocketLike()
+		case "boom":
+			prof = gen.BoomLike()
+		case "xiangshan":
+			prof = gen.XiangShanLike()
+		}
+	}
+	d := harness.Synthetic(prof)
+	cfgs := []core.Config{core.Verilator(), core.VerilatorMT(2), core.Arcilator(), core.Essent(), core.GSIM()}
+	// add gsim variants
+	g2 := core.GSIM()
+	g2.Name = "gsim-mffc"
+	g2.Partition = partition.MFFC
+	g3 := core.GSIM()
+	g3.Name = "gsim-noopt"
+	g3.Opt = core.Essent().Opt
+	cfgs = append(cfgs, g2, g3)
+	for _, sz := range []int{2, 4, 8, 16, 64} {
+		gc := core.GSIM()
+		gc.Name = fmt.Sprintf("gsim-sz%d", sz)
+		gc.MaxSupernode = sz
+		cfgs = append(cfgs, gc)
+	}
+	for _, sz := range []int{4, 8, 16} {
+		gc := core.GSIM()
+		gc.Partition = partition.MFFC
+		gc.Name = fmt.Sprintf("gsim-mffc%d", sz)
+		gc.MaxSupernode = sz
+		cfgs = append(cfgs, gc)
+	}
+	for _, cfg := range cfgs {
+		sys, drive, err := harness.BuildSystemForDiag(d, "coremark", cfg)
+		if err != nil {
+			panic(err)
+		}
+		start := time.Now()
+		n := 400
+		for c := 0; c < n; c++ {
+			drive(sys.Sim, c)
+			sys.Sim.Step()
+		}
+		hz := float64(n) / time.Since(start).Seconds()
+		st := sys.Sim.Stats()
+		gstats := sys.Graph.ComputeStats()
+		nsup := 0
+		if sys.Part != nil {
+			nsup = sys.Part.Count()
+		}
+		_ = nsup
+		fmt.Printf("%-16s nodes=%-6d sups=%-6d af=%.4f evals/cyc=%-7d exam/cyc=%-7d act/cyc=%-6d instr/cyc=%-8d speed=%.1fkHz\n",
+			cfg.Name, gstats.Nodes, nsup, st.ActivityFactor(),
+			st.NodeEvals/st.Cycles, st.Examinations/st.Cycles, st.Activations/st.Cycles, st.InstrsExecuted/st.Cycles, hz/1000)
+		sys.Close()
+	}
+}

@@ -1,0 +1,156 @@
+// Command gsim compiles a FIRRTL design and simulates it.
+//
+// Usage:
+//
+//	gsim [flags] design.fir
+//
+//	-engine gsim|verilator|essent|arcilator   simulator preset (default gsim)
+//	-threads N                                parallel full-cycle engine
+//	-cycles N                                 cycles to simulate
+//	-max-supernode N                          supernode size cap (paper Fig. 9)
+//	-poke name=value                          set an input before simulation (repeatable)
+//	-watch name                               print a node's value every cycle (repeatable)
+//	-stats                                    print engine counters and build info
+//
+// Example:
+//
+//	gsim -engine gsim -cycles 100 -poke en=1 -watch out examples/quickstart/counter.fir
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"gsim/internal/bitvec"
+	"gsim/internal/core"
+	"gsim/internal/engine"
+	"gsim/internal/firrtl"
+)
+
+type repeated []string
+
+func (r *repeated) String() string     { return strings.Join(*r, ",") }
+func (r *repeated) Set(v string) error { *r = append(*r, v); return nil }
+
+func main() {
+	engineName := flag.String("engine", "gsim", "simulator preset: gsim, verilator, essent, arcilator")
+	threads := flag.Int("threads", 0, "run the parallel full-cycle engine with N threads")
+	cycles := flag.Int("cycles", 10, "cycles to simulate")
+	maxSup := flag.Int("max-supernode", 0, "maximum supernode size (0 = default)")
+	showStats := flag.Bool("stats", false, "print engine counters and build info")
+	vcdPath := flag.String("vcd", "", "dump a VCD waveform of inputs/outputs/registers to this file")
+	var pokes, watches repeated
+	flag.Var(&pokes, "poke", "input assignment name=value (repeatable)")
+	flag.Var(&watches, "watch", "node to print every cycle (repeatable)")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: gsim [flags] design.fir")
+		flag.Usage()
+		os.Exit(2)
+	}
+	g, err := firrtl.LoadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	st := g.ComputeStats()
+	fmt.Printf("loaded %s: %d nodes, %d edges, %d regs, %d mems\n",
+		g.Name, st.Nodes, st.Edges, st.Regs, st.Mems)
+
+	var cfg core.Config
+	switch *engineName {
+	case "gsim":
+		cfg = core.GSIM()
+	case "verilator":
+		cfg = core.Verilator()
+	case "essent":
+		cfg = core.Essent()
+	case "arcilator":
+		cfg = core.Arcilator()
+	default:
+		fatal(fmt.Errorf("unknown engine %q", *engineName))
+	}
+	if *threads > 0 {
+		cfg = core.VerilatorMT(*threads)
+	}
+	if *maxSup > 0 {
+		cfg.MaxSupernode = *maxSup
+	}
+	sys, err := core.Build(g, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	defer sys.Close()
+	fmt.Printf("built %s in %v (passes: %s)\n", cfg.Name, sys.BuildTime.Round(1000), sys.PassResult)
+	if sys.Part != nil {
+		fmt.Printf("partition: %d supernodes (avg %.1f nodes, cut %d)\n",
+			sys.Part.Count(), sys.Part.AvgSize(), sys.Part.CutEdges)
+	}
+
+	for _, p := range pokes {
+		name, val, ok := strings.Cut(p, "=")
+		if !ok {
+			fatal(fmt.Errorf("bad -poke %q, want name=value", p))
+		}
+		n := sys.Node(name)
+		if n == nil {
+			fatal(fmt.Errorf("no input %q", name))
+		}
+		bv, err := bitvec.Parse(n.Width, val)
+		if err != nil {
+			fatal(err)
+		}
+		sys.Sim.Poke(n.ID, bv)
+	}
+
+	var vcd *engine.VCD
+	if *vcdPath != "" {
+		f, err := os.Create(*vcdPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		vcd, err = engine.NewVCD(f, sys.Sim, sys.Graph, nil)
+		if err != nil {
+			fatal(err)
+		}
+		defer vcd.Close()
+	}
+
+	watchIDs := map[string]int{}
+	for _, wname := range watches {
+		n := sys.Node(wname)
+		if n == nil {
+			fatal(fmt.Errorf("no node %q to watch", wname))
+		}
+		watchIDs[wname] = n.ID
+	}
+
+	for c := 0; c < *cycles; c++ {
+		sys.Sim.Step()
+		if vcd != nil {
+			vcd.Sample()
+		}
+		if len(watchIDs) > 0 {
+			fmt.Printf("cycle %4d:", c)
+			for _, wname := range watches {
+				fmt.Printf(" %s=%s", wname, sys.Sim.Peek(watchIDs[wname]))
+			}
+			fmt.Println()
+		}
+	}
+
+	if *showStats {
+		s := sys.Sim.Stats()
+		fmt.Printf("cycles=%d nodeEvals=%d activations=%d examinations=%d instrs=%d af=%.4f\n",
+			s.Cycles, s.NodeEvals, s.Activations, s.Examinations, s.InstrsExecuted, s.ActivityFactor())
+		fmt.Printf("code=%dB data=%dB emit=%v\n", sys.Prog.CodeBytes(), sys.Prog.DataBytes(), sys.Prog.EmitTime.Round(1000))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gsim:", err)
+	os.Exit(1)
+}

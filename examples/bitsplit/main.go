@@ -1,0 +1,68 @@
+// Bit-split example: the paper's Fig. 4, end to end. A wide signal D is a
+// concatenation of A, B, C; E = not(D); F reads E[1:0] and G reads E[5:2].
+// Without splitting, a change to A activates G even though G's bits cannot
+// change. With bit-level node splitting, the A-path and the {B,C}-path
+// separate, and G stays quiet while A toggles.
+//
+//	go run ./examples/bitsplit
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gsim/internal/bitvec"
+	"gsim/internal/core"
+	"gsim/internal/engine"
+	"gsim/internal/ir"
+	"gsim/internal/partition"
+	"gsim/internal/passes"
+)
+
+func buildFig4() *ir.Graph {
+	b := ir.NewBuilder("fig4")
+	a := b.Input("A", 2)
+	bIn := b.Input("B", 2)
+	c := b.Input("C", 2)
+	d := b.Comb("D", b.CatAll(b.R(c), b.R(bIn), b.R(a)))
+	e := b.Comb("E", b.Not(b.R(d)))
+	b.Output("F", b.Bits(b.R(e), 1, 0))
+	b.Output("G", b.Bits(b.R(e), 5, 2))
+	return b.G
+}
+
+func run(name string, opt passes.Options) {
+	sys, err := core.Build(buildFig4(), core.Config{
+		Name:      name,
+		Opt:       opt,
+		Engine:    core.EngineActivity,
+		Partition: partition.None, // per-node activity so the effect is visible
+		Activity:  engine.ActivityConfig{Activation: engine.ActBranch},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+
+	aID := sys.Node("A").ID
+	gID := sys.Node("G").ID
+	// Settle once, then toggle only A and count evaluations.
+	sys.Sim.Step()
+	base := sys.Sim.Stats().NodeEvals
+	gBefore := sys.Sim.Peek(gID)
+	for i := 0; i < 8; i++ {
+		sys.Sim.Poke(aID, bitvec.FromUint64(2, uint64(i&3)))
+		sys.Sim.Step()
+	}
+	evals := sys.Sim.Stats().NodeEvals - base
+	fmt.Printf("%-16s %2d node evaluations while only A toggles; G stayed %s: %v\n",
+		name, evals, gBefore, sys.Sim.Peek(gID).Equal(gBefore))
+}
+
+func main() {
+	fmt.Println("paper Fig. 4: D = cat(C,B,A); E = not(D); F = E[1:0]; G = E[5:2]")
+	run("without-split", passes.Options{})
+	run("with-split", passes.Options{BitSplit: true, Simplify: true, Redundant: true})
+	fmt.Println("\nwith splitting, the A→D→E→F path no longer activates G's cone,")
+	fmt.Println("so toggling A evaluates fewer nodes per cycle (reduced activity factor).")
+}

@@ -1,0 +1,71 @@
+// CPU example: run the bundled RV32I core through every simulator preset on
+// the CoreMark-like workload and compare speeds and architectural results
+// against the reference ISS — the paper's stuCore experiment in miniature.
+//
+//	go run ./examples/cpu [coremark|linux]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"gsim/internal/core"
+	"gsim/internal/rv"
+)
+
+func main() {
+	workload := "coremark"
+	if len(os.Args) > 1 {
+		workload = os.Args[1]
+	}
+	src, ok := rv.Workloads[workload]
+	if !ok {
+		log.Fatalf("unknown workload %q (have coremark, linux)", workload)
+	}
+	prog, err := rv.Assemble(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Golden model first.
+	iss := rv.NewISS(prog, rv.DefaultCoreConfig().DMemWords)
+	issStart := time.Now()
+	if err := iss.Run(5_000_000); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ISS: %d instructions, a0=%#x (%v)\n", iss.Count, iss.Regs[10], time.Since(issStart).Round(time.Microsecond))
+
+	cfgs := []core.Config{core.Verilator(), core.VerilatorMT(2), core.Arcilator(), core.Essent(), core.GSIM()}
+	fmt.Printf("\n%-14s %10s %12s %10s %8s\n", "simulator", "cycles", "speed", "a0", "af")
+	for _, cfg := range cfgs {
+		c, err := rv.BuildCore(prog, rv.DefaultCoreConfig())
+		if err != nil {
+			log.Fatal(err)
+		}
+		sys, err := core.Build(c.Graph, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		halted := sys.Node("halted")
+		start := time.Now()
+		cycles := 0
+		for sys.Sim.Peek(halted.ID).IsZero() {
+			sys.Sim.Step()
+			cycles++
+			if cycles > int(iss.Count)+100 {
+				log.Fatalf("%s: did not halt", cfg.Name)
+			}
+		}
+		el := time.Since(start)
+		a0 := sys.Sim.PeekMem(c.RFID, 10).Uint64()
+		if uint32(a0) != iss.Regs[10] {
+			log.Fatalf("%s: a0=%#x, ISS says %#x", cfg.Name, a0, iss.Regs[10])
+		}
+		fmt.Printf("%-14s %10d %10.1fkHz %#10x %8.3f\n",
+			cfg.Name, cycles, float64(cycles)/el.Seconds()/1000, a0, sys.Sim.Stats().ActivityFactor())
+		sys.Close()
+	}
+	fmt.Println("\nall simulators agree with the ISS")
+}

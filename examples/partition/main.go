@@ -1,0 +1,92 @@
+// Partition example: compare the four supernode-partitioning algorithms and
+// sweep the maximum supernode size on a synthetic processor profile — the
+// interactive version of the paper's Table III and Fig. 9.
+//
+//	go run ./examples/partition
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"gsim/internal/bitvec"
+	"gsim/internal/core"
+	"gsim/internal/engine"
+	"gsim/internal/gen"
+	"gsim/internal/partition"
+	"gsim/internal/passes"
+)
+
+func main() {
+	profile := gen.RocketLike()
+	g := gen.BuildProfile(profile)
+	passes.Normalize(g)
+	fmt.Printf("design %s: %d nodes\n\n", profile.Name, g.NumNodes())
+
+	stim := func(sys *core.System) func(cycle int) {
+		n := sys.Graph.FindNode("stim")
+		return func(cycle int) {
+			sys.Sim.Poke(n.ID, stimWord(profile, cycle))
+		}
+	}
+
+	fmt.Printf("%-12s %10s %10s %12s %10s %10s\n", "partition", "build", "supernodes", "avg size", "af", "speed")
+	for _, kind := range []partition.Kind{partition.None, partition.Kernighan, partition.MFFC, partition.Enhanced} {
+		cfg := core.Config{
+			Name:      kind.String(),
+			Engine:    core.EngineActivity,
+			Partition: kind,
+			Activity:  engine.ActivityConfig{MultiBitCheck: true, Activation: engine.ActCostModel},
+		}
+		sys, err := core.Build(g, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		drive := stim(sys)
+		hz := run(sys, drive, 300)
+		fmt.Printf("%-12s %10v %10d %12.1f %10.3f %9.1fkHz\n",
+			kind, sys.Part.BuildTime.Round(time.Millisecond), sys.Part.Count(), sys.Part.AvgSize(),
+			sys.Sim.Stats().ActivityFactor(), hz/1000)
+		sys.Close()
+	}
+
+	fmt.Println("\nmax supernode size sweep (enhanced partitioner):")
+	for _, size := range []int{1, 2, 4, 8, 16, 32, 64, 128} {
+		cfg := core.GSIM()
+		cfg.MaxSupernode = size
+		sys, err := core.Build(g, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		hz := run(sys, stim(sys), 300)
+		fmt.Printf("  size %4d: %8.1fkHz (%d supernodes)\n", size, hz/1000, sys.Part.Count())
+		sys.Close()
+	}
+}
+
+func run(sys *core.System, drive func(int), cycles int) float64 {
+	for c := 0; c < 30; c++ {
+		drive(c)
+		sys.Sim.Step()
+	}
+	start := time.Now()
+	for c := 0; c < cycles; c++ {
+		drive(30 + c)
+		sys.Sim.Step()
+	}
+	return float64(cycles) / time.Since(start).Seconds()
+}
+
+// stimWord builds a hot-loop stimulus: both cluster selectors dwell on
+// cluster 0/1, the payload cycles through a short table.
+func stimWord(p gen.Profile, cycle int) bitvec.BV {
+	selW := uint(1)
+	for 1<<selW < p.Clusters {
+		selW++
+	}
+	sel := uint64(cycle/256) & 1
+	payload := uint64(cycle%8) * 0x9e3779b97f4a7c15
+	lo := sel | sel<<selW | payload<<(2*selW)
+	return bitvec.FromWords(128, []uint64{lo, payload >> (64 - 2*selW)})
+}

@@ -1,0 +1,614 @@
+// Package bitvec implements arbitrary-width unsigned bit vectors backed by
+// []uint64 words, little-endian (word 0 holds bits 0..63).
+//
+// BV is the reference value type for the simulator: the constant folder, the
+// FIRRTL literal parser, and all engine peek/poke paths traffic in BV. The hot
+// simulation loop operates on raw word arrays (package emit); bitvec defines
+// the semantics those fast paths must match, and the test suite checks them
+// against each other.
+//
+// All values are canonical: bits at and above Width are zero. Operations that
+// produce a result width (Add, Cat, ...) follow the FIRRTL primop width rules
+// used by package ir.
+package bitvec
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// BV is an unsigned bit vector of a fixed width. The zero value is a
+// zero-width vector.
+type BV struct {
+	Width int
+	W     []uint64
+}
+
+// WordsFor returns the number of 64-bit words needed to hold width bits.
+func WordsFor(width int) int {
+	if width <= 0 {
+		return 0
+	}
+	return (width + 63) / 64
+}
+
+// New returns a zero-valued bit vector of the given width.
+func New(width int) BV {
+	if width < 0 {
+		panic(fmt.Sprintf("bitvec: negative width %d", width))
+	}
+	return BV{Width: width, W: make([]uint64, WordsFor(width))}
+}
+
+// FromUint64 returns a bit vector of the given width holding v truncated to
+// width bits.
+func FromUint64(width int, v uint64) BV {
+	b := New(width)
+	if len(b.W) > 0 {
+		b.W[0] = v
+	}
+	b.norm()
+	return b
+}
+
+// FromWords returns a bit vector of the given width using a copy of w,
+// truncated or zero-extended as needed.
+func FromWords(width int, w []uint64) BV {
+	b := New(width)
+	copy(b.W, w)
+	b.norm()
+	return b
+}
+
+// Clone returns a deep copy of b.
+func (b BV) Clone() BV {
+	c := BV{Width: b.Width, W: make([]uint64, len(b.W))}
+	copy(c.W, b.W)
+	return c
+}
+
+// norm zeroes any bits above Width in the top word.
+func (b *BV) norm() {
+	if b.Width <= 0 || len(b.W) == 0 {
+		return
+	}
+	top := b.Width & 63
+	if top != 0 {
+		b.W[len(b.W)-1] &= (uint64(1) << uint(top)) - 1
+	}
+}
+
+// TopMask returns the mask for the valid bits of the top word of a vector of
+// the given width (all ones when width is a multiple of 64).
+func TopMask(width int) uint64 {
+	top := width & 63
+	if top == 0 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(top)) - 1
+}
+
+// Uint64 returns the low 64 bits of b.
+func (b BV) Uint64() uint64 {
+	if len(b.W) == 0 {
+		return 0
+	}
+	return b.W[0]
+}
+
+// Bit returns bit i of b (0 if i is out of range).
+func (b BV) Bit(i int) uint64 {
+	if i < 0 || i >= b.Width {
+		return 0
+	}
+	return (b.W[i/64] >> uint(i%64)) & 1
+}
+
+// SetBit sets bit i of b to v (0 or 1). It panics if i is out of range.
+func (b *BV) SetBit(i int, v uint64) {
+	if i < 0 || i >= b.Width {
+		panic(fmt.Sprintf("bitvec: SetBit(%d) out of range for width %d", i, b.Width))
+	}
+	if v&1 != 0 {
+		b.W[i/64] |= uint64(1) << uint(i%64)
+	} else {
+		b.W[i/64] &^= uint64(1) << uint(i%64)
+	}
+}
+
+// IsZero reports whether every bit of b is zero.
+func (b BV) IsZero() bool {
+	for _, w := range b.W {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether a and b have the same width and value.
+func (b BV) Equal(o BV) bool {
+	if b.Width != o.Width {
+		return false
+	}
+	for i := range b.W {
+		if b.W[i] != o.W[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// EqValue reports whether a and b hold the same numeric value, ignoring width.
+func (b BV) EqValue(o BV) bool {
+	n := len(b.W)
+	if len(o.W) > n {
+		n = len(o.W)
+	}
+	for i := 0; i < n; i++ {
+		var x, y uint64
+		if i < len(b.W) {
+			x = b.W[i]
+		}
+		if i < len(o.W) {
+			y = o.W[i]
+		}
+		if x != y {
+			return false
+		}
+	}
+	return true
+}
+
+// IsOnes reports whether b is all ones across its width.
+func (b BV) IsOnes() bool {
+	if b.Width == 0 {
+		return false
+	}
+	for i, w := range b.W {
+		want := ^uint64(0)
+		if i == len(b.W)-1 {
+			want = TopMask(b.Width)
+		}
+		if w != want {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders b as width'hHEX, e.g. 8'h1f.
+func (b BV) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d'h", b.Width)
+	started := false
+	for i := len(b.W) - 1; i >= 0; i-- {
+		if !started {
+			if b.W[i] == 0 && i > 0 {
+				continue
+			}
+			fmt.Fprintf(&sb, "%x", b.W[i])
+			started = true
+		} else {
+			fmt.Fprintf(&sb, "%016x", b.W[i])
+		}
+	}
+	if !started {
+		sb.WriteByte('0')
+	}
+	return sb.String()
+}
+
+// Parse parses a FIRRTL-style literal body: "h1f", "o17", "b101", or "42".
+// The value is truncated to width bits.
+func Parse(width int, s string) (BV, error) {
+	base := 10
+	digits := s
+	if len(s) > 0 {
+		switch s[0] {
+		case 'h', 'H':
+			base, digits = 16, s[1:]
+		case 'o', 'O':
+			base, digits = 8, s[1:]
+		case 'b', 'B':
+			base, digits = 2, s[1:]
+		}
+	}
+	b := New(width)
+	if digits == "" {
+		return b, fmt.Errorf("bitvec: empty literal %q", s)
+	}
+	for _, c := range digits {
+		if c == '_' {
+			continue
+		}
+		var d uint64
+		switch {
+		case c >= '0' && c <= '9':
+			d = uint64(c - '0')
+		case c >= 'a' && c <= 'f':
+			d = uint64(c-'a') + 10
+		case c >= 'A' && c <= 'F':
+			d = uint64(c-'A') + 10
+		default:
+			return b, fmt.Errorf("bitvec: bad digit %q in literal %q", c, s)
+		}
+		if d >= uint64(base) {
+			return b, fmt.Errorf("bitvec: digit %q out of range for base %d in %q", c, base, s)
+		}
+		b = b.mulSmallAdd(uint64(base), d)
+	}
+	b.norm()
+	return b, nil
+}
+
+// mulSmallAdd returns b*m + a, keeping b's width (truncating).
+func (b BV) mulSmallAdd(m, a uint64) BV {
+	r := New(b.Width)
+	carry := a
+	for i, w := range b.W {
+		hi, lo := bits.Mul64(w, m)
+		lo, c := bits.Add64(lo, carry, 0)
+		r.W[i] = lo
+		carry = hi + c
+	}
+	r.norm()
+	return r
+}
+
+// --- Arithmetic ---
+
+// Add returns a+b at the given result width (FIRRTL: max(wa,wb)+1).
+func Add(a, b BV, width int) BV {
+	r := New(width)
+	var carry uint64
+	for i := range r.W {
+		x, y := word(a, i), word(b, i)
+		s, c1 := bits.Add64(x, y, 0)
+		s, c2 := bits.Add64(s, carry, 0)
+		r.W[i] = s
+		carry = c1 + c2
+	}
+	r.norm()
+	return r
+}
+
+// Sub returns a-b (two's complement) at the given result width.
+func Sub(a, b BV, width int) BV {
+	r := New(width)
+	var borrow uint64
+	for i := range r.W {
+		x, y := word(a, i), word(b, i)
+		d, b1 := bits.Sub64(x, y, borrow)
+		r.W[i] = d
+		borrow = b1
+	}
+	r.norm()
+	return r
+}
+
+// Mul returns a*b at the given result width (FIRRTL: wa+wb).
+func Mul(a, b BV, width int) BV {
+	r := New(width)
+	for i, x := range a.W {
+		if x == 0 {
+			continue
+		}
+		var carry uint64
+		for j := 0; i+j < len(r.W); j++ {
+			y := word(b, j)
+			hi, lo := bits.Mul64(x, y)
+			lo, c1 := bits.Add64(lo, r.W[i+j], 0)
+			lo, c2 := bits.Add64(lo, carry, 0)
+			r.W[i+j] = lo
+			carry = hi + c1 + c2
+		}
+	}
+	r.norm()
+	return r
+}
+
+// Div returns a/b at the given result width; division by zero yields zero
+// (the simulator's defined semantics for FIRRTL's unspecified case).
+// Both operands must fit in 64 bits.
+func Div(a, b BV, width int) BV {
+	x, y := a.Uint64(), b.Uint64()
+	if len(a.W) > 1 || len(b.W) > 1 {
+		panic("bitvec: Div on width > 64 not supported")
+	}
+	if y == 0 {
+		return New(width)
+	}
+	return FromUint64(width, x/y)
+}
+
+// Rem returns a%b at the given result width; modulo by zero yields zero.
+// Both operands must fit in 64 bits.
+func Rem(a, b BV, width int) BV {
+	x, y := a.Uint64(), b.Uint64()
+	if len(a.W) > 1 || len(b.W) > 1 {
+		panic("bitvec: Rem on width > 64 not supported")
+	}
+	if y == 0 {
+		return New(width)
+	}
+	return FromUint64(width, x%y)
+}
+
+// Neg returns the two's complement negation of a at the given width.
+func Neg(a BV, width int) BV {
+	return Sub(New(width), a, width)
+}
+
+// --- Bitwise ---
+
+// And returns a&b at the given width.
+func And(a, b BV, width int) BV {
+	return bitwise(a, b, width, func(x, y uint64) uint64 { return x & y })
+}
+
+// Or returns a|b at the given width.
+func Or(a, b BV, width int) BV {
+	return bitwise(a, b, width, func(x, y uint64) uint64 { return x | y })
+}
+
+// Xor returns a^b at the given width.
+func Xor(a, b BV, width int) BV {
+	return bitwise(a, b, width, func(x, y uint64) uint64 { return x ^ y })
+}
+
+// Not returns ^a at the given width.
+func Not(a BV, width int) BV {
+	r := New(width)
+	for i := range r.W {
+		r.W[i] = ^word(a, i)
+	}
+	r.norm()
+	return r
+}
+
+func bitwise(a, b BV, width int, f func(x, y uint64) uint64) BV {
+	r := New(width)
+	for i := range r.W {
+		r.W[i] = f(word(a, i), word(b, i))
+	}
+	r.norm()
+	return r
+}
+
+// AndR returns the 1-bit AND reduction of a.
+func AndR(a BV) BV {
+	if a.IsOnes() {
+		return FromUint64(1, 1)
+	}
+	return New(1)
+}
+
+// OrR returns the 1-bit OR reduction of a.
+func OrR(a BV) BV {
+	if a.IsZero() {
+		return New(1)
+	}
+	return FromUint64(1, 1)
+}
+
+// XorR returns the 1-bit XOR (parity) reduction of a.
+func XorR(a BV) BV {
+	var p uint64
+	for _, w := range a.W {
+		p ^= uint64(bits.OnesCount64(w)) & 1
+	}
+	return FromUint64(1, p&1)
+}
+
+// --- Comparison (all return width-1 results) ---
+
+// CmpU compares a and b as unsigned integers: -1, 0, or +1.
+func CmpU(a, b BV) int {
+	n := len(a.W)
+	if len(b.W) > n {
+		n = len(b.W)
+	}
+	for i := n - 1; i >= 0; i-- {
+		x, y := word(a, i), word(b, i)
+		if x < y {
+			return -1
+		}
+		if x > y {
+			return 1
+		}
+	}
+	return 0
+}
+
+// CmpS compares a and b as two's complement signed integers of their widths.
+func CmpS(a, b BV) int {
+	sa, sb := a.SignBit(), b.SignBit()
+	if sa != sb {
+		if sa == 1 {
+			return -1
+		}
+		return 1
+	}
+	// Same sign: compare the sign-extended magnitudes. For same-width values
+	// plain unsigned compare works; for differing widths, sign-extend to the
+	// wider width first.
+	w := a.Width
+	if b.Width > w {
+		w = b.Width
+	}
+	return CmpU(SExt(a, w), SExt(b, w))
+}
+
+// SignBit returns the most significant bit of a (0 for zero-width).
+func (b BV) SignBit() uint64 {
+	if b.Width == 0 {
+		return 0
+	}
+	return b.Bit(b.Width - 1)
+}
+
+func boolBV(v bool) BV {
+	if v {
+		return FromUint64(1, 1)
+	}
+	return New(1)
+}
+
+// Eq returns a==b as a 1-bit vector.
+func Eq(a, b BV) BV { return boolBV(CmpU(a, b) == 0) }
+
+// Neq returns a!=b as a 1-bit vector.
+func Neq(a, b BV) BV { return boolBV(CmpU(a, b) != 0) }
+
+// Lt returns a<b (unsigned) as a 1-bit vector.
+func Lt(a, b BV) BV { return boolBV(CmpU(a, b) < 0) }
+
+// Leq returns a<=b (unsigned) as a 1-bit vector.
+func Leq(a, b BV) BV { return boolBV(CmpU(a, b) <= 0) }
+
+// Gt returns a>b (unsigned) as a 1-bit vector.
+func Gt(a, b BV) BV { return boolBV(CmpU(a, b) > 0) }
+
+// Geq returns a>=b (unsigned) as a 1-bit vector.
+func Geq(a, b BV) BV { return boolBV(CmpU(a, b) >= 0) }
+
+// SLt returns a<b (signed) as a 1-bit vector.
+func SLt(a, b BV) BV { return boolBV(CmpS(a, b) < 0) }
+
+// SLeq returns a<=b (signed) as a 1-bit vector.
+func SLeq(a, b BV) BV { return boolBV(CmpS(a, b) <= 0) }
+
+// SGt returns a>b (signed) as a 1-bit vector.
+func SGt(a, b BV) BV { return boolBV(CmpS(a, b) > 0) }
+
+// SGeq returns a>=b (signed) as a 1-bit vector.
+func SGeq(a, b BV) BV { return boolBV(CmpS(a, b) >= 0) }
+
+// --- Shifts, slicing, concatenation ---
+
+// Shl returns a<<n at the given result width (FIRRTL: wa+n).
+func Shl(a BV, n, width int) BV {
+	r := New(width)
+	wordShift, bitShift := n/64, uint(n%64)
+	for i := len(r.W) - 1; i >= 0; i-- {
+		src := i - wordShift
+		var v uint64
+		if src >= 0 {
+			v = word(a, src) << bitShift
+			if bitShift > 0 && src > 0 {
+				v |= word(a, src-1) >> (64 - bitShift)
+			}
+		}
+		r.W[i] = v
+	}
+	r.norm()
+	return r
+}
+
+// Shr returns a>>n at the given result width (FIRRTL: max(wa-n, 1)).
+func Shr(a BV, n, width int) BV {
+	r := New(width)
+	wordShift, bitShift := n/64, uint(n%64)
+	for i := range r.W {
+		src := i + wordShift
+		var v uint64
+		if src < len(a.W) {
+			v = a.W[src] >> bitShift
+			if bitShift > 0 && src+1 < len(a.W) {
+				v |= a.W[src+1] << (64 - bitShift)
+			}
+		}
+		r.W[i] = v
+	}
+	r.norm()
+	return r
+}
+
+// Dshl returns a << b for a dynamic shift amount, at the given result width.
+func Dshl(a, b BV, width int) BV {
+	n := b.Uint64()
+	if len(b.W) > 1 {
+		for _, w := range b.W[1:] {
+			if w != 0 {
+				return New(width)
+			}
+		}
+	}
+	if n >= uint64(width) {
+		return New(width)
+	}
+	return Shl(a, int(n), width)
+}
+
+// Dshr returns a >> b for a dynamic shift amount, at the given result width.
+func Dshr(a, b BV, width int) BV {
+	n := b.Uint64()
+	if len(b.W) > 1 {
+		for _, w := range b.W[1:] {
+			if w != 0 {
+				return New(width)
+			}
+		}
+	}
+	if n >= uint64(a.Width) {
+		return New(width)
+	}
+	return Shr(a, int(n), width)
+}
+
+// Cat returns {a, b}: a in the high bits, b in the low bits (FIRRTL cat).
+func Cat(a, b BV) BV {
+	r := Shl(a, b.Width, a.Width+b.Width)
+	for i := range b.W {
+		r.W[i] |= b.W[i]
+	}
+	r.norm()
+	return r
+}
+
+// Bits returns a[hi:lo] inclusive as a vector of width hi-lo+1.
+func Bits(a BV, hi, lo int) BV {
+	if hi < lo || lo < 0 {
+		panic(fmt.Sprintf("bitvec: Bits(%d,%d) invalid", hi, lo))
+	}
+	return Shr(a, lo, hi-lo+1)
+}
+
+// Pad zero-extends (or keeps) a at the given width. Width must be >= a.Width
+// for true padding, but truncation is also supported for convenience.
+func Pad(a BV, width int) BV {
+	r := New(width)
+	copy(r.W, a.W)
+	r.norm()
+	return r
+}
+
+// SExt sign-extends a (interpreted as two's complement of a.Width bits) to
+// the given width.
+func SExt(a BV, width int) BV {
+	r := Pad(a, width)
+	if a.SignBit() == 1 && width > a.Width {
+		for i := a.Width; i < width; i++ {
+			r.SetBit(i, 1)
+		}
+	}
+	return r
+}
+
+// Mux returns a when sel is nonzero, else b, at the given result width.
+func Mux(sel, a, b BV, width int) BV {
+	if !sel.IsZero() {
+		return Pad(a, width)
+	}
+	return Pad(b, width)
+}
+
+// word returns word i of b, or 0 if out of range.
+func word(b BV, i int) uint64 {
+	if i < len(b.W) {
+		return b.W[i]
+	}
+	return 0
+}

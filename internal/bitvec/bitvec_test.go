@@ -1,0 +1,364 @@
+package bitvec
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// toBig converts a BV to a big.Int for cross-checking.
+func toBig(b BV) *big.Int {
+	v := new(big.Int)
+	for i := len(b.W) - 1; i >= 0; i-- {
+		v.Lsh(v, 64)
+		v.Or(v, new(big.Int).SetUint64(b.W[i]))
+	}
+	return v
+}
+
+// fromBig truncates a big.Int to width bits.
+func maskBig(v *big.Int, width int) *big.Int {
+	m := new(big.Int).Lsh(big.NewInt(1), uint(width))
+	m.Sub(m, big.NewInt(1))
+	return new(big.Int).And(v, m)
+}
+
+// randBV produces a random value of a random width in [1, 200].
+func randBV(rng *rand.Rand) BV {
+	w := 1 + rng.Intn(200)
+	b := New(w)
+	for i := range b.W {
+		b.W[i] = rng.Uint64()
+	}
+	b.norm()
+	return b
+}
+
+// checkBinary cross-checks a bitvec op against big.Int semantics on random
+// operands.
+func checkBinary(t *testing.T, name string, op func(a, b BV, w int) BV,
+	ref func(x, y *big.Int) *big.Int, width func(wa, wb int) int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(int64(len(name)) * 7919))
+	for i := 0; i < 500; i++ {
+		a, b := randBV(rng), randBV(rng)
+		w := width(a.Width, b.Width)
+		got := op(a, b, w)
+		want := maskBig(ref(toBig(a), toBig(b)), w)
+		if toBig(got).Cmp(want) != 0 {
+			t.Fatalf("%s(%s, %s) width %d = %s, want %s", name, a, b, w, toBig(got), want)
+		}
+		if got.Width != w {
+			t.Fatalf("%s result width %d, want %d", name, got.Width, w)
+		}
+		// Canonical form: no bits above width.
+		top := got
+		top.norm()
+		if !top.Equal(got) {
+			t.Fatalf("%s result not canonical: %s", name, got)
+		}
+	}
+}
+
+func TestAddSubMulAgainstBig(t *testing.T) {
+	maxP1 := func(wa, wb int) int { return max(wa, wb) + 1 }
+	checkBinary(t, "add", Add, func(x, y *big.Int) *big.Int { return new(big.Int).Add(x, y) }, maxP1)
+	checkBinary(t, "sub", Sub, func(x, y *big.Int) *big.Int { return new(big.Int).Sub(x, y) }, maxP1)
+	checkBinary(t, "mul", Mul, func(x, y *big.Int) *big.Int { return new(big.Int).Mul(x, y) },
+		func(wa, wb int) int { return wa + wb })
+}
+
+func TestBitwiseAgainstBig(t *testing.T) {
+	maxW := func(wa, wb int) int { return max(wa, wb) }
+	checkBinary(t, "and", And, func(x, y *big.Int) *big.Int { return new(big.Int).And(x, y) }, maxW)
+	checkBinary(t, "or", Or, func(x, y *big.Int) *big.Int { return new(big.Int).Or(x, y) }, maxW)
+	checkBinary(t, "xor", Xor, func(x, y *big.Int) *big.Int { return new(big.Int).Xor(x, y) }, maxW)
+}
+
+func TestNotInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		a := randBV(rng)
+		if got := Not(Not(a, a.Width), a.Width); !got.Equal(a) {
+			t.Fatalf("not(not(%s)) = %s", a, got)
+		}
+	}
+}
+
+func TestDivRem64(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 500; i++ {
+		w := 1 + rng.Intn(64)
+		a := FromUint64(w, rng.Uint64())
+		b := FromUint64(w, rng.Uint64()>>uint(rng.Intn(64)))
+		q, r := Div(a, b, w), Rem(a, b, w)
+		if b.IsZero() {
+			if !q.IsZero() || !r.IsZero() {
+				t.Fatalf("div/rem by zero should be zero, got %s, %s", q, r)
+			}
+			continue
+		}
+		if q.Uint64() != a.Uint64()/b.Uint64() || r.Uint64() != a.Uint64()%b.Uint64() {
+			t.Fatalf("div/rem(%s, %s) = %s, %s", a, b, q, r)
+		}
+	}
+}
+
+func TestShiftsAgainstBig(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 500; i++ {
+		a := randBV(rng)
+		n := rng.Intn(140)
+		wShl := a.Width + n
+		if got, want := toBig(Shl(a, n, wShl)), maskBig(new(big.Int).Lsh(toBig(a), uint(n)), wShl); got.Cmp(want) != 0 {
+			t.Fatalf("shl(%s, %d) = %s, want %s", a, n, got, want)
+		}
+		wShr := a.Width - n
+		if wShr < 1 {
+			wShr = 1
+		}
+		if got, want := toBig(Shr(a, n, wShr)), maskBig(new(big.Int).Rsh(toBig(a), uint(n)), wShr); got.Cmp(want) != 0 {
+			t.Fatalf("shr(%s, %d) = %s, want %s", a, n, got, want)
+		}
+	}
+}
+
+func TestCatBits(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 500; i++ {
+		a, b := randBV(rng), randBV(rng)
+		c := Cat(a, b)
+		if c.Width != a.Width+b.Width {
+			t.Fatalf("cat width %d", c.Width)
+		}
+		if got := Bits(c, b.Width-1, 0); !got.Equal(b) {
+			t.Fatalf("low part of cat mismatch: %s vs %s", got, b)
+		}
+		if got := Bits(c, c.Width-1, b.Width); !got.Equal(a) {
+			t.Fatalf("high part of cat mismatch: %s vs %s", got, a)
+		}
+		// Random slice against big.Int.
+		hi := rng.Intn(c.Width)
+		lo := rng.Intn(hi + 1)
+		want := maskBig(new(big.Int).Rsh(toBig(c), uint(lo)), hi-lo+1)
+		if got := toBig(Bits(c, hi, lo)); got.Cmp(want) != 0 {
+			t.Fatalf("bits(%s, %d, %d) = %s, want %s", c, hi, lo, got, want)
+		}
+	}
+}
+
+func TestComparisons(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 500; i++ {
+		a, b := randBV(rng), randBV(rng)
+		cmp := toBig(a).Cmp(toBig(b))
+		if got := CmpU(a, b); got != cmp {
+			t.Fatalf("CmpU(%s, %s) = %d, want %d", a, b, got, cmp)
+		}
+		checks := []struct {
+			name string
+			got  BV
+			want bool
+		}{
+			{"lt", Lt(a, b), cmp < 0},
+			{"leq", Leq(a, b), cmp <= 0},
+			{"gt", Gt(a, b), cmp > 0},
+			{"geq", Geq(a, b), cmp >= 0},
+			{"eq", Eq(a, b), cmp == 0},
+			{"neq", Neq(a, b), cmp != 0},
+		}
+		for _, c := range checks {
+			if (c.got.Uint64() == 1) != c.want {
+				t.Fatalf("%s(%s, %s) = %s, want %v", c.name, a, b, c.got, c.want)
+			}
+		}
+	}
+}
+
+// signedBig interprets b as two's complement.
+func signedBig(b BV) *big.Int {
+	v := toBig(b)
+	if b.SignBit() == 1 {
+		v.Sub(v, new(big.Int).Lsh(big.NewInt(1), uint(b.Width)))
+	}
+	return v
+}
+
+func TestSignedComparisons(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for i := 0; i < 500; i++ {
+		a, b := randBV(rng), randBV(rng)
+		cmp := signedBig(a).Cmp(signedBig(b))
+		if got := CmpS(a, b); got != cmp {
+			t.Fatalf("CmpS(%s, %s) = %d, want %d", a, b, got, cmp)
+		}
+		if (SLt(a, b).Uint64() == 1) != (cmp < 0) {
+			t.Fatalf("SLt(%s, %s) wrong", a, b)
+		}
+	}
+}
+
+func TestSExt(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for i := 0; i < 300; i++ {
+		a := randBV(rng)
+		w := a.Width + rng.Intn(100)
+		got := SExt(a, w)
+		want := maskBig(signedBig(a), w)
+		if toBig(got).Cmp(want) != 0 {
+			t.Fatalf("sext(%s, %d) = %s, want %s", a, w, toBig(got), want)
+		}
+	}
+}
+
+func TestNegTwosComplement(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for i := 0; i < 300; i++ {
+		a := randBV(rng)
+		w := a.Width + 1
+		got := Neg(a, w)
+		want := maskBig(new(big.Int).Neg(toBig(a)), w)
+		if toBig(got).Cmp(want) != 0 {
+			t.Fatalf("neg(%s) = %s, want %s", a, toBig(got), want)
+		}
+	}
+}
+
+func TestReductions(t *testing.T) {
+	if AndR(FromUint64(3, 7)).Uint64() != 1 {
+		t.Error("andr(3'b111) != 1")
+	}
+	if AndR(FromUint64(3, 6)).Uint64() != 0 {
+		t.Error("andr(3'b110) != 0")
+	}
+	if OrR(New(70)).Uint64() != 0 {
+		t.Error("orr(0) != 0")
+	}
+	w := New(70)
+	w.SetBit(69, 1)
+	if OrR(w).Uint64() != 1 {
+		t.Error("orr(1<<69) != 1")
+	}
+	if XorR(FromUint64(8, 0xf0)).Uint64() != 0 {
+		t.Error("xorr(0xf0) != 0")
+	}
+	if XorR(FromUint64(8, 0xe0)).Uint64() != 1 {
+		t.Error("xorr(0xe0) != 1")
+	}
+}
+
+func TestDshlDshr(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for i := 0; i < 300; i++ {
+		a := randBV(rng)
+		n := uint64(rng.Intn(a.Width + 80))
+		sh := FromUint64(32, n)
+		w := a.Width + 16
+		wantL := maskBig(new(big.Int).Lsh(toBig(a), uint(n)), w)
+		if n >= uint64(w) {
+			wantL = big.NewInt(0)
+		}
+		if got := toBig(Dshl(a, sh, w)); got.Cmp(wantL) != 0 {
+			t.Fatalf("dshl(%s, %d) = %s, want %s", a, n, got, wantL)
+		}
+		wantR := new(big.Int).Rsh(toBig(a), uint(n))
+		if got := toBig(Dshr(a, sh, a.Width)); got.Cmp(wantR) != 0 {
+			t.Fatalf("dshr(%s, %d) = %s, want %s", a, n, got, wantR)
+		}
+	}
+}
+
+func TestParse(t *testing.T) {
+	cases := []struct {
+		s    string
+		w    int
+		want uint64
+	}{
+		{"h1f", 8, 0x1f},
+		{"hFF", 8, 0xff},
+		{"b101", 4, 5},
+		{"o17", 6, 15},
+		{"42", 8, 42},
+		{"h1_f", 8, 0x1f},
+		{"300", 8, 300 & 0xff}, // truncation
+	}
+	for _, c := range cases {
+		got, err := Parse(c.w, c.s)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.s, err)
+		}
+		if got.Uint64() != c.want {
+			t.Errorf("Parse(%q) = %d, want %d", c.s, got.Uint64(), c.want)
+		}
+	}
+	for _, bad := range []string{"", "hxyz", "b2", "o9", "12a"} {
+		if _, err := Parse(8, bad); err == nil {
+			t.Errorf("Parse(%q) should fail", bad)
+		}
+	}
+}
+
+func TestParseWide(t *testing.T) {
+	got, err := Parse(128, "hffffffffffffffffffffffffffffffff")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.IsOnes() {
+		t.Fatalf("128-bit all-ones parse failed: %s", got)
+	}
+}
+
+// TestMulCommutes is a quick-check property: multiplication commutes.
+func TestMulCommutes(t *testing.T) {
+	f := func(x, y uint64, wa, wb uint8) bool {
+		a := FromUint64(1+int(wa%100), x)
+		b := FromUint64(1+int(wb%100), y)
+		w := a.Width + b.Width
+		return Mul(a, b, w).Equal(Mul(b, a, w))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAddAssociates is a quick-check property at fixed width.
+func TestAddAssociates(t *testing.T) {
+	f := func(x, y, z uint64) bool {
+		const w = 80
+		a, b, c := FromUint64(w, x), FromUint64(w, y), FromUint64(w, z)
+		ab := Add(Add(a, b, w), c, w)
+		bc := Add(a, Add(b, c, w), w)
+		return ab.Equal(bc)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCatAssociates: cat(cat(a,b),c) == cat(a,cat(b,c)).
+func TestCatAssociates(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	for i := 0; i < 200; i++ {
+		a, b, c := randBV(rng), randBV(rng), randBV(rng)
+		l := Cat(Cat(a, b), c)
+		r := Cat(a, Cat(b, c))
+		if !l.Equal(r) {
+			t.Fatalf("cat not associative for %s, %s, %s", a, b, c)
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	b := FromUint64(12, 0xabc)
+	if b.String() != "12'habc" {
+		t.Fatalf("String() = %q", b.String())
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

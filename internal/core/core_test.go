@@ -1,0 +1,182 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"gsim/internal/bitvec"
+	"gsim/internal/engine"
+	"gsim/internal/gen"
+	"gsim/internal/ir"
+	"gsim/internal/partition"
+	"gsim/internal/passes"
+)
+
+// testConfigs returns every simulator configuration whose trajectories must
+// agree bit-for-bit.
+func testConfigs() []Config {
+	cfgs := []Config{
+		Verilator(),
+		VerilatorMT(2),
+		VerilatorMT(4),
+		Arcilator(),
+		Essent(),
+		GSIM(),
+	}
+	// No optimization at all, full-cycle: the most literal baseline.
+	cfgs = append(cfgs, Config{Name: "raw", Engine: EngineFullCycle})
+	// Activity engine with every partitioner and no graph opts.
+	for _, pk := range []partition.Kind{partition.None, partition.Kernighan, partition.MFFC, partition.Enhanced} {
+		cfgs = append(cfgs, Config{
+			Name:      "act-" + pk.String(),
+			Engine:    EngineActivity,
+			Partition: pk,
+		})
+	}
+	// GSIM variants: toggled engine techniques.
+	g1 := GSIM()
+	g1.Name = "gsim-nobitcheck"
+	g1.Activity.MultiBitCheck = false
+	g2 := GSIM()
+	g2.Name = "gsim-branch"
+	g2.Activity.Activation = engine.ActBranch
+	g3 := GSIM()
+	g3.Name = "gsim-branchless"
+	g3.Activity.Activation = engine.ActBranchless
+	g4 := GSIM()
+	g4.Name = "gsim-size1"
+	g4.MaxSupernode = 1
+	g5 := GSIM()
+	g5.Name = "gsim-size200"
+	g5.MaxSupernode = 200
+	// Individual passes in isolation on the activity engine.
+	for _, p := range []struct {
+		name string
+		opt  passes.Options
+	}{
+		{"only-simplify", passes.Options{Simplify: true}},
+		{"only-redundant", passes.Options{Redundant: true}},
+		{"only-inline", passes.Options{Inline: true}},
+		{"only-extract", passes.Options{Extract: true}},
+		{"only-reset", passes.Options{ResetOpt: true}},
+		{"only-bitsplit", passes.Options{BitSplit: true}},
+	} {
+		cfgs = append(cfgs, Config{
+			Name:      p.name,
+			Opt:       p.opt,
+			Engine:    EngineActivity,
+			Partition: partition.Enhanced,
+		})
+	}
+	return append(cfgs, g1, g2, g3, g4, g5)
+}
+
+type harness struct {
+	name    string
+	sim     engine.Sim
+	inputs  map[string]int // input name -> node ID in this sim's graph
+	outputs map[string]int
+	closer  func()
+}
+
+func newHarness(t *testing.T, name string, sim engine.Sim, g *ir.Graph, closer func()) *harness {
+	t.Helper()
+	h := &harness{name: name, sim: sim, inputs: map[string]int{}, outputs: map[string]int{}, closer: closer}
+	for _, n := range g.Nodes {
+		if n == nil {
+			continue
+		}
+		if n.Kind == ir.KindInput {
+			h.inputs[n.Name] = n.ID
+		}
+		if n.IsOutput {
+			h.outputs[n.Name] = n.ID
+		}
+	}
+	return h
+}
+
+// TestEngineEquivalence drives every configuration with identical stimulus
+// on randomized circuits and requires identical output trajectories — the
+// repository's master correctness property.
+func TestEngineEquivalence(t *testing.T) {
+	cfgs := testConfigs()
+	for seed := int64(0); seed < 6; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			g := gen.Random(seed, gen.DefaultRandomConfig())
+			ref, err := engine.NewReference(g)
+			if err != nil {
+				t.Fatalf("reference: %v", err)
+			}
+			sims := []*harness{newHarness(t, "reference", ref, g, nil)}
+			for _, cfg := range cfgs {
+				sys, err := Build(g, cfg)
+				if err != nil {
+					t.Fatalf("build %s: %v", cfg.Name, err)
+				}
+				defer sys.Close()
+				sims = append(sims, newHarness(t, cfg.Name, sys.Sim, sys.Graph, nil))
+			}
+			runLockstep(t, sims, seed, 80)
+		})
+	}
+}
+
+// runLockstep drives all harnesses with the same inputs for n cycles and
+// compares outputs each cycle against the first harness.
+func runLockstep(t *testing.T, sims []*harness, seed int64, n int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed * 7919))
+	golden := sims[0]
+	inNames := make([]string, 0, len(golden.inputs))
+	for name := range golden.inputs {
+		inNames = append(inNames, name)
+	}
+	for cycle := 0; cycle < n; cycle++ {
+		for _, name := range inNames {
+			var v bitvec.BV
+			if name == "reset" {
+				// Pulse reset occasionally, including a multi-cycle pulse.
+				hold := cycle >= 30 && cycle < 33
+				if hold || rng.Intn(17) == 0 {
+					v = bitvec.FromUint64(1, 1)
+				} else {
+					v = bitvec.New(1)
+				}
+			} else {
+				w := 96
+				v = bitvec.FromWords(w, []uint64{rng.Uint64(), rng.Uint64()})
+				// Occasionally hold inputs at zero to create low activity.
+				if rng.Intn(3) != 0 {
+					v = bitvec.New(w)
+				}
+			}
+			for _, h := range sims {
+				id, ok := h.inputs[name]
+				if !ok {
+					t.Fatalf("%s: missing input %q", h.name, name)
+				}
+				h.sim.Poke(id, v)
+			}
+		}
+		for _, h := range sims {
+			h.sim.Step()
+		}
+		for name, gid := range golden.outputs {
+			want := golden.sim.Peek(gid)
+			for _, h := range sims[1:] {
+				id, ok := h.outputs[name]
+				if !ok {
+					t.Fatalf("%s: missing output %q", h.name, name)
+				}
+				got := h.sim.Peek(id)
+				if !want.EqValue(got) {
+					t.Fatalf("cycle %d: output %q: %s=%s, %s=%s",
+						cycle, name, golden.name, want, h.name, got)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,328 @@
+package emit
+
+import (
+	"fmt"
+	"math/bits"
+
+	"gsim/internal/bitvec"
+)
+
+// execWide handles instructions with any operand or result wider than 64
+// bits. Values are little-endian word arrays in the state image; results are
+// computed in place (an instruction's destination never aliases its sources
+// by construction in the compiler). Rare wide operations (multiplication,
+// signed comparison) fall back to the bitvec reference implementation.
+func (m *Machine) execWide(in *Instr) {
+	st := m.State
+	dw := wordsFor32(in.DW)
+	aw := wordsFor32(in.AW)
+	bw := wordsFor32(in.BW)
+	dst := st[in.D : in.D+dw]
+
+	// srcA/srcB read operand words with implicit zero extension.
+	srcA := func(i int32) uint64 {
+		if i < aw {
+			return st[in.A+i]
+		}
+		return 0
+	}
+	srcB := func(i int32) uint64 {
+		if i < bw {
+			return st[in.B+i]
+		}
+		return 0
+	}
+
+	switch in.Op {
+	case CCopy:
+		for i := int32(0); i < dw; i++ {
+			dst[i] = srcA(i)
+		}
+	case CAdd:
+		var carry uint64
+		for i := int32(0); i < dw; i++ {
+			s, c1 := bits.Add64(srcA(i), srcB(i), 0)
+			s, c2 := bits.Add64(s, carry, 0)
+			dst[i] = s
+			carry = c1 + c2
+		}
+	case CSub:
+		var borrow uint64
+		for i := int32(0); i < dw; i++ {
+			d, b1 := bits.Sub64(srcA(i), srcB(i), borrow)
+			dst[i] = d
+			borrow = b1
+		}
+	case CAnd:
+		for i := int32(0); i < dw; i++ {
+			dst[i] = srcA(i) & srcB(i)
+		}
+	case COr:
+		for i := int32(0); i < dw; i++ {
+			dst[i] = srcA(i) | srcB(i)
+		}
+	case CXor:
+		for i := int32(0); i < dw; i++ {
+			dst[i] = srcA(i) ^ srcB(i)
+		}
+	case CNot:
+		for i := int32(0); i < dw; i++ {
+			dst[i] = ^srcA(i)
+		}
+	case CNeg:
+		var borrow uint64
+		for i := int32(0); i < dw; i++ {
+			d, b1 := bits.Sub64(0, srcA(i), borrow)
+			dst[i] = d
+			borrow = b1
+		}
+	case CAndR:
+		r := uint64(1)
+		for i := int32(0); i < aw; i++ {
+			want := ^uint64(0)
+			if i == aw-1 {
+				want = bitvec.TopMask(int(in.AW))
+			}
+			if st[in.A+i] != want {
+				r = 0
+				break
+			}
+		}
+		dst[0] = r
+	case COrR:
+		r := uint64(0)
+		for i := int32(0); i < aw; i++ {
+			if st[in.A+i] != 0 {
+				r = 1
+				break
+			}
+		}
+		dst[0] = r
+	case CXorR:
+		var p uint64
+		for i := int32(0); i < aw; i++ {
+			p ^= uint64(bits.OnesCount64(st[in.A+i])) & 1
+		}
+		dst[0] = p
+	case CEq, CNeq:
+		n := aw
+		if bw > n {
+			n = bw
+		}
+		eq := uint64(1)
+		for i := int32(0); i < n; i++ {
+			if srcA(i) != srcB(i) {
+				eq = 0
+				break
+			}
+		}
+		if in.Op == CNeq {
+			eq ^= 1
+		}
+		dst[0] = eq
+	case CLt, CLeq, CGt, CGeq:
+		cmp := cmpWide(srcA, srcB, aw, bw)
+		var r uint64
+		switch in.Op {
+		case CLt:
+			if cmp < 0 {
+				r = 1
+			}
+		case CLeq:
+			if cmp <= 0 {
+				r = 1
+			}
+		case CGt:
+			if cmp > 0 {
+				r = 1
+			}
+		case CGeq:
+			if cmp >= 0 {
+				r = 1
+			}
+		}
+		dst[0] = r
+	case CShl:
+		shlWide(dst, srcA, int32(in.Lo))
+	case CBits, CShr:
+		sh := int32(in.Lo)
+		shrWideInto(dst, srcA, aw, sh)
+	case CDshl:
+		n := m.shiftAmount(in, bw)
+		if n < 0 || n >= int64(in.DW) {
+			clear(dst)
+		} else {
+			shlWide(dst, srcA, int32(n))
+		}
+	case CDshr:
+		n := m.shiftAmount(in, bw)
+		if n < 0 || n >= int64(in.AW) {
+			clear(dst)
+		} else {
+			shrWideInto(dst, srcA, aw, int32(n))
+		}
+	case CCat:
+		// dst = B | (A << BW)
+		for i := int32(0); i < dw; i++ {
+			dst[i] = srcB(i)
+		}
+		wordShift, bitShift := in.BW/64, uint(in.BW%64)
+		for i := int32(0); i < aw; i++ {
+			v := st[in.A+i]
+			lo := i + wordShift
+			if lo < dw {
+				dst[lo] |= v << bitShift
+			}
+			if bitShift != 0 && lo+1 < dw {
+				dst[lo+1] |= v >> (64 - bitShift)
+			}
+		}
+	case CSExt:
+		for i := int32(0); i < dw; i++ {
+			dst[i] = srcA(i)
+		}
+		if in.AW < in.DW && bitAt(st, in.A, in.AW-1) != 0 {
+			setBitsFrom(dst, int(in.AW), int(in.DW))
+		}
+	case CMux:
+		src := in.C
+		if st[in.A] != 0 {
+			src = in.B
+		}
+		sw := wordsFor32(in.BW)
+		for i := int32(0); i < dw; i++ {
+			if i < sw {
+				dst[i] = st[src+i]
+			} else {
+				dst[i] = 0
+			}
+		}
+	case CMemRead:
+		spec := &m.Prog.Mems[in.Lo]
+		addr := st[in.A]
+		for i := int32(1); i < aw; i++ {
+			if st[in.A+i] != 0 {
+				addr = uint64(spec.Depth) // force out of range
+				break
+			}
+		}
+		if addr < uint64(spec.Depth) {
+			base := int32(addr) * spec.WordsPer
+			copy(dst, m.Mems[in.Lo][base:base+spec.WordsPer])
+		} else {
+			clear(dst)
+		}
+	case CMul, CSLt, CSLeq, CSGt, CSGeq:
+		m.execWideSlow(in, dst)
+	default:
+		panic(fmt.Sprintf("emit: bad wide opcode %d", in.Op))
+	}
+	dst[dw-1] &= bitvec.TopMask(int(in.DW))
+}
+
+// shiftAmount reads a dynamic shift amount; -1 means "too large".
+func (m *Machine) shiftAmount(in *Instr, bw int32) int64 {
+	for i := int32(1); i < bw; i++ {
+		if m.State[in.B+i] != 0 {
+			return -1
+		}
+	}
+	n := m.State[in.B]
+	if n > 1<<30 {
+		return -1
+	}
+	return int64(n)
+}
+
+// execWideSlow routes rare wide operations through the bitvec reference.
+func (m *Machine) execWideSlow(in *Instr, dst []uint64) {
+	a := bitvec.FromWords(int(in.AW), m.State[in.A:in.A+wordsFor32(in.AW)])
+	b := bitvec.FromWords(int(in.BW), m.State[in.B:in.B+wordsFor32(in.BW)])
+	var r bitvec.BV
+	switch in.Op {
+	case CMul:
+		r = bitvec.Mul(a, b, int(in.DW))
+	case CSLt:
+		r = bitvec.SLt(a, b)
+	case CSLeq:
+		r = bitvec.SLeq(a, b)
+	case CSGt:
+		r = bitvec.SGt(a, b)
+	case CSGeq:
+		r = bitvec.SGeq(a, b)
+	}
+	clear(dst)
+	copy(dst, r.W)
+}
+
+func wordsFor32(w int32) int32 {
+	if w <= 0 {
+		return 0
+	}
+	return (w + 63) >> 6
+}
+
+// cmpWide compares two zero-extended word operands.
+func cmpWide(srcA, srcB func(int32) uint64, aw, bw int32) int {
+	n := aw
+	if bw > n {
+		n = bw
+	}
+	for i := n - 1; i >= 0; i-- {
+		x, y := srcA(i), srcB(i)
+		if x < y {
+			return -1
+		}
+		if x > y {
+			return 1
+		}
+	}
+	return 0
+}
+
+// shlWide writes src << sh into dst (dst fully overwritten).
+func shlWide(dst []uint64, src func(int32) uint64, sh int32) {
+	wordShift, bitShift := sh/64, uint(sh%64)
+	for i := int32(len(dst)) - 1; i >= 0; i-- {
+		j := i - wordShift
+		var v uint64
+		if j >= 0 {
+			v = src(j) << bitShift
+			if bitShift != 0 && j > 0 {
+				v |= src(j-1) >> (64 - bitShift)
+			}
+		}
+		dst[i] = v
+	}
+}
+
+// shrWideInto writes src >> sh into dst.
+func shrWideInto(dst []uint64, src func(int32) uint64, aw, sh int32) {
+	wordShift, bitShift := sh/64, uint(sh%64)
+	for i := int32(0); i < int32(len(dst)); i++ {
+		j := i + wordShift
+		var v uint64
+		if j < aw {
+			v = src(j) >> bitShift
+			if bitShift != 0 && j+1 < aw {
+				v |= src(j+1) << (64 - bitShift)
+			}
+		}
+		dst[i] = v
+	}
+}
+
+// bitAt returns bit i of the operand at word offset off.
+func bitAt(st []uint64, off, i int32) uint64 {
+	if i < 0 {
+		return 0
+	}
+	return (st[off+i/64] >> uint(i%64)) & 1
+}
+
+// setBitsFrom sets bits [from, to) in dst.
+func setBitsFrom(dst []uint64, from, to int) {
+	for i := from; i < to; i++ {
+		dst[i/64] |= uint64(1) << uint(i%64)
+	}
+}

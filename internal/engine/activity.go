@@ -1,0 +1,332 @@
+package engine
+
+import (
+	"math/bits"
+
+	"gsim/internal/bitvec"
+	"gsim/internal/emit"
+	"gsim/internal/ir"
+	"gsim/internal/partition"
+)
+
+// ActivationMode selects how successor activation is performed after a node's
+// value changes (§III-B "Activation overhead optimization").
+type ActivationMode uint8
+
+// Activation strategies.
+const (
+	// ActBranch tests the change flag once and loops over successors only
+	// when set (paper Listing 2 lines 4-5).
+	ActBranch ActivationMode = iota
+	// ActBranchless ORs a change mask into every successor's active word,
+	// trading extra ALU work for the removal of a data-dependent branch —
+	// ESSENT's strategy.
+	ActBranchless
+	// ActCostModel picks per node: branchless when the successor count is at
+	// most BranchlessMax, branching otherwise — GSIM's strategy.
+	ActCostModel
+)
+
+// ActivityConfig selects the essential-signal engine's optional techniques.
+type ActivityConfig struct {
+	// MultiBitCheck enables the fast path that examines 64 active bits with
+	// one word test (paper Listing 4).
+	MultiBitCheck bool
+	// Activation selects the successor-activation strategy.
+	Activation ActivationMode
+	// BranchlessMax is the cost-model threshold for ActCostModel: nodes with
+	// more successor supernodes than this use the branching strategy.
+	BranchlessMax int
+}
+
+// DefaultBranchlessMax is the activation cost-model threshold used when the
+// config leaves it zero.
+const DefaultBranchlessMax = 6
+
+// Activity is the essential-signal engine (paper Listing 2/3/4): every
+// supernode has an active bit; only active supernodes are evaluated; value
+// changes activate reader supernodes.
+type Activity struct {
+	base
+	part *partition.Result
+	cfg  ActivityConfig
+
+	active   []uint64 // one bit per supernode
+	supStart []int32  // members[supStart[s]:supStart[s+1]] are supernode s's nodes
+	members  []int32
+
+	// Per-node tables (indexed by node ID).
+	kind      []ir.NodeKind
+	succStart []int32
+	succSups  []int32 // flattened reader-supernode lists
+	useBranch []bool
+
+	scratch     []uint64
+	pending     []int32
+	pendingFlag []bool
+	memReadSups [][]int32
+	memScratch  []int32
+
+	// resetRegSups maps a reset signal's node ID to the supernodes holding
+	// its registers. Poking a reset signal re-arms those supernodes so the
+	// registers recompute their next values the cycle reset deasserts —
+	// after reset extraction the signal no longer appears in their
+	// expressions, so normal dataflow activation cannot reach them.
+	resetRegSups map[int32][]int32
+}
+
+// NewActivity builds the essential-signal engine over a compiled program and
+// a supernode partition of the same graph.
+func NewActivity(p *emit.Program, part *partition.Result, cfg ActivityConfig) *Activity {
+	if cfg.BranchlessMax == 0 {
+		cfg.BranchlessMax = DefaultBranchlessMax
+	}
+	a := &Activity{base: newBase(p), part: part, cfg: cfg}
+	g := p.Graph
+	n := len(g.Nodes)
+
+	// Flatten supernode membership.
+	a.supStart = make([]int32, part.Count()+1)
+	for s, m := range part.Members {
+		a.supStart[s+1] = a.supStart[s] + int32(len(m))
+		a.members = append(a.members, m...)
+	}
+	a.active = make([]uint64, (part.Count()+63)/64)
+
+	// Node kind table and max value width for the old-value scratch buffer.
+	a.kind = make([]ir.NodeKind, n)
+	maxWords := int32(1)
+	for _, node := range g.Nodes {
+		a.kind[node.ID] = node.Kind
+		if w := p.WordsOf[node.ID]; w > maxWords {
+			maxWords = w
+		}
+	}
+	a.scratch = make([]uint64, maxWords)
+	a.pendingFlag = make([]bool, n)
+
+	// Reader-supernode lists. For combinational nodes the node's own
+	// supernode is excluded (members of one supernode are evaluated together
+	// in dependence order, so intra-supernode edges need no activation);
+	// registers and inputs keep every reader because their activations land
+	// at commit/poke time for the *next* sweep.
+	adj := g.BuildAdjacency()
+	a.succStart = make([]int32, n+1)
+	for _, node := range g.Nodes {
+		id := node.ID
+		own := part.SupOf[id]
+		seen := map[int32]bool{}
+		for _, r := range adj.Succs[id] {
+			s := part.SupOf[r]
+			if s < 0 || seen[s] {
+				continue
+			}
+			combLike := node.Kind == ir.KindComb || node.Kind == ir.KindMemRead
+			if combLike && s == own {
+				continue
+			}
+			seen[s] = true
+			a.succSups = append(a.succSups, s)
+		}
+		a.succStart[id+1] = int32(len(a.succSups))
+	}
+
+	// Per-node activation strategy.
+	a.useBranch = make([]bool, n)
+	for _, node := range g.Nodes {
+		id := node.ID
+		nsuccs := int(a.succStart[id+1] - a.succStart[id])
+		switch cfg.Activation {
+		case ActBranch:
+			a.useBranch[id] = true
+		case ActBranchless:
+			a.useBranch[id] = false
+		case ActCostModel:
+			a.useBranch[id] = nsuccs > cfg.BranchlessMax
+		}
+	}
+
+	// Memory read-port supernodes, activated when a write changes contents.
+	a.memReadSups = make([][]int32, len(g.Mems))
+	for mi, mem := range g.Mems {
+		seen := map[int32]bool{}
+		for _, rp := range mem.Reads {
+			s := part.SupOf[rp.ID]
+			if s >= 0 && !seen[s] {
+				seen[s] = true
+				a.memReadSups[mi] = append(a.memReadSups[mi], s)
+			}
+		}
+	}
+
+	if len(a.resets) > 0 {
+		a.resetRegSups = map[int32][]int32{}
+		for _, rg := range a.resets {
+			seen := map[int32]bool{}
+			for _, reg := range rg.regs {
+				s := part.SupOf[reg]
+				if s >= 0 && !seen[s] {
+					seen[s] = true
+					a.resetRegSups[rg.sig] = append(a.resetRegSups[rg.sig], s)
+				}
+			}
+		}
+	}
+
+	a.activateAll()
+	return a
+}
+
+func (a *Activity) activateAll() {
+	for i := range a.active {
+		a.active[i] = ^uint64(0)
+	}
+	if n := uint(a.part.Count()) % 64; n != 0 && len(a.active) > 0 {
+		a.active[len(a.active)-1] = (uint64(1) << n) - 1
+	}
+}
+
+// Reset restores initial state and re-arms full evaluation.
+func (a *Activity) Reset() {
+	a.m.Reset()
+	a.activateAll()
+	for _, id := range a.pending {
+		a.pendingFlag[id] = false
+	}
+	a.pending = a.pending[:0]
+}
+
+// Poke sets an input and activates its readers when the value changes.
+func (a *Activity) Poke(nodeID int, v bitvec.BV) {
+	if a.m.Poke(nodeID, v) {
+		a.activateReaders(int32(nodeID))
+		for _, s := range a.resetRegSups[int32(nodeID)] {
+			a.active[s>>6] |= uint64(1) << uint(s&63)
+		}
+	}
+}
+
+func (a *Activity) activateReaders(id int32) {
+	for _, s := range a.succSups[a.succStart[id]:a.succStart[id+1]] {
+		a.active[s>>6] |= uint64(1) << uint(s&63)
+	}
+	a.stats.Activations += uint64(a.succStart[id+1] - a.succStart[id])
+}
+
+// Step simulates one cycle: sweep active supernodes in topological order,
+// then commit registers and memory writes, then run the reset slow path.
+func (a *Activity) Step() {
+	a.stats.Cycles++
+	if a.cfg.MultiBitCheck {
+		for wi := range a.active {
+			a.stats.Examinations++
+			for a.active[wi] != 0 {
+				b := bits.TrailingZeros64(a.active[wi])
+				a.active[wi] &^= uint64(1) << uint(b)
+				a.stats.Examinations++
+				a.evalSupernode(int32(wi<<6 + b))
+			}
+		}
+	} else {
+		nSups := int32(a.part.Count())
+		for s := int32(0); s < nSups; s++ {
+			a.stats.Examinations++
+			w, b := s>>6, uint(s&63)
+			if a.active[w]&(1<<b) != 0 {
+				a.active[w] &^= 1 << b
+				a.evalSupernode(s)
+			}
+		}
+	}
+	a.commit()
+}
+
+func (a *Activity) evalSupernode(s int32) {
+	p := a.m.Prog
+	st := a.m.State
+	for k := a.supStart[s]; k < a.supStart[s+1]; k++ {
+		id := a.members[k]
+		code := p.Code[id]
+		a.stats.NodeEvals++
+		a.stats.InstrsExecuted += uint64(code.Len())
+		switch a.kind[id] {
+		case ir.KindReg:
+			a.m.Exec(code.Start, code.End)
+			if !a.pendingFlag[id] && !wordsEqual(st, p.Off[id], p.NextOff[id], p.WordsOf[id]) {
+				a.pendingFlag[id] = true
+				a.pending = append(a.pending, id)
+			}
+		case ir.KindMemWrite:
+			a.m.Exec(code.Start, code.End)
+		default: // comb, memread
+			off, w := p.Off[id], p.WordsOf[id]
+			old := a.scratch[:w]
+			copy(old, st[off:off+w])
+			a.m.Exec(code.Start, code.End)
+			var diff uint64
+			for i := int32(0); i < w; i++ {
+				diff |= old[i] ^ st[off+i]
+			}
+			a.activate(id, diff)
+		}
+	}
+}
+
+// activate applies the node's activation strategy given the XOR difference
+// of its old and new value.
+func (a *Activity) activate(id int32, diff uint64) {
+	start, end := a.succStart[id], a.succStart[id+1]
+	if start == end {
+		return
+	}
+	if a.useBranch[id] {
+		if diff != 0 {
+			for _, s := range a.succSups[start:end] {
+				a.active[s>>6] |= uint64(1) << uint(s&63)
+			}
+			a.stats.Activations += uint64(end - start)
+		}
+		return
+	}
+	// Branchless: mask is all-ones iff diff != 0.
+	m := uint64(0) - ((diff | -diff) >> 63)
+	for _, s := range a.succSups[start:end] {
+		a.active[s>>6] |= (uint64(1) << uint(s&63)) & m
+	}
+	a.stats.Activations += uint64(end - start)
+}
+
+func (a *Activity) commit() {
+	p := a.m.Prog
+	st := a.m.State
+	// Registers marked pending during evaluation have next != cur.
+	for _, id := range a.pending {
+		a.pendingFlag[id] = false
+		cur, next, w := p.Off[id], p.NextOff[id], p.WordsOf[id]
+		copy(st[cur:cur+w], st[next:next+w])
+		a.stats.RegCommits++
+		a.activateReaders(id)
+	}
+	a.pending = a.pending[:0]
+
+	// Memory writes; content changes re-arm the read ports.
+	a.memScratch = a.commitWrites(a.memScratch[:0])
+	for _, memID := range a.memScratch {
+		for _, s := range a.memReadSups[memID] {
+			a.active[s>>6] |= uint64(1) << uint(s&63)
+		}
+	}
+
+	// Reset slow path: one check per reset *signal* instead of one per
+	// register with a reset port (paper Listing 6).
+	a.applyResets(a.activateReaders)
+}
+
+func wordsEqual(st []uint64, a, b, w int32) bool {
+	for i := int32(0); i < w; i++ {
+		if st[a+i] != st[b+i] {
+			return false
+		}
+	}
+	return true
+}

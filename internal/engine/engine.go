@@ -1,0 +1,201 @@
+// Package engine implements the RTL simulation engines the paper compares:
+//
+//   - FullCycle: static topological-order evaluation of every node every
+//     cycle — the Verilator model (paper Listing 1). On an optimized graph it
+//     also stands in for Arcilator (expression optimization, no activity
+//     tracking).
+//   - Parallel: the multi-threaded full-cycle variant (Verilator -NT),
+//     levelized with barriers between levels.
+//   - Activity: the essential-signal engine (paper Listing 2/3/4) with
+//     per-supernode active bits. Configured with MFFC partitions and
+//     always-branchless activation it models ESSENT; with the enhanced
+//     partitioner, multi-bit active-word checking, the activation cost model,
+//     and the reset slow path it is GSIM.
+//
+// All engines run the same compiled emit.Program and must produce identical
+// state trajectories; the test suite enforces this on randomized circuits.
+package engine
+
+import (
+	"gsim/internal/bitvec"
+	"gsim/internal/emit"
+	"gsim/internal/ir"
+)
+
+// Sim is a cycle-accurate simulator instance.
+type Sim interface {
+	// Reset restores the initial state (register init values, memory images)
+	// and re-arms full evaluation on the next Step.
+	Reset()
+	// Step simulates one clock cycle.
+	Step()
+	// Peek returns a node's current value.
+	Peek(nodeID int) bitvec.BV
+	// Poke sets an input node's value, taking effect on the next Step.
+	Poke(nodeID int, v bitvec.BV)
+	// PeekMem returns one memory element.
+	PeekMem(memID, addr int) bitvec.BV
+	// PokeMem overwrites one memory element (loader use; does not activate).
+	PokeMem(memID, addr int, v bitvec.BV)
+	// Stats returns the engine's running counters.
+	Stats() *Stats
+	// Machine exposes the underlying state for debugging and verification.
+	Machine() *emit.Machine
+}
+
+// Stats collects the quantities the paper's model and Table III report.
+type Stats struct {
+	Cycles         uint64
+	NodeEvals      uint64 // "active node": node evaluations performed
+	Activations    uint64 // "activation times": successor-activation operations
+	Examinations   uint64 // Aexam: active-bit/word checks
+	InstrsExecuted uint64 // compiled instructions retired
+	RegCommits     uint64 // register next->cur copies that changed the value
+	EvaluableNodes uint64 // nodes that carry evaluation work (denominator for af)
+	ResetFastSkips uint64 // reset checks avoided by the slow-path optimization
+}
+
+// ActivityFactor returns the average fraction of evaluable nodes evaluated
+// per cycle (the paper's af).
+func (s *Stats) ActivityFactor() float64 {
+	if s.Cycles == 0 || s.EvaluableNodes == 0 {
+		return 0
+	}
+	return float64(s.NodeEvals) / float64(s.Cycles) / float64(s.EvaluableNodes)
+}
+
+// base carries the plumbing shared by every engine.
+type base struct {
+	g      *ir.Graph
+	m      *emit.Machine
+	regs   []int32 // register node IDs
+	writes []int32 // memory write-port node IDs
+	coded  []int32 // all node IDs with evaluation work, in ID (== topo) order
+	resets []resetGroup
+	stats  Stats
+}
+
+// resetGroup is the set of registers sharing one extracted reset signal.
+// Registers gain a ResetSig after the reset-extraction pass; engines must
+// then apply Init at the end of any cycle in which the signal is high (paper
+// Listing 6). This is graph semantics, not an engine option, so every engine
+// honors it.
+type resetGroup struct {
+	sig  int32
+	regs []int32
+}
+
+func newBase(p *emit.Program) base {
+	b := base{g: p.Graph, m: emit.NewMachine(p)}
+	bySig := map[int32]int{}
+	for _, n := range p.Graph.Nodes {
+		if n.HasCode() {
+			b.coded = append(b.coded, int32(n.ID))
+		}
+		switch n.Kind {
+		case ir.KindReg:
+			b.regs = append(b.regs, int32(n.ID))
+			if n.ResetSig != nil {
+				sig := int32(n.ResetSig.ID)
+				gi, ok := bySig[sig]
+				if !ok {
+					gi = len(b.resets)
+					bySig[sig] = gi
+					b.resets = append(b.resets, resetGroup{sig: sig})
+				}
+				b.resets[gi].regs = append(b.resets[gi].regs, int32(n.ID))
+			}
+		case ir.KindMemWrite:
+			b.writes = append(b.writes, int32(n.ID))
+		}
+	}
+	b.stats.EvaluableNodes = uint64(len(b.coded))
+	return b
+}
+
+// applyResets runs the reset slow path: one check per reset signal; when a
+// signal is high, every register in its group is forced to its init value.
+// onChange, if non-nil, is called for each register whose value changed.
+func (b *base) applyResets(onChange func(id int32)) {
+	p := b.m.Prog
+	st := b.m.State
+	for _, rg := range b.resets {
+		if st[p.Off[rg.sig]] == 0 {
+			b.stats.ResetFastSkips += uint64(len(rg.regs))
+			continue
+		}
+		for _, id := range rg.regs {
+			cur, next, w := p.Off[id], p.NextOff[id], p.WordsOf[id]
+			var diff uint64
+			for i := int32(0); i < w; i++ {
+				iv := p.Init[cur+i]
+				diff |= st[cur+i] ^ iv
+				st[cur+i] = iv
+				st[next+i] = iv
+			}
+			if diff != 0 {
+				b.stats.RegCommits++
+				if onChange != nil {
+					onChange(id)
+				}
+			}
+		}
+	}
+}
+
+func (b *base) Peek(nodeID int) bitvec.BV            { return b.m.Peek(nodeID) }
+func (b *base) PeekMem(memID, addr int) bitvec.BV    { return b.m.PeekMem(memID, addr) }
+func (b *base) PokeMem(memID, addr int, v bitvec.BV) { b.m.PokeMem(memID, addr, v) }
+func (b *base) Stats() *Stats                        { return &b.stats }
+func (b *base) Machine() *emit.Machine               { return b.m }
+
+// commitRegs copies each register's next value over its current value.
+// Returns nothing; used by full-evaluation engines that re-evaluate
+// everything anyway.
+func (b *base) commitRegs() {
+	p := b.m.Prog
+	st := b.m.State
+	for _, id := range b.regs {
+		cur, next, w := p.Off[id], p.NextOff[id], p.WordsOf[id]
+		copy(st[cur:cur+w], st[next:next+w])
+	}
+}
+
+// commitWrites applies enabled memory write ports. It returns the IDs of
+// memories whose contents changed (into the provided scratch slice).
+func (b *base) commitWrites(changed []int32) []int32 {
+	p := b.m.Prog
+	st := b.m.State
+	for _, id := range b.writes {
+		if st[p.WEnOff[id]] == 0 {
+			continue
+		}
+		n := b.g.Nodes[id]
+		memID := n.Mem.ID
+		spec := &p.Mems[memID]
+		addr := st[p.WAddrOff[id]]
+		if addr >= uint64(spec.Depth) {
+			continue
+		}
+		dataOff := p.WDataOff[id]
+		base := int32(addr) * spec.WordsPer
+		mem := b.m.Mems[memID]
+		diff := uint64(0)
+		for i := int32(0); i < spec.WordsPer; i++ {
+			v := st[dataOff+i]
+			diff |= mem[base+i] ^ v
+			mem[base+i] = v
+		}
+		if diff != 0 {
+			changed = append(changed, int32(memID))
+		}
+	}
+	return changed
+}
+
+// StepN runs n cycles on any Sim.
+func StepN(s Sim, n int) {
+	for i := 0; i < n; i++ {
+		s.Step()
+	}
+}

@@ -1,0 +1,134 @@
+package engine
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"gsim/internal/bitvec"
+	"gsim/internal/emit"
+)
+
+// Parallel is the multi-threaded full-cycle engine: the stand-in for
+// Verilator's -threads mode. Nodes are levelized (all nodes in one level are
+// mutually independent given earlier levels); each level is split across
+// persistent workers separated by barriers. Like the real thing, the
+// fixed per-level synchronization cost means small designs slow down while
+// large designs speed up — the shape Fig. 6 reports.
+type Parallel struct {
+	base
+	threads    int
+	chunks     [][][]int32 // level -> worker -> node IDs
+	memScratch []int32
+
+	workers  sync.WaitGroup
+	startCh  []chan struct{}
+	doneCh   chan struct{}
+	level    atomic.Int32
+	pending  atomic.Int32
+	shutdown atomic.Bool
+}
+
+// NewParallel builds a parallel full-cycle engine with the given worker
+// count. byLevel is the graph's levelization (ir.Graph.Levelize).
+func NewParallel(p *emit.Program, byLevel [][]int32, threads int) *Parallel {
+	if threads < 1 {
+		threads = 1
+	}
+	e := &Parallel{base: newBase(p), threads: threads, doneCh: make(chan struct{})}
+	// Split each level into per-worker chunks, skipping nodes with no code
+	// and balancing by instruction count.
+	for _, level := range byLevel {
+		var ids []int32
+		total := int64(0)
+		for _, id := range level {
+			if r := p.Code[id]; r.Len() > 0 {
+				ids = append(ids, id)
+				total += int64(r.Len())
+			}
+		}
+		chunk := make([][]int32, threads)
+		if len(ids) > 0 {
+			per := total/int64(threads) + 1
+			w, acc := 0, int64(0)
+			for _, id := range ids {
+				chunk[w] = append(chunk[w], id)
+				acc += int64(p.Code[id].Len())
+				if acc >= per && w < threads-1 {
+					w++
+					acc = 0
+				}
+			}
+		}
+		e.chunks = append(e.chunks, chunk)
+	}
+	e.startCh = make([]chan struct{}, threads)
+	for w := 0; w < threads; w++ {
+		e.startCh[w] = make(chan struct{}, 1)
+		go e.worker(w)
+	}
+	return e
+}
+
+// worker processes its chunk of every level, synchronizing with peers via an
+// atomic countdown per level; the last worker through a level advances it.
+func (e *Parallel) worker(w int) {
+	for range e.startCh[w] {
+		if e.shutdown.Load() {
+			return
+		}
+		for lv := 0; lv < len(e.chunks); lv++ {
+			// Wait for the level to open. Yield while spinning: worker
+			// counts routinely exceed core counts (the experiments sweep
+			// thread counts the way the paper does), and a pure spin then
+			// starves the workers that still hold work.
+			for e.level.Load() < int32(lv) {
+				runtime.Gosched()
+			}
+			for _, id := range e.chunks[lv][w] {
+				e.m.ExecRange(e.m.Prog.Code[id])
+			}
+			if e.pending.Add(-1) == 0 {
+				// Last worker out resets the countdown and opens the next level.
+				e.pending.Store(int32(e.threads))
+				e.level.Add(1)
+			}
+		}
+		e.doneCh <- struct{}{}
+	}
+}
+
+// Reset restores initial state.
+func (e *Parallel) Reset() { e.m.Reset() }
+
+// Step simulates one cycle across all workers.
+func (e *Parallel) Step() {
+	e.stats.Cycles++
+	e.level.Store(0)
+	e.pending.Store(int32(e.threads))
+	for w := 0; w < e.threads; w++ {
+		e.startCh[w] <- struct{}{}
+	}
+	for w := 0; w < e.threads; w++ {
+		<-e.doneCh
+	}
+	e.stats.NodeEvals += uint64(len(e.coded))
+	e.stats.InstrsExecuted += uint64(len(e.m.Prog.Instrs))
+	e.commitRegs()
+	e.memScratch = e.commitWrites(e.memScratch[:0])
+	e.applyResets(nil)
+}
+
+// Close shuts down the worker goroutines.
+func (e *Parallel) Close() {
+	e.shutdown.Store(true)
+	for w := 0; w < e.threads; w++ {
+		select {
+		case e.startCh[w] <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// Poke sets an input value.
+func (e *Parallel) Poke(nodeID int, v bitvec.BV) { e.m.Poke(nodeID, v) }

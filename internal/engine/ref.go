@@ -1,0 +1,163 @@
+package engine
+
+import (
+	"gsim/internal/bitvec"
+	"gsim/internal/emit"
+	"gsim/internal/ir"
+)
+
+// Reference is the golden-model simulator: it interprets the graph directly
+// through the bitvec reference semantics, with no compiled program, no
+// activity tracking, and no sharing with the optimized paths. It is slow and
+// exists so every other engine has an independent oracle.
+type Reference struct {
+	g     *ir.Graph
+	order []int32
+	vals  []bitvec.BV // current value per node
+	next  []bitvec.BV // next value per register
+	mems  [][]bitvec.BV
+	stats Stats
+}
+
+// NewReference builds the golden model for a compacted graph.
+func NewReference(g *ir.Graph) (*Reference, error) {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	r := &Reference{g: g, order: order}
+	r.vals = make([]bitvec.BV, len(g.Nodes))
+	r.next = make([]bitvec.BV, len(g.Nodes))
+	r.mems = make([][]bitvec.BV, len(g.Mems))
+	r.Reset()
+	for _, n := range g.Nodes {
+		if n.HasCode() {
+			r.stats.EvaluableNodes++
+		}
+	}
+	return r, nil
+}
+
+// Reset restores initial values.
+func (r *Reference) Reset() {
+	for _, n := range r.g.Nodes {
+		if n == nil {
+			continue
+		}
+		v := bitvec.New(n.Width)
+		if n.Kind == ir.KindReg && n.Init.Width > 0 {
+			v = bitvec.Pad(n.Init, n.Width)
+		}
+		r.vals[n.ID] = v
+		r.next[n.ID] = v
+	}
+	for mi, m := range r.g.Mems {
+		r.mems[mi] = make([]bitvec.BV, m.Depth)
+		for a := 0; a < m.Depth; a++ {
+			r.mems[mi][a] = bitvec.New(m.Width)
+			if m.Init != nil {
+				if v, ok := m.Init[a]; ok {
+					r.mems[mi][a] = bitvec.Pad(v, m.Width)
+				}
+			}
+		}
+	}
+}
+
+func (r *Reference) read(n *ir.Node) bitvec.BV { return r.vals[n.ID] }
+
+// Step simulates one cycle.
+func (r *Reference) Step() {
+	r.stats.Cycles++
+	type write struct {
+		mem  int
+		addr uint64
+		data bitvec.BV
+		en   bool
+	}
+	var writes []write
+	for _, id := range r.order {
+		n := r.g.Nodes[id]
+		switch n.Kind {
+		case ir.KindInput:
+			// poked externally
+		case ir.KindComb:
+			r.vals[id] = ir.EvalExpr(n.Expr, r.read)
+			r.stats.NodeEvals++
+		case ir.KindReg:
+			r.next[id] = ir.EvalExpr(n.Expr, r.read)
+			r.stats.NodeEvals++
+		case ir.KindMemRead:
+			addr := ir.EvalExpr(n.Expr, r.read)
+			a := addr.Uint64()
+			if len(addr.W) > 1 {
+				for _, w := range addr.W[1:] {
+					if w != 0 {
+						a = uint64(n.Mem.Depth)
+					}
+				}
+			}
+			if a < uint64(n.Mem.Depth) {
+				r.vals[id] = r.mems[n.Mem.ID][a].Clone()
+			} else {
+				r.vals[id] = bitvec.New(n.Width)
+			}
+			r.stats.NodeEvals++
+		case ir.KindMemWrite:
+			w := write{
+				mem:  n.Mem.ID,
+				addr: ir.EvalExpr(n.WAddr, r.read).Uint64(),
+				data: ir.EvalExpr(n.WData, r.read),
+				en:   !ir.EvalExpr(n.WEn, r.read).IsZero(),
+			}
+			writes = append(writes, w)
+			r.stats.NodeEvals++
+		}
+	}
+	// Commit registers.
+	for _, id := range r.order {
+		n := r.g.Nodes[id]
+		if n.Kind == ir.KindReg {
+			r.vals[id] = r.next[id]
+		}
+	}
+	// Commit memory writes.
+	for _, w := range writes {
+		if w.en && w.addr < uint64(len(r.mems[w.mem])) {
+			r.mems[w.mem][w.addr] = bitvec.Pad(w.data, r.g.Mems[w.mem].Width)
+		}
+	}
+	// Extracted resets (present only if the reset pass ran on this graph).
+	for _, n := range r.g.Nodes {
+		if n.Kind == ir.KindReg && n.ResetSig != nil && !r.vals[n.ResetSig.ID].IsZero() {
+			init := bitvec.Pad(n.Init, n.Width)
+			r.vals[n.ID] = init
+			r.next[n.ID] = init
+		}
+	}
+}
+
+// Peek returns a node's current value.
+func (r *Reference) Peek(nodeID int) bitvec.BV { return r.vals[nodeID] }
+
+// Poke sets an input value.
+func (r *Reference) Poke(nodeID int, v bitvec.BV) {
+	r.vals[nodeID] = bitvec.Pad(v, r.g.Nodes[nodeID].Width)
+}
+
+// PeekMem returns one memory element.
+func (r *Reference) PeekMem(memID, addr int) bitvec.BV { return r.mems[memID][addr] }
+
+// PokeMem overwrites one memory element.
+func (r *Reference) PokeMem(memID, addr int, v bitvec.BV) {
+	r.mems[memID][addr] = bitvec.Pad(v, r.g.Mems[memID].Width)
+}
+
+// Stats returns counters.
+func (r *Reference) Stats() *Stats { return &r.stats }
+
+// Machine returns nil: the reference has no compiled program.
+func (r *Reference) Machine() *emit.Machine { return nil }
+
+// Graph returns the graph this reference simulates.
+func (r *Reference) Graph() *ir.Graph { return r.g }

@@ -1,0 +1,57 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"gsim/internal/bitvec"
+)
+
+func TestVCDDump(t *testing.T) {
+	p, g, en, _ := buildCounter(t)
+	sim := NewFullCycle(p)
+	var sb strings.Builder
+	vcd, err := NewVCD(&sb, sim, g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Poke(en.ID, bitvec.FromUint64(1, 1))
+	for i := 0; i < 5; i++ {
+		sim.Step()
+		vcd.Sample()
+	}
+	if err := vcd.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, frag := range []string{
+		"$timescale", "$var wire 8", "$var wire 1", "$enddefinitions",
+		"#0", "#4", "b101 ", // counter value 5 at the final sample
+	} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("VCD missing %q:\n%s", frag, out)
+		}
+	}
+	// Unchanged signals must not be re-emitted every cycle: `en` appears in
+	// the initial dump only.
+	enID := ""
+	for i, n := range vcd.nodes {
+		if n.Name == "en" {
+			enID = vcd.ids[i]
+		}
+	}
+	if n := strings.Count(out, "1"+enID+"\n"); n != 1 {
+		t.Fatalf("en emitted %d times, want 1 (change-only dumping)", n)
+	}
+}
+
+func TestVCDIDsUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 5000; i++ {
+		id := vcdID(i)
+		if seen[id] {
+			t.Fatalf("duplicate VCD id %q at %d", id, i)
+		}
+		seen[id] = true
+	}
+}

@@ -1,0 +1,360 @@
+package firrtl
+
+import (
+	"fmt"
+	"math/bits"
+
+	"gsim/internal/bitvec"
+	"gsim/internal/ir"
+)
+
+// expr elaborates an AST expression to an IR expression with signedness.
+// Signed values are stored as two's complement at their declared widths;
+// signed operators sign-extend operands explicitly, so the unsigned IR
+// semantics compute bit-identical results. Signed division/remainder and
+// signed dynamic right shift are outside the supported subset.
+func (e *elab) expr(m *Module, x Expr, vars env) (value, error) {
+	fail := func(format string, args ...interface{}) (value, error) {
+		return value{}, fmt.Errorf("module %s line %d: %s", m.Name, x.exprLine(), fmt.Sprintf(format, args...))
+	}
+	switch t := x.(type) {
+	case *RefExpr:
+		s, ok := vars[t.Name]
+		if !ok {
+			return fail("reference to undeclared signal %q", t.Name)
+		}
+		return value{e: ir.Ref(s.node), signed: s.signed}, nil
+
+	case *LitExpr:
+		v, err := litValue(t)
+		if err != nil {
+			return fail("%v", err)
+		}
+		return value{e: ir.Const(v), signed: t.Type.Signed()}, nil
+
+	case *PrimExpr:
+		return e.prim(m, t, vars)
+	}
+	return fail("unsupported expression %T", x)
+}
+
+// litValue evaluates a literal to a bit vector, inferring minimal width
+// when none is given.
+func litValue(t *LitExpr) (bitvec.BV, error) {
+	// Parse at a generous width first to find the magnitude.
+	raw, err := bitvec.Parse(4096, t.Val)
+	if err != nil {
+		return bitvec.BV{}, err
+	}
+	need := 1
+	for i := len(raw.W) - 1; i >= 0; i-- {
+		if raw.W[i] != 0 {
+			need = i*64 + bits.Len64(raw.W[i])
+			break
+		}
+	}
+	width := t.Type.Width
+	if width <= 0 {
+		width = need
+		if t.Type.Signed() {
+			width = need + 1 // room for the sign bit
+		}
+	}
+	v := bitvec.Pad(raw, width)
+	if t.Neg {
+		v = bitvec.Neg(v, width)
+	}
+	return v, nil
+}
+
+func (e *elab) prim(m *Module, t *PrimExpr, vars env) (value, error) {
+	fail := func(format string, args ...interface{}) (value, error) {
+		return value{}, fmt.Errorf("module %s line %d: %s(...): %s", m.Name, t.Line, t.Op, fmt.Sprintf(format, args...))
+	}
+	args := make([]value, len(t.Args))
+	for i, a := range t.Args {
+		v, err := e.expr(m, a, vars)
+		if err != nil {
+			return value{}, err
+		}
+		args[i] = v
+	}
+	need := func(nArgs, nInts int) error {
+		if len(args) != nArgs || len(t.IntArgs) != nInts {
+			return fmt.Errorf("module %s line %d: %s: want %d args and %d int params, got %d and %d",
+				m.Name, t.Line, t.Op, nArgs, nInts, len(args), len(t.IntArgs))
+		}
+		return nil
+	}
+	// sextBoth sign- or zero-extends both operands to a common width w.
+	extBoth := func(w int) (x, y *ir.Expr) {
+		return fitSigned(args[0].e, w, args[0].signed), fitSigned(args[1].e, w, args[1].signed)
+	}
+
+	switch t.Op {
+	case "add", "sub", "mul":
+		if err := need(2, 0); err != nil {
+			return value{}, err
+		}
+		sgn := args[0].signed || args[1].signed
+		wa, wb := args[0].e.Width, args[1].e.Width
+		var w int
+		op := ir.OpAdd
+		switch t.Op {
+		case "add":
+			w = max(wa, wb) + 1
+		case "sub":
+			w, op = max(wa, wb)+1, ir.OpSub
+		case "mul":
+			w, op = wa+wb, ir.OpMul
+		}
+		if sgn {
+			// Sign-extend to the result width; modular arithmetic then
+			// produces the correct two's complement result.
+			x, y := extBoth(w)
+			return value{e: fitSigned(ir.Binary(op, x, y), w, false), signed: true}, nil
+		}
+		return value{e: ir.Binary(op, args[0].e, args[1].e), signed: false}, nil
+
+	case "div", "rem":
+		if err := need(2, 0); err != nil {
+			return value{}, err
+		}
+		if args[0].signed || args[1].signed {
+			return fail("signed division is outside the supported subset")
+		}
+		op := ir.OpDiv
+		if t.Op == "rem" {
+			op = ir.OpRem
+		}
+		return value{e: ir.Binary(op, args[0].e, args[1].e)}, nil
+
+	case "lt", "leq", "gt", "geq", "eq", "neq":
+		if err := need(2, 0); err != nil {
+			return value{}, err
+		}
+		sgn := args[0].signed || args[1].signed
+		var op ir.Op
+		switch t.Op {
+		case "lt":
+			op = ir.OpLt
+			if sgn {
+				op = ir.OpSLt
+			}
+		case "leq":
+			op = ir.OpLeq
+			if sgn {
+				op = ir.OpSLeq
+			}
+		case "gt":
+			op = ir.OpGt
+			if sgn {
+				op = ir.OpSGt
+			}
+		case "geq":
+			op = ir.OpGeq
+			if sgn {
+				op = ir.OpSGeq
+			}
+		case "eq", "neq":
+			if t.Op == "eq" {
+				op = ir.OpEq
+			} else {
+				op = ir.OpNeq
+			}
+			if sgn {
+				// Equality of sign-extended operands.
+				w := max(args[0].e.Width, args[1].e.Width)
+				x, y := extBoth(w)
+				return value{e: ir.Binary(op, x, y)}, nil
+			}
+		}
+		return value{e: ir.Binary(op, args[0].e, args[1].e)}, nil
+
+	case "pad":
+		if err := need(1, 1); err != nil {
+			return value{}, err
+		}
+		w := t.IntArgs[0]
+		if w < args[0].e.Width {
+			w = args[0].e.Width
+		}
+		return value{e: fitSigned(args[0].e, w, args[0].signed), signed: args[0].signed}, nil
+
+	case "shl":
+		if err := need(1, 1); err != nil {
+			return value{}, err
+		}
+		return value{e: ir.Unary(ir.OpShl, args[0].e, t.IntArgs[0]), signed: args[0].signed}, nil
+
+	case "shr":
+		if err := need(1, 1); err != nil {
+			return value{}, err
+		}
+		n, w := t.IntArgs[0], args[0].e.Width
+		if args[0].signed {
+			// Arithmetic shift: keep the top bits (at least the sign bit).
+			lo := n
+			if lo > w-1 {
+				lo = w - 1
+			}
+			return value{e: ir.BitsOf(args[0].e, w-1, lo), signed: true}, nil
+		}
+		return value{e: ir.Unary(ir.OpShr, args[0].e, n)}, nil
+
+	case "dshl":
+		if err := need(2, 0); err != nil {
+			return value{}, err
+		}
+		if args[1].e.Width > 20 {
+			return fail("dynamic shift amount wider than 20 bits")
+		}
+		return value{e: ir.Binary(ir.OpDshl, args[0].e, args[1].e), signed: args[0].signed}, nil
+
+	case "dshr":
+		if err := need(2, 0); err != nil {
+			return value{}, err
+		}
+		if args[0].signed {
+			return fail("signed dynamic right shift is outside the supported subset")
+		}
+		return value{e: ir.Binary(ir.OpDshr, args[0].e, args[1].e)}, nil
+
+	case "cvt":
+		if err := need(1, 0); err != nil {
+			return value{}, err
+		}
+		if args[0].signed {
+			return value{e: args[0].e, signed: true}, nil
+		}
+		return value{e: fitSigned(args[0].e, args[0].e.Width+1, false), signed: true}, nil
+
+	case "neg":
+		if err := need(1, 0); err != nil {
+			return value{}, err
+		}
+		w := args[0].e.Width + 1
+		x := fitSigned(args[0].e, w, args[0].signed)
+		zero := ir.ConstUint(w, 0)
+		return value{e: fitSigned(ir.Binary(ir.OpSub, zero, x), w, false), signed: true}, nil
+
+	case "not":
+		if err := need(1, 0); err != nil {
+			return value{}, err
+		}
+		return value{e: ir.Unary(ir.OpNot, args[0].e, 0)}, nil
+
+	case "and", "or", "xor":
+		if err := need(2, 0); err != nil {
+			return value{}, err
+		}
+		w := max(args[0].e.Width, args[1].e.Width)
+		x, y := extBoth(w)
+		var op ir.Op
+		switch t.Op {
+		case "and":
+			op = ir.OpAnd
+		case "or":
+			op = ir.OpOr
+		default:
+			op = ir.OpXor
+		}
+		return value{e: ir.Binary(op, x, y)}, nil
+
+	case "andr", "orr", "xorr":
+		if err := need(1, 0); err != nil {
+			return value{}, err
+		}
+		var op ir.Op
+		switch t.Op {
+		case "andr":
+			op = ir.OpAndR
+		case "orr":
+			op = ir.OpOrR
+		default:
+			op = ir.OpXorR
+		}
+		return value{e: ir.Unary(op, args[0].e, 0)}, nil
+
+	case "cat":
+		if err := need(2, 0); err != nil {
+			return value{}, err
+		}
+		return value{e: ir.Binary(ir.OpCat, args[0].e, args[1].e)}, nil
+
+	case "bits":
+		if err := need(1, 2); err != nil {
+			return value{}, err
+		}
+		hi, lo := t.IntArgs[0], t.IntArgs[1]
+		if hi < lo || hi >= args[0].e.Width {
+			return fail("bits(%d, %d) out of range for width %d", hi, lo, args[0].e.Width)
+		}
+		return value{e: ir.BitsOf(args[0].e, hi, lo)}, nil
+
+	case "head":
+		if err := need(1, 1); err != nil {
+			return value{}, err
+		}
+		n, w := t.IntArgs[0], args[0].e.Width
+		if n < 1 || n > w {
+			return fail("head(%d) out of range for width %d", n, w)
+		}
+		return value{e: ir.BitsOf(args[0].e, w-1, w-n)}, nil
+
+	case "tail":
+		if err := need(1, 1); err != nil {
+			return value{}, err
+		}
+		n, w := t.IntArgs[0], args[0].e.Width
+		if n < 0 || n >= w {
+			return fail("tail(%d) out of range for width %d", n, w)
+		}
+		return value{e: ir.BitsOf(args[0].e, w-n-1, 0)}, nil
+
+	case "mux":
+		if err := need(3, 0); err != nil {
+			return value{}, err
+		}
+		sgn := args[1].signed || args[2].signed
+		w := max(args[1].e.Width, args[2].e.Width)
+		tArm := fitSigned(args[1].e, w, args[1].signed)
+		fArm := fitSigned(args[2].e, w, args[2].signed)
+		sel := fitSigned(args[0].e, 1, false)
+		return value{e: ir.MuxOf(sel, tArm, fArm), signed: sgn}, nil
+
+	case "validif":
+		if err := need(2, 0); err != nil {
+			return value{}, err
+		}
+		// The invalid case is undefined; taking the value unconditionally is
+		// a legal refinement.
+		return args[1], nil
+
+	case "asUInt":
+		if err := need(1, 0); err != nil {
+			return value{}, err
+		}
+		return value{e: args[0].e}, nil
+
+	case "asSInt":
+		if err := need(1, 0); err != nil {
+			return value{}, err
+		}
+		return value{e: args[0].e, signed: true}, nil
+
+	case "asClock", "asAsyncReset":
+		if err := need(1, 0); err != nil {
+			return value{}, err
+		}
+		return value{e: fitSigned(args[0].e, 1, false)}, nil
+	}
+	return fail("unsupported primop")
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

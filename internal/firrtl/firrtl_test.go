@@ -1,0 +1,291 @@
+package firrtl
+
+import (
+	"testing"
+
+	"gsim/internal/bitvec"
+	"gsim/internal/engine"
+	"gsim/internal/ir"
+)
+
+const counterSrc = `
+circuit Counter :
+  module Counter :
+    input clock : Clock
+    input reset : UInt<1>
+    input en : UInt<1>
+    output out : UInt<8>
+
+    reg count : UInt<8>, clock with :
+      reset => (reset, UInt<8>("h0"))
+    when en :
+      count <= tail(add(count, UInt<8>(1)), 1)
+    out <= count
+`
+
+func mustLoad(t *testing.T, src string) *ir.Graph {
+	t.Helper()
+	g, err := Load(src)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	return g
+}
+
+func refSim(t *testing.T, g *ir.Graph) *engine.Reference {
+	t.Helper()
+	r, err := engine.NewReference(g)
+	if err != nil {
+		t.Fatalf("reference: %v", err)
+	}
+	return r
+}
+
+func poke(t *testing.T, s engine.Sim, g *ir.Graph, name string, v uint64) {
+	t.Helper()
+	n := g.FindNode(name)
+	if n == nil {
+		t.Fatalf("no node %q", name)
+	}
+	s.Poke(n.ID, bitvec.FromUint64(n.Width, v))
+}
+
+func peek(t *testing.T, s engine.Sim, g *ir.Graph, name string) uint64 {
+	t.Helper()
+	n := g.FindNode(name)
+	if n == nil {
+		t.Fatalf("no node %q", name)
+	}
+	return s.Peek(n.ID).Uint64()
+}
+
+func TestCounter(t *testing.T) {
+	g := mustLoad(t, counterSrc)
+	sim := refSim(t, g)
+	poke(t, sim, g, "reset", 0)
+	poke(t, sim, g, "en", 1)
+	for i := 0; i < 10; i++ {
+		sim.Step()
+	}
+	// Step is evaluate-then-commit: registers reflect the new edge, while
+	// combinational nodes (like `out`) settle on the next evaluation.
+	if got := peek(t, sim, g, "count"); got != 10 {
+		t.Fatalf("count after 10 enabled cycles = %d, want 10", got)
+	}
+	if got := peek(t, sim, g, "out"); got != 9 {
+		t.Fatalf("out lags one evaluation: got %d, want 9", got)
+	}
+	poke(t, sim, g, "en", 0)
+	sim.Step()
+	sim.Step()
+	if got := peek(t, sim, g, "out"); got != 10 {
+		t.Fatalf("count should hold at 10 when disabled, got %d", got)
+	}
+	poke(t, sim, g, "reset", 1)
+	sim.Step()
+	if got := peek(t, sim, g, "count"); got != 0 {
+		t.Fatalf("count after reset = %d, want 0", got)
+	}
+}
+
+const gcdSrc = `
+circuit GCD :
+  module GCD :
+    input clock : Clock
+    input reset : UInt<1>
+    input start : UInt<1>
+    input a : UInt<16>
+    input b : UInt<16>
+    output result : UInt<16>
+    output done : UInt<1>
+
+    reg x : UInt<16>, clock
+    reg y : UInt<16>, clock
+
+    when start :
+      x <= a
+      y <= b
+    else :
+      when gt(x, y) :
+        x <= tail(sub(x, y), 1)
+      else :
+        when neq(y, UInt<16>(0)) :
+          y <= tail(sub(y, x), 1)
+
+    result <= x
+    done <= eq(y, UInt<16>(0))
+`
+
+func TestGCD(t *testing.T) {
+	g := mustLoad(t, gcdSrc)
+	sim := refSim(t, g)
+	poke(t, sim, g, "reset", 0)
+	poke(t, sim, g, "start", 1)
+	poke(t, sim, g, "a", 48)
+	poke(t, sim, g, "b", 36)
+	sim.Step()
+	poke(t, sim, g, "start", 0)
+	for i := 0; i < 64; i++ {
+		sim.Step()
+		if peek(t, sim, g, "done") == 1 {
+			break
+		}
+	}
+	if got := peek(t, sim, g, "result"); got != 12 {
+		t.Fatalf("gcd(48,36) = %d, want 12", got)
+	}
+}
+
+const hierSrc = `
+circuit Top :
+  module Inc :
+    input x : UInt<8>
+    output y : UInt<8>
+    y <= tail(add(x, UInt<8>(1)), 1)
+
+  module Top :
+    input clock : Clock
+    input in : UInt<8>
+    output out : UInt<8>
+
+    inst i1 of Inc
+    inst i2 of Inc
+    i1.x <= in
+    i2.x <= i1.y
+    out <= i2.y
+`
+
+func TestHierarchy(t *testing.T) {
+	g := mustLoad(t, hierSrc)
+	sim := refSim(t, g)
+	poke(t, sim, g, "in", 7)
+	sim.Step()
+	if got := peek(t, sim, g, "out"); got != 9 {
+		t.Fatalf("out = %d, want 9", got)
+	}
+}
+
+const memSrc = `
+circuit Scratch :
+  module Scratch :
+    input clock : Clock
+    input waddr : UInt<4>
+    input wdata : UInt<32>
+    input wen : UInt<1>
+    input raddr : UInt<4>
+    output rdata : UInt<32>
+
+    mem m :
+      data-type => UInt<32>
+      depth => 16
+      read-latency => 0
+      write-latency => 1
+      reader => r
+      writer => w
+
+    m.r.addr <= raddr
+    m.r.en <= UInt<1>(1)
+    m.r.clk <= asClock(UInt<1>(0))
+    m.w.addr <= waddr
+    m.w.data <= wdata
+    m.w.en <= wen
+    m.w.clk <= asClock(UInt<1>(0))
+    m.w.mask <= UInt<1>(1)
+    rdata <= m.r.data
+`
+
+func TestMemory(t *testing.T) {
+	g := mustLoad(t, memSrc)
+	sim := refSim(t, g)
+	poke(t, sim, g, "waddr", 5)
+	poke(t, sim, g, "wdata", 0xdeadbeef)
+	poke(t, sim, g, "wen", 1)
+	sim.Step()
+	poke(t, sim, g, "wen", 0)
+	poke(t, sim, g, "raddr", 5)
+	sim.Step()
+	if got := peek(t, sim, g, "rdata"); got != 0xdeadbeef {
+		t.Fatalf("rdata = %#x, want 0xdeadbeef", got)
+	}
+}
+
+const signedSrc = `
+circuit Signed :
+  module Signed :
+    input a : SInt<8>
+    input b : SInt<8>
+    output lt_ab : UInt<1>
+    output sum : SInt<9>
+    output negb : SInt<9>
+
+    lt_ab <= lt(a, b)
+    sum <= add(a, b)
+    negb <= neg(b)
+`
+
+func TestSigned(t *testing.T) {
+	g := mustLoad(t, signedSrc)
+	sim := refSim(t, g)
+	// a = -5 (0xfb), b = 3.
+	poke(t, sim, g, "a", 0xfb)
+	poke(t, sim, g, "b", 3)
+	sim.Step()
+	if got := peek(t, sim, g, "lt_ab"); got != 1 {
+		t.Fatalf("-5 < 3 should be 1, got %d", got)
+	}
+	// -5 + 3 = -2 → 9-bit two's complement 0x1fe.
+	if got := peek(t, sim, g, "sum"); got != 0x1fe {
+		t.Fatalf("sum = %#x, want 0x1fe (-2)", got)
+	}
+	// neg(3) = -3 → 0x1fd.
+	if got := peek(t, sim, g, "negb"); got != 0x1fd {
+		t.Fatalf("negb = %#x, want 0x1fd (-3)", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"empty", ""},
+		{"no-top", "circuit X :\n  module Y :\n    input a : UInt<1>\n"},
+		{"bad-type", "circuit X :\n  module X :\n    input a : Fixed<8>\n"},
+		{"undeclared", "circuit X :\n  module X :\n    output o : UInt<1>\n    o <= q\n"},
+		{"bundle", "circuit X :\n  module X :\n    input a : {b : UInt<1>}\n"},
+		{"width-required", "circuit X :\n  module X :\n    input a : UInt\n    output o : UInt<1>\n    o <= a\n"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := Load(c.src); err == nil {
+				t.Fatalf("expected error for %s", c.name)
+			}
+		})
+	}
+}
+
+func TestOneHotPattern(t *testing.T) {
+	// The paper's §III-B one-hot example: C = bits(1 << A, k, k) should
+	// simulate as A == k.
+	src := `
+circuit OneHot :
+  module OneHot :
+    input a : UInt<3>
+    output c : UInt<1>
+    node b = dshl(UInt<1>(1), a)
+    c <= bits(b, 5, 5)
+`
+	g := mustLoad(t, src)
+	sim := refSim(t, g)
+	for av := uint64(0); av < 8; av++ {
+		poke(t, sim, g, "a", av)
+		sim.Step()
+		want := uint64(0)
+		if av == 5 {
+			want = 1
+		}
+		if got := peek(t, sim, g, "c"); got != want {
+			t.Fatalf("a=%d: c=%d want %d", av, got, want)
+		}
+	}
+}

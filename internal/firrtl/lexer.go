@@ -1,0 +1,173 @@
+// Package firrtl is GSIM's frontend: an indentation-aware lexer and parser
+// for a FIRRTL subset, and an elaborator that flattens the module hierarchy
+// into an ir.Graph (paper §III-D: "GSIM includes a Firrtl parser that
+// converts the input design into an abstract syntax tree and further
+// transforms it into a graph").
+//
+// Supported subset (documented deviations from the full spec):
+//   - circuit/module with input/output ports of UInt<w>, SInt<w>, Clock,
+//     Reset, AsyncReset types (clocks are accepted and ignored; the engines
+//     are full-cycle);
+//   - wire, node, reg (with `with : (reset => (sig, init))`), regreset;
+//   - mem blocks with data-type/depth/read-latency 0/write-latency 1 and
+//     named reader/writer ports;
+//   - inst/of with full flattening;
+//   - when/else with last-connect semantics;
+//   - connects (<=), is invalid, skip; stop/printf/assert parsed and ignored;
+//   - all two-operand and one-operand primops of the spec except signed
+//     division/remainder and signed dynamic right shift.
+//
+// Widths must be explicit on ports, wires, and registers (no global width
+// inference); expression widths follow the spec rules.
+package firrtl
+
+import (
+	"fmt"
+	"strings"
+)
+
+// tokKind classifies tokens.
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokNewline
+	tokIndent
+	tokDedent
+	tokIdent  // identifiers and keywords
+	tokInt    // decimal integer literal
+	tokString // quoted string
+	tokPunct  // one of : , ( ) < > = . or multi-char <= =>
+)
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+	col  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "EOF"
+	case tokNewline:
+		return "newline"
+	case tokIndent:
+		return "indent"
+	case tokDedent:
+		return "dedent"
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+// lex tokenizes FIRRTL source, emitting INDENT/DEDENT tokens from leading
+// whitespace the way the format requires.
+func lex(src string) ([]token, error) {
+	var toks []token
+	indents := []int{0}
+	lines := strings.Split(src, "\n")
+	for li, raw := range lines {
+		lineNo := li + 1
+		// Strip comments and file-info annotations (@[...]).
+		line := raw
+		if i := strings.Index(line, ";"); i >= 0 {
+			line = line[:i]
+		}
+		if i := strings.Index(line, "@["); i >= 0 {
+			line = line[:i]
+		}
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		indent := 0
+		for indent < len(line) && line[indent] == ' ' {
+			indent++
+		}
+		if line[indent] == '\t' {
+			return nil, fmt.Errorf("line %d: tabs not supported in indentation", lineNo)
+		}
+		// Emit indent/dedent.
+		cur := indents[len(indents)-1]
+		switch {
+		case indent > cur:
+			indents = append(indents, indent)
+			toks = append(toks, token{kind: tokIndent, line: lineNo})
+		case indent < cur:
+			for len(indents) > 1 && indents[len(indents)-1] > indent {
+				indents = indents[:len(indents)-1]
+				toks = append(toks, token{kind: tokDedent, line: lineNo})
+			}
+			if indents[len(indents)-1] != indent {
+				return nil, fmt.Errorf("line %d: inconsistent indentation %d", lineNo, indent)
+			}
+		}
+		// Tokenize the content.
+		i := indent
+		for i < len(line) {
+			c := line[i]
+			switch {
+			case c == ' ' || c == '\t':
+				i++
+			case isIdentStart(c):
+				j := i
+				for j < len(line) && isIdentChar(line[j]) {
+					j++
+				}
+				toks = append(toks, token{kind: tokIdent, text: line[i:j], line: lineNo, col: i})
+				i = j
+			case c >= '0' && c <= '9' || c == '-' && i+1 < len(line) && line[i+1] >= '0' && line[i+1] <= '9':
+				j := i + 1
+				for j < len(line) && (line[j] >= '0' && line[j] <= '9') {
+					j++
+				}
+				toks = append(toks, token{kind: tokInt, text: line[i:j], line: lineNo, col: i})
+				i = j
+			case c == '"':
+				j := i + 1
+				for j < len(line) && line[j] != '"' {
+					if line[j] == '\\' {
+						j++
+					}
+					j++
+				}
+				if j >= len(line) {
+					return nil, fmt.Errorf("line %d: unterminated string", lineNo)
+				}
+				toks = append(toks, token{kind: tokString, text: line[i+1 : j], line: lineNo, col: i})
+				i = j + 1
+			case c == '<' && i+1 < len(line) && line[i+1] == '=':
+				toks = append(toks, token{kind: tokPunct, text: "<=", line: lineNo, col: i})
+				i += 2
+			case c == '=' && i+1 < len(line) && line[i+1] == '>':
+				toks = append(toks, token{kind: tokPunct, text: "=>", line: lineNo, col: i})
+				i += 2
+			case strings.ContainsRune(":,()<>=.[]", rune(c)):
+				toks = append(toks, token{kind: tokPunct, text: string(c), line: lineNo, col: i})
+				i++
+			default:
+				return nil, fmt.Errorf("line %d: unexpected character %q", lineNo, c)
+			}
+		}
+		toks = append(toks, token{kind: tokNewline, line: lineNo})
+	}
+	for len(indents) > 1 {
+		indents = indents[:len(indents)-1]
+		toks = append(toks, token{kind: tokDedent, line: len(lines)})
+	}
+	toks = append(toks, token{kind: tokEOF, line: len(lines)})
+	return toks, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || c == '$'
+}
+
+// isIdentChar additionally accepts '-' so hyphenated mem keys (data-type,
+// read-latency, ...) lex as single identifiers. FIRRTL identifiers proper
+// never contain '-', and negative literals always follow punctuation, so
+// this is unambiguous.
+func isIdentChar(c byte) bool {
+	return isIdentStart(c) || c >= '0' && c <= '9' || c == '-'
+}

@@ -1,0 +1,166 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gsim/internal/ir"
+)
+
+// Component library for the synthetic processor profiles. Each block is the
+// kind of structure real cores are made of — one-hot decoders, ALU clusters,
+// pipeline registers with enables, FIFOs, scoreboards, wide concatenated
+// buses with partial-bit consumers — because those structures are exactly
+// what the paper's optimizations key on (one-hot patterns for expression
+// simplification, cat/bits chains for bit-level splitting, enable-gated
+// regions for low activity factors).
+
+// lfsr builds a Galois LFSR register of the given width, stepped when en is
+// high. Returns the register node.
+func lfsr(b *ir.Builder, name string, width int, seedVal uint64, en *ir.Expr) *ir.Node {
+	r := b.Reg(name, width)
+	r.Init = r.Init.Clone()
+	r.Init.W[0] = seedVal | 1
+	fb := b.Bit(b.R(r), 0)
+	shifted := b.Shr(b.R(r), 1)
+	tapped := b.Xor(b.Fit(shifted, width), b.Fit(b.Mux(fb, b.C(width, taps(width)), b.C(width, 0)), width))
+	b.SetNext(r, b.Mux(en, tapped, b.R(r)))
+	return r
+}
+
+func taps(width int) uint64 {
+	switch {
+	case width >= 32:
+		return 0xC0000401
+	case width >= 16:
+		return 0xB400
+	default:
+		return 0xB8
+	}
+}
+
+// onehotDecoder produces the paper's one-hot decode structure: a shifted-one
+// bus plus per-bit checks (bits(1<<sel, k, k)), which the simplifier should
+// collapse to comparisons.
+func onehotDecoder(b *ir.Builder, name string, sel *ir.Expr, ways int) []*ir.Expr {
+	bus := b.Comb(name+"_oh", b.Fit(b.DshlFull(b.C(1, 1), sel), ways))
+	outs := make([]*ir.Expr, ways)
+	for k := 0; k < ways; k++ {
+		outs[k] = b.R(b.Comb(fmt.Sprintf("%s_w%d", name, k), b.Bit(b.R(bus), k)))
+	}
+	return outs
+}
+
+// aluCluster builds a small ALU: add/sub/logic/shift/compare over two
+// operands with a 3-bit op selector. Returns the result expression.
+func aluCluster(b *ir.Builder, name string, x, y, op *ir.Expr) *ir.Expr {
+	w := x.Width
+	sum := b.AddW(x, y, w)
+	dif := b.SubW(x, y, w)
+	xo := b.Xor(x, y)
+	an := b.And(x, y)
+	orv := b.Or(x, y)
+	sh := b.Fit(b.Dshl(x, b.Fit(y, 4), w+15), w)
+	lt := b.Fit(b.Lt(x, y), w)
+	eq := b.Fit(b.Eq(x, y), w)
+	s0, s1, s2 := ir.BitsOf(op, 0, 0), ir.BitsOf(op, 1, 1), ir.BitsOf(op, 2, 2)
+	m0 := b.Mux(s0, dif, sum)
+	m1 := b.Mux(s0, an, xo)
+	m2 := b.Mux(s0, lt, sh)
+	m3 := b.Mux(s0, eq, orv)
+	lo := b.Mux(s1, m1, m0)
+	hi := b.Mux(s1, m3, m2)
+	return b.R(b.Comb(name+"_alu", b.Mux(s2, hi, lo)))
+}
+
+// pipeStage registers a value behind an enable: classic enable-gated
+// pipeline register.
+func pipeStage(b *ir.Builder, name string, v *ir.Expr, en *ir.Expr) *ir.Node {
+	r := b.Reg(name, v.Width)
+	b.SetNext(r, b.Mux(en, v, b.R(r)))
+	return r
+}
+
+// fifo builds a small register FIFO with push/pop and returns the head
+// value and the occupancy register.
+func fifo(b *ir.Builder, name string, width, depth int, push, pop *ir.Expr, in *ir.Expr) (*ir.Expr, *ir.Node) {
+	slots := make([]*ir.Node, depth)
+	for i := range slots {
+		slots[i] = b.Reg(fmt.Sprintf("%s_s%d", name, i), width)
+	}
+	count := b.Reg(name+"_cnt", bitsFor(depth)+1)
+	cnt := b.R(count)
+	canPush := b.Comb(name+"_canpush", b.And(push, b.Lt(cnt, b.C(count.Width, uint64(depth)))))
+	canPop := b.Comb(name+"_canpop", b.And(pop, b.Gt(cnt, b.C(count.Width, 0))))
+	// Shift-register FIFO: push inserts at the tail position, pop shifts.
+	for i := 0; i < depth; i++ {
+		insHere := b.Eq(cnt, b.C(count.Width, uint64(i)))
+		var shifted *ir.Expr
+		if i+1 < depth {
+			shifted = b.R(slots[i+1])
+		} else {
+			shifted = b.C(width, 0)
+		}
+		next := b.Mux(b.R(canPop),
+			b.Mux(b.And(b.R(canPush), b.Eq(cnt, b.C(count.Width, uint64(i+1)))), b.Fit(in, width), shifted),
+			b.Mux(b.And(b.R(canPush), insHere), b.Fit(in, width), b.R(slots[i])))
+		b.SetNext(slots[i], next)
+	}
+	inc := b.Mux(b.R(canPush), b.C(2, 1), b.C(2, 0))
+	dec := b.Mux(b.R(canPop), b.C(2, 1), b.C(2, 0))
+	b.SetNext(count, b.Fit(b.Sub(b.Add(cnt, inc), dec), count.Width))
+	return b.R(slots[0]), count
+}
+
+func bitsFor(n int) int {
+	w := 1
+	for 1<<uint(w) < n {
+		w++
+	}
+	return w
+}
+
+// scoreboard is a bit-vector register with one-hot set and clear ports —
+// the busy-table structure out-of-order cores carry.
+func scoreboard(b *ir.Builder, name string, entries int, setSel, clrSel *ir.Expr, setEn, clrEn *ir.Expr) *ir.Node {
+	sb := b.Reg(name, entries)
+	setMask := b.Fit(b.Mux(setEn, b.DshlFull(b.C(1, 1), setSel), b.C(2, 0)), entries)
+	clrMask := b.Fit(b.Mux(clrEn, b.DshlFull(b.C(1, 1), clrSel), b.C(2, 0)), entries)
+	b.SetNext(sb, b.And(b.Or(b.R(sb), setMask), b.Not(clrMask)))
+	return sb
+}
+
+// wideBus concatenates the inputs into one wide signal and returns sliced
+// partial views — the cat/bits structure bit-level splitting targets
+// (XiangShan: 23.7% of multi-bit nodes are concatenations, 23.2% of
+// references read only a subset of bits).
+func wideBus(b *ir.Builder, name string, parts []*ir.Expr) (*ir.Node, []*ir.Expr) {
+	bus := b.Comb(name, b.CatAll(parts...))
+	inverted := b.Comb(name+"_n", b.Not(b.R(bus)))
+	views := make([]*ir.Expr, len(parts))
+	off := 0
+	for i := len(parts) - 1; i >= 0; i-- { // CatAll puts first part highest
+		w := parts[i].Width
+		views[i] = b.R(b.Comb(fmt.Sprintf("%s_v%d", name, i), ir.BitsOf(b.R(inverted), off+w-1, off)))
+		off += w
+	}
+	return bus, views
+}
+
+// cacheLike builds a direct-mapped tag-compare structure over a memory:
+// tag/data lookup with hit logic and a refill write port.
+func cacheLike(b *ir.Builder, name string, sets, tagW, dataW int, addr *ir.Expr, refill *ir.Expr, rng *rand.Rand) *ir.Expr {
+	idxW := bitsFor(sets)
+	tags := b.Mem(name+"_tags", sets, tagW)
+	data := b.Mem(name+"_data", sets, dataW)
+	idx := b.Comb(name+"_idx", b.Fit(addr, idxW))
+	wantTag := b.Comb(name+"_want", b.Fit(b.Shr(addr, idxW), tagW))
+	tagRd := b.MemRead(name+"_tagrd", tags, b.R(idx))
+	dataRd := b.MemRead(name+"_datard", data, b.R(idx))
+	hit := b.Comb(name+"_hit", b.Eq(b.R(tagRd), b.R(wantTag)))
+	// Refill on miss when the refill strobe is set.
+	miss := b.Comb(name+"_miss", b.And(b.Not(b.R(hit)), refill))
+	b.MemWrite(name+"_tagwr", tags, b.R(idx), b.R(wantTag), b.R(miss))
+	b.MemWrite(name+"_datawr", data, b.R(idx), b.Fit(b.Mul(b.Fit(addr, 24), b.C(24, uint64(rng.Intn(1<<20)|5))), dataW), b.R(miss))
+	return b.R(b.Comb(name+"_out", b.Mux(b.R(hit), b.R(dataRd), b.C(dataW, 0))))
+}

@@ -1,0 +1,97 @@
+package gen
+
+import (
+	"testing"
+
+	"gsim/internal/ir"
+)
+
+func TestRandomGraphsValid(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		g := Random(seed, DefaultRandomConfig())
+		if err := g.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		s := g.ComputeStats()
+		if s.Outputs == 0 || s.Regs == 0 || s.Inputs == 0 {
+			t.Fatalf("seed %d: degenerate circuit %+v", seed, s)
+		}
+	}
+}
+
+func TestRandomDeterministic(t *testing.T) {
+	a := Random(7, DefaultRandomConfig())
+	b := Random(7, DefaultRandomConfig())
+	if a.NumNodes() != b.NumNodes() || a.NumEdges() != b.NumEdges() {
+		t.Fatal("same seed produced different circuits")
+	}
+	for i, n := range a.Nodes {
+		m := b.Nodes[i]
+		if n.Name != m.Name || n.Kind != m.Kind || n.Width != m.Width {
+			t.Fatalf("node %d differs: %v vs %v", i, n, m)
+		}
+		if (n.Expr == nil) != (m.Expr == nil) {
+			t.Fatalf("node %d expr presence differs", i)
+		}
+		if n.Expr != nil && n.Expr.String() != m.Expr.String() {
+			t.Fatalf("node %d expr differs", i)
+		}
+	}
+}
+
+func TestProfilesValidAndScaled(t *testing.T) {
+	prev := 0
+	for _, p := range Profiles() {
+		g := BuildProfile(p)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		s := g.ComputeStats()
+		t.Logf("%-16s nodes=%d edges=%d regs=%d mems=%d ops=%d", p.Name, s.Nodes, s.Edges, s.Regs, s.Mems, s.TotalOps)
+		if s.Nodes <= prev {
+			t.Fatalf("%s: profiles must grow monotonically (Table I shape): %d <= %d", p.Name, s.Nodes, prev)
+		}
+		prev = s.Nodes
+		if s.Outputs == 0 {
+			t.Fatalf("%s: no outputs", p.Name)
+		}
+	}
+}
+
+func TestProfileStructures(t *testing.T) {
+	g := BuildProfile(StuCoreLike())
+	// The profiles must contain the structures the optimizations target:
+	// one-hot decode chains and wide concatenated buses with slice views.
+	hasDshl, hasCat, hasSlice := false, false, false
+	for _, n := range g.Live() {
+		n.EachExpr(func(slot **ir.Expr) {
+			(*slot).Walk(func(e *ir.Expr) {
+				switch e.Op {
+				case ir.OpDshl:
+					hasDshl = true
+				case ir.OpCat:
+					hasCat = true
+				case ir.OpBits:
+					hasSlice = true
+				}
+			})
+		})
+	}
+	if !hasDshl || !hasCat || !hasSlice {
+		t.Fatalf("profile missing target structures: dshl=%v cat=%v bits=%v", hasDshl, hasCat, hasSlice)
+	}
+	if len(g.Mems) == 0 {
+		t.Fatal("profile has no cache-like memories")
+	}
+	if g.FindNode("stim") == nil || g.FindNode("reset") == nil {
+		t.Fatal("profile inputs missing")
+	}
+}
+
+func TestProfileDeterministic(t *testing.T) {
+	a := BuildProfile(RocketLike())
+	b := BuildProfile(RocketLike())
+	if a.NumNodes() != b.NumNodes() || a.NumEdges() != b.NumEdges() {
+		t.Fatal("profile build not deterministic")
+	}
+}

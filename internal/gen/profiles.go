@@ -1,0 +1,166 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gsim/internal/bitvec"
+	"gsim/internal/ir"
+)
+
+// Profile parameterizes a synthetic processor-like design. The profiles
+// stand in for the paper's evaluation designs (Table I): clusters of
+// enable-gated execution units, one-hot decode, pipeline registers, FIFOs,
+// scoreboards, cache-like memories, and wide concatenated buses with
+// partial-bit consumers. Node counts are scaled versions of the paper's
+// (the substitution table in DESIGN.md records the factors).
+type Profile struct {
+	Name            string
+	Clusters        int // activity-gating granularity (front-end selects few)
+	UnitsPerCluster int
+	DataWidth       int // unit datapath width
+	PipeDepth       int
+	DecodeWays      int
+	FifoDepth       int
+	CacheSets       int
+	Seed            int64
+}
+
+// StuCoreLike is a small profile in the spirit of the paper's student core —
+// used where a real RV32 core is too slow to rebuild repeatedly.
+func StuCoreLike() Profile {
+	return Profile{Name: "stucore-like", Clusters: 4, UnitsPerCluster: 4,
+		DataWidth: 16, PipeDepth: 2, DecodeWays: 4, FifoDepth: 2, CacheSets: 16, Seed: 11}
+}
+
+// RocketLike scales to roughly 1/10 of Rocket's IR size: an in-order
+// single-issue shape with a handful of gated clusters.
+func RocketLike() Profile {
+	return Profile{Name: "rocket-like", Clusters: 16, UnitsPerCluster: 60,
+		DataWidth: 32, PipeDepth: 4, DecodeWays: 8, FifoDepth: 4, CacheSets: 64, Seed: 12}
+}
+
+// BoomLike scales BOOM: wider datapath, more clusters, deeper pipes.
+func BoomLike() Profile {
+	return Profile{Name: "boom-like", Clusters: 20, UnitsPerCluster: 84,
+		DataWidth: 48, PipeDepth: 5, DecodeWays: 12, FifoDepth: 6, CacheSets: 128, Seed: 13}
+}
+
+// XiangShanLike scales XiangShan: the largest profile, six-issue-like width.
+func XiangShanLike() Profile {
+	return Profile{Name: "xiangshan-like", Clusters: 32, UnitsPerCluster: 102,
+		DataWidth: 64, PipeDepth: 6, DecodeWays: 16, FifoDepth: 8, CacheSets: 256, Seed: 14}
+}
+
+// Profiles lists the four evaluation designs in Table I order (stucore is
+// the real RV32 core; this list covers the synthetic three plus the small
+// stand-in).
+func Profiles() []Profile {
+	return []Profile{StuCoreLike(), RocketLike(), BoomLike(), XiangShanLike()}
+}
+
+// BuildProfile elaborates a profile into a validated graph. Inputs:
+// "reset" (1 bit) and "stim" (64 bits). The low selector bits of stim choose
+// which cluster's front-end is enabled, so a stimulus that dwells on few
+// selector values produces the low, stable activity factor of a hot-loop
+// workload, while a wide-ranging stimulus mimics a boot.
+func BuildProfile(p Profile) *ir.Graph {
+	rng := rand.New(rand.NewSource(p.Seed))
+	b := ir.NewBuilder(p.Name)
+
+	reset := b.Input("reset", 1)
+	stim := b.Input("stim", 128)
+	selW := bitsFor(p.Clusters)
+	// Two independent cluster selectors: a hot-loop stimulus keeps both on
+	// the same cluster (minimal activity), a boot-like stimulus spreads them
+	// (shifting multi-cluster activity).
+	sel := b.Comb("sel", ir.BitsOf(b.R(stim), selW-1, 0))
+	sel2 := b.Comb("sel2", ir.BitsOf(b.R(stim), 2*selW-1, selW))
+
+	// Cluster enables via the one-hot decode pattern.
+	oh1 := onehotDecoder(b, "clken", b.R(sel), p.Clusters)
+	oh2 := onehotDecoder(b, "clken2", b.R(sel2), p.Clusters)
+	enables := make([]*ir.Expr, p.Clusters)
+	for c := range enables {
+		enables[c] = b.R(b.Comb(fmt.Sprintf("en%d", c), b.Or(oh1[c], oh2[c])))
+	}
+
+	var clusterSums []*ir.Expr
+	for c := 0; c < p.Clusters; c++ {
+		cb := b.Scoped(fmt.Sprintf("c%d", c))
+		en := enables[c]
+
+		// Front-end: a gated sample of the stimulus payload.
+		head := pipeStage(cb, "head", ir.BitsOf(b.R(stim), 2*selW+p.DataWidth-1, 2*selW), en)
+
+		prev := cb.R(head)
+		var unitOuts []*ir.Expr
+		for u := 0; u < p.UnitsPerCluster; u++ {
+			ub := cb.Scoped(fmt.Sprintf("u%d", u))
+			l := lfsr(ub, "rng", p.DataWidth, uint64(rng.Int63())|1, en)
+			op := ub.Comb("op", ir.BitsOf(ub.R(l), 2, 0))
+			// Decode ways gate small per-way accumulators.
+			ways := onehotDecoder(ub, "dec", ub.Fit(ir.BitsOf(ub.R(l), 7, 3), bitsFor(p.DecodeWays)), p.DecodeWays)
+			var wayAcc *ir.Expr
+			for wI, wayEn := range ways {
+				wr := pipeStage(ub, fmt.Sprintf("way%d", wI), ub.Fit(prev, 8), ub.Fit(ub.And(wayEn, en), 1))
+				if wayAcc == nil {
+					wayAcc = ub.Fit(ub.R(wr), p.DataWidth)
+				} else {
+					wayAcc = ub.Xor(wayAcc, ub.Fit(ub.R(wr), p.DataWidth))
+				}
+			}
+			alu := aluCluster(ub, "ex", prev, ub.Xor(ub.R(l), wayAcc), ub.R(op))
+			// Execution pipeline, enable-gated.
+			v := alu
+			for s := 0; s < p.PipeDepth; s++ {
+				v = ub.R(pipeStage(ub, fmt.Sprintf("p%d", s), v, en))
+			}
+			unitOuts = append(unitOuts, v)
+			prev = v
+		}
+
+		// Cluster-level structures.
+		_, cnt := fifo(cb, "rob", p.DataWidth, p.FifoDepth,
+			cb.Fit(cb.And(en, ir.BitsOf(prev, 0, 0)), 1),
+			cb.Fit(cb.And(en, ir.BitsOf(prev, 1, 1)), 1),
+			prev)
+		sbSel := cb.Fit(prev, bitsFor(p.DataWidth))
+		sb := scoreboard(cb, "busy", p.DataWidth, sbSel, cb.Fit(ir.BitsOf(prev, 7, 3), bitsFor(p.DataWidth)),
+			cb.Fit(cb.And(en, ir.BitsOf(prev, 2, 2)), 1),
+			cb.Fit(cb.And(en, ir.BitsOf(prev, 3, 3)), 1))
+		cache := cacheLike(cb, "dc", p.CacheSets, 12, p.DataWidth, prev, cb.Fit(cb.And(en, ir.BitsOf(prev, 4, 4)), 1), rng)
+
+		// Wide bus with sliced consumers (bit-splitting target).
+		_, views := wideBus(cb, "bus", []*ir.Expr{
+			prev,
+			cb.Fit(cb.R(sb), p.DataWidth),
+			cache,
+			cb.Fit(cb.R(cnt), p.DataWidth),
+		})
+		sum := views[0]
+		for _, v := range views[1:] {
+			sum = cb.Xor(sum, v)
+		}
+		clusterSums = append(clusterSums, cb.R(cb.Comb("sum", sum)))
+	}
+
+	// Global checksum; a reset-gated control register exercises the reset
+	// slow path on a realistic population of registers.
+	total := clusterSums[0]
+	for _, s := range clusterSums[1:] {
+		total = b.Xor(total, s)
+	}
+	ctl := b.RegInit("ctl", 32, irConst32(0x1234))
+	b.SetNext(ctl, b.Mux(b.R(reset), irConstExpr(32, 0x1234), b.AddW(b.R(ctl), b.Fit(total, 32), 32)))
+	b.Output("checksum", b.Fit(b.Xor(b.Fit(total, 64), b.Fit(b.R(ctl), 64)), 64))
+
+	if err := b.G.Validate(); err != nil {
+		panic(fmt.Sprintf("gen: profile %s invalid: %v", p.Name, err))
+	}
+	return b.G
+}
+
+func irConst32(v uint64) bitvec.BV { return bitvec.FromUint64(32, v) }
+
+func irConstExpr(w int, v uint64) *ir.Expr { return ir.ConstUint(w, v) }

@@ -1,0 +1,184 @@
+// Package gen builds circuits: randomized graphs for property and
+// equivalence testing, a library of processor-style components, and the
+// synthetic large-scale design profiles standing in for Rocket, BOOM, and
+// XiangShan (see DESIGN.md's substitution table).
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gsim/internal/bitvec"
+	"gsim/internal/ir"
+)
+
+// RandomConfig shapes a random circuit.
+type RandomConfig struct {
+	Nodes     int     // approximate combinational node count
+	Inputs    int     // external inputs (besides reset)
+	Regs      int     // registers
+	MaxWidth  int     // widest signal
+	MemDepth  int     // 0 disables the memory
+	WideFrac  float64 // fraction of nodes pushed above 64 bits
+	ResetFrac float64 // fraction of registers with a reset mux
+}
+
+// DefaultRandomConfig returns a moderate test circuit shape.
+func DefaultRandomConfig() RandomConfig {
+	return RandomConfig{
+		Nodes:     120,
+		Inputs:    4,
+		Regs:      16,
+		MaxWidth:  48,
+		MemDepth:  16,
+		WideFrac:  0.1,
+		ResetFrac: 0.5,
+	}
+}
+
+// Random builds a random synchronous circuit: a DAG of primops over inputs
+// and registers, register feedback (including reset muxes), one memory with
+// a read and a write port, and a checksum output that keeps the whole cone
+// live. Deterministic per seed. The result is validated.
+func Random(seed int64, cfg RandomConfig) *ir.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := ir.NewBuilder(fmt.Sprintf("random_%d", seed))
+
+	width := func() int {
+		w := 1 + rng.Intn(cfg.MaxWidth)
+		if cfg.WideFrac > 0 && rng.Float64() < cfg.WideFrac {
+			w = 65 + rng.Intn(cfg.MaxWidth+64)
+		}
+		return w
+	}
+
+	reset := b.Input("reset", 1)
+	var pool []*ir.Node
+	for i := 0; i < cfg.Inputs; i++ {
+		pool = append(pool, b.Input(fmt.Sprintf("in%d", i), width()))
+	}
+	var regs []*ir.Node
+	for i := 0; i < cfg.Regs; i++ {
+		r := b.RegInit(fmt.Sprintf("r%d", i), width(), bitvec.FromUint64(8, uint64(rng.Intn(200))))
+		regs = append(regs, r)
+		pool = append(pool, r)
+	}
+
+	pick := func() *ir.Expr { return b.R(pool[rng.Intn(len(pool))]) }
+	pick1 := func() *ir.Expr { return b.Fit(pick(), 1) }
+
+	var mem *ir.Memory
+	if cfg.MemDepth > 0 {
+		mem = b.Mem("m", cfg.MemDepth, 1+rng.Intn(32))
+	}
+
+	for i := 0; i < cfg.Nodes; i++ {
+		var e *ir.Expr
+		switch rng.Intn(16) {
+		case 0:
+			e = b.Add(pick(), pick())
+		case 1:
+			e = b.Sub(pick(), pick())
+		case 2:
+			x, y := pick(), pick()
+			// Keep multiplications narrow enough to stay meaningful.
+			e = b.Mul(b.Fit(x, min(x.Width, 24)), b.Fit(y, min(y.Width, 24)))
+		case 3:
+			x, y := pick(), pick()
+			e = b.Div(b.Fit(x, min(x.Width, 64)), b.Fit(y, min(y.Width, 64)))
+		case 4:
+			e = b.And(pick(), pick())
+		case 5:
+			e = b.Or(pick(), pick())
+		case 6:
+			e = b.Xor(pick(), pick())
+		case 7:
+			e = b.Not(pick())
+		case 8:
+			e = b.Mux(pick1(), pick(), pick())
+		case 9:
+			e = b.Cat(pick(), pick())
+		case 10:
+			x := pick()
+			hi := rng.Intn(x.Width)
+			lo := rng.Intn(hi + 1)
+			e = ir.BitsOf(x, hi, lo)
+		case 11:
+			x := pick()
+			e = b.Shl(x, rng.Intn(8))
+		case 12:
+			x := pick()
+			e = b.Shr(x, rng.Intn(x.Width))
+		case 13:
+			x, y := pick(), pick()
+			e = b.Dshl(x, b.Fit(y, 5), x.Width+31)
+		case 14:
+			switch rng.Intn(4) {
+			case 0:
+				e = b.Eq(pick(), pick())
+			case 1:
+				e = b.Lt(pick(), pick())
+			case 2:
+				e = b.SLt(pick(), pick())
+			default:
+				e = b.OrR(pick())
+			}
+		default:
+			// One-hot decode pattern, so the simplifier's special case gets
+			// realistic exercise.
+			x := b.Fit(pick(), 4)
+			oneHot := b.DshlFull(b.C(1, 1), x)
+			e = b.Bit(oneHot, rng.Intn(oneHot.Width))
+		}
+		n := b.Comb(fmt.Sprintf("n%d", i), e)
+		pool = append(pool, n)
+	}
+
+	if mem != nil {
+		rp := b.MemRead("m_rd", mem, pick())
+		pool = append(pool, rp)
+		b.MemWrite("m_wr", mem, pick(), pick(), pick1())
+	}
+
+	// Register feedback: next values drawn from the pool, half behind a
+	// reset mux so the reset-extraction pass has work to do.
+	for _, r := range regs {
+		nextVal := b.Fit(pick(), r.Width)
+		if rng.Float64() < cfg.ResetFrac {
+			init := b.CB(bitvec.Pad(r.Init, r.Width))
+			b.SetNext(r, b.Mux(b.R(reset), init, nextVal))
+		} else {
+			b.SetNext(r, nextVal)
+		}
+	}
+
+	// Checksum outputs keep (nearly) everything live: fold the pool into a
+	// few xor trees.
+	const nOuts = 4
+	var sums [nOuts]*ir.Expr
+	for i, n := range pool {
+		e := b.Fit(b.R(n), 64)
+		if sums[i%nOuts] == nil {
+			sums[i%nOuts] = e
+		} else {
+			sums[i%nOuts] = b.Xor(sums[i%nOuts], e)
+		}
+	}
+	for i, s := range sums {
+		if s != nil {
+			b.Output(fmt.Sprintf("checksum%d", i), s)
+		}
+	}
+
+	if err := b.G.Validate(); err != nil {
+		panic(fmt.Sprintf("gen: random circuit invalid: %v", err))
+	}
+	return b.G
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

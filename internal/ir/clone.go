@@ -1,0 +1,93 @@
+package ir
+
+import "gsim/internal/bitvec"
+
+// Clone returns a deep copy of the graph: fresh nodes, fresh expression
+// trees with references remapped to the new nodes, and fresh memories.
+// Experiments use this to run many independent optimization pipelines over
+// one elaborated design.
+func (g *Graph) Clone() *Graph {
+	ng := NewGraph(g.Name)
+	memMap := make(map[*Memory]*Memory, len(g.Mems))
+	for _, m := range g.Mems {
+		nm := &Memory{Name: m.Name, Depth: m.Depth, Width: m.Width}
+		if m.Init != nil {
+			nm.Init = make(map[int]bitvec.BV, len(m.Init))
+			for k, v := range m.Init {
+				nm.Init[k] = v.Clone()
+			}
+		}
+		ng.AddMem(nm)
+		memMap[m] = nm
+	}
+	nodeMap := make(map[*Node]*Node, len(g.Nodes))
+	for _, n := range g.Nodes {
+		if n == nil {
+			ng.Nodes = append(ng.Nodes, nil)
+			continue
+		}
+		nn := &Node{
+			ID:       len(ng.Nodes),
+			Name:     n.Name,
+			Kind:     n.Kind,
+			Width:    n.Width,
+			Init:     n.Init.Clone(),
+			IsOutput: n.IsOutput,
+		}
+		if n.Mem != nil {
+			nn.Mem = memMap[n.Mem]
+		}
+		ng.Nodes = append(ng.Nodes, nn)
+		nodeMap[n] = nn
+	}
+	remap := func(e *Expr) *Expr {
+		if e == nil {
+			return nil
+		}
+		c := e.Clone()
+		WalkPtr(&c, func(pe **Expr) bool {
+			if (*pe).Op == OpRef {
+				(*pe).Node = nodeMap[(*pe).Node]
+			}
+			return true
+		})
+		return c
+	}
+	for _, n := range g.Nodes {
+		if n == nil {
+			continue
+		}
+		nn := nodeMap[n]
+		nn.Expr = remap(n.Expr)
+		nn.WAddr = remap(n.WAddr)
+		nn.WData = remap(n.WData)
+		nn.WEn = remap(n.WEn)
+		if n.ResetSig != nil {
+			nn.ResetSig = nodeMap[n.ResetSig]
+		}
+	}
+	ng.freezeMems()
+	return ng
+}
+
+// SortTopological compacts the graph and renumbers nodes so that ID order
+// is a topological order of the value-dependence DAG. The compiled
+// instruction stream then evaluates correctly as one linear sweep, and
+// supernode member lists sorted by ID are dependence-ordered.
+func (g *Graph) SortTopological() error {
+	g.Compact()
+	order, err := g.TopoOrder()
+	if err != nil {
+		return err
+	}
+	nodes := make([]*Node, len(order))
+	for i, id := range order {
+		nodes[i] = g.Nodes[id]
+	}
+	g.Nodes = nodes
+	for i, n := range g.Nodes {
+		n.ID = i
+	}
+	g.freezeMems()
+	return nil
+}

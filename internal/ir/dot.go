@@ -1,0 +1,58 @@
+package ir
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteDot renders the graph in Graphviz DOT format for debugging: one box
+// per node (shape by kind), value-dependence edges, dashed edges for
+// register reads (the cycle-breaking edges). Intended for small graphs;
+// large designs produce unusably dense plots.
+func (g *Graph) WriteDot(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "digraph %q {\n  rankdir=LR;\n  node [fontsize=10];\n", g.Name); err != nil {
+		return err
+	}
+	for _, n := range g.Nodes {
+		if n == nil {
+			continue
+		}
+		shape, color := "ellipse", "black"
+		switch n.Kind {
+		case KindInput:
+			shape, color = "invtrapezium", "blue"
+		case KindReg:
+			shape, color = "box", "darkgreen"
+		case KindMemRead, KindMemWrite:
+			shape, color = "cylinder", "purple"
+		}
+		label := fmt.Sprintf("%s\\n%s:%d", n.Name, n.Kind, n.Width)
+		if n.IsOutput {
+			color = "red"
+		}
+		if _, err := fmt.Fprintf(w, "  n%d [label=%q shape=%s color=%s];\n", n.ID, label, shape, color); err != nil {
+			return err
+		}
+	}
+	for _, n := range g.Nodes {
+		if n == nil {
+			continue
+		}
+		seen := map[int]bool{}
+		n.EachExpr(func(slot **Expr) {
+			(*slot).Walk(func(e *Expr) {
+				if e.Op != OpRef || seen[e.Node.ID] {
+					return
+				}
+				seen[e.Node.ID] = true
+				style := ""
+				if e.Node.Kind == KindReg {
+					style = " [style=dashed]"
+				}
+				fmt.Fprintf(w, "  n%d -> n%d%s;\n", e.Node.ID, n.ID, style)
+			})
+		})
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

@@ -1,0 +1,20 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteDot(t *testing.T) {
+	g, _ := buildAdder(t)
+	var sb strings.Builder
+	if err := g.WriteDot(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, frag := range []string{"digraph", "sum", "->", "invtrapezium"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("dot output missing %q:\n%s", frag, out)
+		}
+	}
+}

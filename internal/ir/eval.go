@@ -1,0 +1,119 @@
+package ir
+
+import (
+	"fmt"
+
+	"gsim/internal/bitvec"
+)
+
+// EvalExpr evaluates an expression tree using val to supply node values.
+// This is the reference semantics for the whole simulator: the compiled
+// interpreter in package emit must agree with it bit-for-bit, and the
+// constant folder calls it with a nil val on constant subtrees.
+func EvalExpr(e *Expr, val func(*Node) bitvec.BV) bitvec.BV {
+	switch e.Op {
+	case OpRef:
+		v := val(e.Node)
+		if v.Width != e.Width {
+			v = bitvec.Pad(v, e.Width)
+		}
+		return v
+	case OpConst:
+		return e.Imm
+	}
+	var a, b, c bitvec.BV
+	if len(e.Args) > 0 {
+		a = EvalExpr(e.Args[0], val)
+	}
+	if len(e.Args) > 1 {
+		b = EvalExpr(e.Args[1], val)
+	}
+	if len(e.Args) > 2 {
+		c = EvalExpr(e.Args[2], val)
+	}
+	switch e.Op {
+	case OpAdd:
+		return bitvec.Add(a, b, e.Width)
+	case OpSub:
+		return bitvec.Sub(a, b, e.Width)
+	case OpMul:
+		return bitvec.Mul(a, b, e.Width)
+	case OpDiv:
+		return bitvec.Div(a, b, e.Width)
+	case OpRem:
+		return bitvec.Rem(a, b, e.Width)
+	case OpNeg:
+		return bitvec.Neg(a, e.Width)
+	case OpAnd:
+		return bitvec.And(a, b, e.Width)
+	case OpOr:
+		return bitvec.Or(a, b, e.Width)
+	case OpXor:
+		return bitvec.Xor(a, b, e.Width)
+	case OpNot:
+		return bitvec.Not(a, e.Width)
+	case OpAndR:
+		return bitvec.AndR(a)
+	case OpOrR:
+		return bitvec.OrR(a)
+	case OpXorR:
+		return bitvec.XorR(a)
+	case OpEq:
+		return bitvec.Eq(a, b)
+	case OpNeq:
+		return bitvec.Neq(a, b)
+	case OpLt:
+		return bitvec.Lt(a, b)
+	case OpLeq:
+		return bitvec.Leq(a, b)
+	case OpGt:
+		return bitvec.Gt(a, b)
+	case OpGeq:
+		return bitvec.Geq(a, b)
+	case OpSLt:
+		return bitvec.SLt(a, b)
+	case OpSLeq:
+		return bitvec.SLeq(a, b)
+	case OpSGt:
+		return bitvec.SGt(a, b)
+	case OpSGeq:
+		return bitvec.SGeq(a, b)
+	case OpShl:
+		return bitvec.Shl(a, e.Lo, e.Width)
+	case OpShr:
+		return bitvec.Shr(a, e.Lo, e.Width)
+	case OpDshl:
+		return bitvec.Dshl(a, b, e.Width)
+	case OpDshr:
+		return bitvec.Dshr(a, b, e.Width)
+	case OpCat:
+		return bitvec.Cat(a, b)
+	case OpBits:
+		return bitvec.Bits(a, e.Hi, e.Lo)
+	case OpPad:
+		return bitvec.Pad(a, e.Width)
+	case OpSExt:
+		return bitvec.SExt(a, e.Width)
+	case OpMux:
+		return bitvec.Mux(a, b, c, e.Width)
+	}
+	panic(fmt.Sprintf("ir: EvalExpr on %v", e.Op))
+}
+
+// IsConst reports whether e contains no node references.
+func (e *Expr) IsConst() bool {
+	ok := true
+	e.Walk(func(x *Expr) {
+		if x.Op == OpRef {
+			ok = false
+		}
+	})
+	return ok
+}
+
+// FoldConst evaluates a reference-free expression to a constant value.
+func (e *Expr) FoldConst() bitvec.BV {
+	return EvalExpr(e, func(n *Node) bitvec.BV {
+		panic(fmt.Sprintf("ir: FoldConst reached ref %q", n.Name))
+	})
+}

@@ -1,0 +1,223 @@
+package partition
+
+import "hash/maphash"
+
+// intervalDP is the sequential-partition dynamic program after Kernighan
+// (JACM 1971): given groups in topological order, choose block boundaries
+// that minimize total cost subject to a per-block node-count cap. The cost
+// of a partition balances the paper's two competing factors:
+//
+//   - every activation edge crossing a block boundary costs Aexam+Asucc work
+//     at runtime (crossing term), which favors merging;
+//   - placing two *unrelated* neighbor groups (no activation edge between
+//     them) in one block inflates af — activating either evaluates both —
+//     which favors splitting. Each unrelated interior adjacency is charged
+//     the size of the smaller group (the expected spurious evaluations).
+//
+// Returns the merged groups (position lists).
+func intervalDP(v *graphView, ordered [][]int32, maxSize int) [][]int32 {
+	gN := len(ordered)
+	if gN == 0 {
+		return nil
+	}
+	// Map positions to group-sequence indices.
+	gpos := make([]int32, len(v.seq))
+	for gi, grp := range ordered {
+		for _, p := range grp {
+			gpos[p] = int32(gi)
+		}
+	}
+	// crossing[b] = activation edges spanning the boundary before group b,
+	// and adjacency relatedness for the mixing penalty.
+	diff := make([]int64, gN+1)
+	related := make([]bool, gN+1) // related[k]: act edge between groups k-1 and k
+	for up, succs := range v.actSucc {
+		gu := gpos[up]
+		for _, vp := range succs {
+			gv := gpos[vp]
+			if gu == gv {
+				continue
+			}
+			lo, hi := gu, gv
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			diff[lo+1]++
+			diff[hi+1]--
+			if hi == lo+1 {
+				related[hi] = true
+			}
+		}
+	}
+	crossing := make([]int64, gN+1)
+	var acc int64
+	for b := 1; b <= gN; b++ {
+		acc += diff[b]
+		crossing[b] = acc
+	}
+	// Prefix weights (node counts) and prefix mixing penalties.
+	wsum := make([]int64, gN+1)
+	for i, grp := range ordered {
+		wsum[i+1] = wsum[i] + int64(len(grp))
+	}
+	mixPenalty := make([]int64, gN+1) // prefix sum over adjacency k = (k-1,k)
+	for k := 1; k < gN; k++ {
+		pen := int64(0)
+		if !related[k] {
+			a, b := int64(len(ordered[k-1])), int64(len(ordered[k]))
+			if a < b {
+				pen = a
+			} else {
+				pen = b
+			}
+		}
+		mixPenalty[k+1] = mixPenalty[k] + pen
+	}
+	const inf = int64(1) << 62
+	dp := make([]int64, gN+1)
+	choice := make([]int32, gN+1)
+	for i := 1; i <= gN; i++ {
+		dp[i] = inf
+		for j := i - 1; j >= 0; j-- {
+			if j < i-1 && wsum[i]-wsum[j] > int64(maxSize) {
+				break
+			}
+			var c int64
+			if j > 0 {
+				c = crossing[j]
+			}
+			// Interior adjacencies of block [j, i) are j+1 .. i-1.
+			c += mixPenalty[i] - mixPenalty[j+1]
+			if cand := dp[j] + c; cand < dp[i] {
+				dp[i] = cand
+				choice[i] = int32(j)
+			}
+			if j == i-1 && wsum[i]-wsum[j] > int64(maxSize) {
+				// A single group already exceeds the cap; it must stand alone.
+				break
+			}
+		}
+	}
+	// Reconstruct boundaries.
+	var bounds []int32
+	for i := int32(gN); i > 0; i = choice[i] {
+		bounds = append(bounds, i)
+	}
+	// bounds are descending block ends; assemble blocks.
+	out := make([][]int32, 0, len(bounds))
+	start := int32(0)
+	for k := len(bounds) - 1; k >= 0; k-- {
+		end := bounds[k]
+		var blk []int32
+		for gi := start; gi < end; gi++ {
+			blk = append(blk, ordered[gi]...)
+		}
+		out = append(out, blk)
+		start = end
+	}
+	return out
+}
+
+// mffcGroups builds maximal fanout-free cones over the dep-edge DAG —
+// ESSENT's partitioning style. A node joins its successors' cone when every
+// fanout leads into the same cone, subject to the size cap.
+func mffcGroups(v *graphView, maxSize int) []int32 {
+	n := len(v.seq)
+	root := make([]int32, n)
+	size := make([]int32, n)
+	for i := range root {
+		root[i] = int32(i)
+		size[i] = 1
+	}
+	for p := int32(n) - 1; p >= 0; p-- {
+		succs := v.depSucc[p]
+		if len(succs) == 0 {
+			continue
+		}
+		r0 := find(root, succs[0])
+		same := true
+		for _, s := range succs[1:] {
+			if find(root, s) != r0 {
+				same = false
+				break
+			}
+		}
+		if same {
+			union(root, size, p, succs[0], int32(maxSize))
+		}
+	}
+	return root
+}
+
+// enhancedGroups implements GSIM's rule-based pre-grouping (§III-A): nodes
+// that are near-certain to activate together are unioned up front so the
+// interval DP cannot separate them:
+//
+//	❶ a node with out-degree 1 joins its sole successor;
+//	❷ a node with in-degree 1 joins its sole predecessor;
+//	❸ siblings with identical predecessor sets join each other.
+func enhancedGroups(v *graphView, maxSize int) []int32 {
+	n := len(v.seq)
+	root := make([]int32, n)
+	size := make([]int32, n)
+	for i := range root {
+		root[i] = int32(i)
+		size[i] = 1
+	}
+	cap32 := int32(maxSize)
+	// ❶ out-degree 1.
+	for p := int32(0); p < int32(n); p++ {
+		if len(v.actSucc[p]) == 1 {
+			union(root, size, p, v.actSucc[p][0], cap32)
+		}
+	}
+	// ❷ in-degree 1.
+	for p := int32(0); p < int32(n); p++ {
+		if len(v.actPred[p]) == 1 {
+			union(root, size, p, v.actPred[p][0], cap32)
+		}
+	}
+	// ❸ same-predecessor siblings: bucket by predecessor-list hash, verify
+	// exact equality, then union bucket members pairwise.
+	var seed = maphash.MakeSeed()
+	buckets := map[uint64][]int32{}
+	for p := int32(0); p < int32(n); p++ {
+		preds := v.actPred[p]
+		if len(preds) == 0 {
+			continue
+		}
+		var h maphash.Hash
+		h.SetSeed(seed)
+		for _, q := range preds {
+			h.WriteByte(byte(q))
+			h.WriteByte(byte(q >> 8))
+			h.WriteByte(byte(q >> 16))
+			h.WriteByte(byte(q >> 24))
+		}
+		k := h.Sum64()
+		buckets[k] = append(buckets[k], p)
+	}
+	for _, members := range buckets {
+		if len(members) < 2 {
+			continue
+		}
+		for i := 1; i < len(members); i++ {
+			if equalPreds(v.actPred[members[0]], v.actPred[members[i]]) {
+				union(root, size, members[0], members[i], cap32)
+			}
+		}
+	}
+	return root
+}
+
+func equalPreds(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,198 @@
+package partition
+
+import (
+	"testing"
+
+	"gsim/internal/gen"
+	"gsim/internal/ir"
+	"gsim/internal/passes"
+)
+
+func testGraph(t *testing.T, seed int64) *ir.Graph {
+	t.Helper()
+	g := gen.Random(seed, gen.DefaultRandomConfig())
+	passes.Normalize(g)
+	if err := g.SortTopological(); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// checkInvariants verifies the properties every partitioner must provide:
+// full coverage of evaluable nodes, disjointness, the size cap, and — the
+// correctness-critical one — that the supernode sequence is a topological
+// order of the value-dependence condensation.
+func checkInvariants(t *testing.T, g *ir.Graph, r *Result, maxSize int, capped bool) {
+	t.Helper()
+	seen := map[int32]int{}
+	for si, members := range r.Members {
+		if len(members) == 0 {
+			t.Fatalf("supernode %d empty", si)
+		}
+		if capped && len(members) > maxSize {
+			t.Fatalf("supernode %d has %d members, cap %d", si, len(members), maxSize)
+		}
+		for _, id := range members {
+			if _, dup := seen[id]; dup {
+				t.Fatalf("node %d in two supernodes", id)
+			}
+			seen[id] = si
+			if r.SupOf[id] != int32(si) {
+				t.Fatalf("SupOf inconsistent for node %d", id)
+			}
+		}
+	}
+	for _, n := range g.Nodes {
+		if n == nil {
+			continue
+		}
+		if n.HasCode() {
+			if _, ok := seen[int32(n.ID)]; !ok {
+				t.Fatalf("evaluable node %d (%s) not covered", n.ID, n.Name)
+			}
+		} else if r.SupOf[n.ID] != -1 {
+			t.Fatalf("input %d assigned to a supernode", n.ID)
+		}
+	}
+	// Dependence edges must never point to an earlier supernode, and member
+	// lists must be ascending (intra-supernode dependence order).
+	for _, n := range g.Nodes {
+		if n == nil || !n.HasCode() {
+			continue
+		}
+		n.EachExpr(func(slot **ir.Expr) {
+			(*slot).Walk(func(e *ir.Expr) {
+				if e.Op != ir.OpRef {
+					return
+				}
+				u := e.Node
+				if u.Kind == ir.KindReg || u.Kind == ir.KindInput {
+					return
+				}
+				if r.SupOf[u.ID] > r.SupOf[n.ID] {
+					t.Fatalf("dep edge %s -> %s goes backward across supernodes (%d > %d)",
+						u.Name, n.Name, r.SupOf[u.ID], r.SupOf[n.ID])
+				}
+			})
+		})
+	}
+	for si, members := range r.Members {
+		for i := 1; i < len(members); i++ {
+			if members[i-1] >= members[i] {
+				t.Fatalf("supernode %d members not ascending", si)
+			}
+		}
+	}
+}
+
+func TestAllKindsInvariants(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		g := testGraph(t, seed)
+		for _, kind := range []Kind{None, Kernighan, MFFC, Enhanced} {
+			for _, size := range []int{1, 4, 32, 200} {
+				r := Build(g, kind, size)
+				checkInvariants(t, g, r, size, true)
+			}
+		}
+	}
+}
+
+func TestNoneIsSingletons(t *testing.T) {
+	g := testGraph(t, 1)
+	r := Build(g, None, 32)
+	evaluable := 0
+	for _, n := range g.Nodes {
+		if n != nil && n.HasCode() {
+			evaluable++
+		}
+	}
+	if r.Count() != evaluable {
+		t.Fatalf("None produced %d supernodes, want %d", r.Count(), evaluable)
+	}
+}
+
+func TestEnhancedGroupsMoreThanNone(t *testing.T) {
+	g := testGraph(t, 2)
+	none := Build(g, None, 32)
+	enh := Build(g, Enhanced, 32)
+	if enh.Count() >= none.Count() {
+		t.Fatalf("Enhanced did not group anything: %d vs %d", enh.Count(), none.Count())
+	}
+	// Grouping should reduce crossing activation edges.
+	if enh.CutEdges >= none.CutEdges {
+		t.Fatalf("Enhanced did not reduce cut: %d vs %d", enh.CutEdges, none.CutEdges)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	g := testGraph(t, 3)
+	for _, kind := range []Kind{Kernighan, MFFC, Enhanced} {
+		a := Build(g, kind, 16)
+		b := Build(g, kind, 16)
+		if a.Count() != b.Count() {
+			t.Fatalf("%v nondeterministic supernode count", kind)
+		}
+		for i := range a.SupOf {
+			if a.SupOf[i] != b.SupOf[i] {
+				t.Fatalf("%v nondeterministic assignment at node %d", kind, i)
+			}
+		}
+	}
+}
+
+func TestSizeCapShrinksSupernodes(t *testing.T) {
+	g := testGraph(t, 4)
+	small := Build(g, Enhanced, 2)
+	large := Build(g, Enhanced, 64)
+	if small.Count() <= large.Count() {
+		t.Fatalf("smaller cap should give more supernodes: %d vs %d", small.Count(), large.Count())
+	}
+}
+
+func TestParseKind(t *testing.T) {
+	for _, k := range []Kind{None, Kernighan, MFFC, Enhanced} {
+		got, err := ParseKind(k.String())
+		if err != nil || got != k {
+			t.Fatalf("ParseKind(%q) = %v, %v", k.String(), got, err)
+		}
+	}
+	if _, err := ParseKind("bogus"); err == nil {
+		t.Fatal("expected error for unknown kind")
+	}
+}
+
+// TestMFFCFanoutFree verifies the cone property: inside an MFFC group, every
+// non-root member's dep successors stay within the group.
+func TestMFFCFanoutFree(t *testing.T) {
+	g := testGraph(t, 5)
+	r := Build(g, MFFC, 1<<30) // uncapped: pure cones
+	adj := g.BuildAdjacency()
+	for _, members := range r.Members {
+		inGroup := map[int32]bool{}
+		for _, id := range members {
+			inGroup[id] = true
+		}
+		// The cone root is the single member whose dependence fanout may
+		// leave the group; every other member's dep successors stay inside.
+		leaving := 0
+		for _, id := range members {
+			n := g.Nodes[id]
+			if n.Kind == ir.KindReg || n.Kind == ir.KindMemWrite {
+				continue // register/write out-edges are not dep edges
+			}
+			allInside := true
+			for _, s := range adj.Succs[id] {
+				if !inGroup[s] {
+					allInside = false
+					break
+				}
+			}
+			if !allInside {
+				leaving++
+			}
+		}
+		if leaving > 1 {
+			t.Fatalf("MFFC group with %d members has %d fanout nodes, want <= 1", len(members), leaving)
+		}
+	}
+}

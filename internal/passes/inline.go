@@ -1,0 +1,210 @@
+package passes
+
+import (
+	"sort"
+
+	"gsim/internal/ir"
+)
+
+// inlineNodes dissolves combinational nodes into their readers when the
+// paper's cost model says duplication is cheaper than keeping the node:
+// inline when cost(f)·#refs ≤ cost(f) + cost_node (§III-B). Expressions
+// larger than maxCost are never duplicated.
+//
+// Decisions are made in topological order with fully resolved expressions,
+// so an inlined node's expression already reflects earlier inlining (its
+// true post-substitution cost).
+func inlineNodes(g *ir.Graph, costNode, maxCost int) int {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return 0
+	}
+	keep := keepAlive(g)
+
+	// Reference occurrence counts (not distinct readers — every occurrence
+	// re-evaluates the inlined expression).
+	refs := make([]int, len(g.Nodes))
+	for _, n := range g.Nodes {
+		if n == nil {
+			continue
+		}
+		n.EachExpr(func(slot **ir.Expr) {
+			(*slot).Walk(func(e *ir.Expr) {
+				if e.Op == ir.OpRef {
+					refs[e.Node.ID]++
+				}
+			})
+		})
+	}
+
+	inlined := map[*ir.Node]*ir.Expr{}
+	resolve := func(slot **ir.Expr) {
+		ir.WalkPtr(slot, func(pe **ir.Expr) bool {
+			e := *pe
+			if e.Op == ir.OpRef {
+				if repl, ok := inlined[e.Node]; ok {
+					*pe = repl.Clone()
+					return false // replacement is already fully resolved
+				}
+			}
+			return true
+		})
+	}
+
+	count := 0
+	for _, id := range order {
+		n := g.Nodes[id]
+		if n == nil {
+			continue
+		}
+		// Resolve references to already-inlined nodes first so this node's
+		// cost reflects the substitutions.
+		n.EachExpr(resolve)
+		if keep[n] || n.Kind != ir.KindComb {
+			continue
+		}
+		k := refs[n.ID]
+		if k == 0 {
+			continue // dead; DCE's business
+		}
+		c := n.Expr.Cost()
+		if c > maxCost {
+			continue
+		}
+		// The paper's trade-off: keeping the node costs c + cost_node;
+		// inlining costs c per reference.
+		if c*k <= c+costNode {
+			inlined[n] = n.Expr
+			g.Nodes[n.ID] = nil
+			count++
+		}
+	}
+	if count == 0 {
+		return 0
+	}
+	// A final resolve over all remaining nodes catches references from nodes
+	// positioned before their inlined successors in the walk above (register
+	// readers, which topological order does not constrain).
+	for _, n := range g.Nodes {
+		if n != nil {
+			n.EachExpr(resolve)
+		}
+	}
+	return count
+}
+
+// extractCommon is the opposite direction: common subexpressions whose
+// repeated evaluation costs more than a dedicated node are extracted into
+// one (§III-B node extraction). Uses structural value numbering; chosen
+// subexpressions become new combinational nodes and every occurrence is
+// replaced by a reference.
+func extractCommon(g *ir.Graph, costNode int) int {
+	type vnInfo struct {
+		expr  *ir.Expr // representative
+		count int
+		cost  int
+	}
+	table := map[uint64]*vnInfo{}
+
+	// Count structurally identical non-trivial subexpressions.
+	var scan func(e *ir.Expr)
+	scan = func(e *ir.Expr) {
+		for _, a := range e.Args {
+			scan(a)
+		}
+		if e.Op == ir.OpRef || e.Op == ir.OpConst {
+			return
+		}
+		h := e.Hash()
+		if info, ok := table[h]; ok && ir.StructEq(info.expr, e) {
+			info.count++
+			return
+		}
+		if _, ok := table[h]; !ok {
+			table[h] = &vnInfo{expr: e, count: 1, cost: e.Cost()}
+		}
+	}
+	for _, n := range g.Nodes {
+		if n == nil {
+			continue
+		}
+		n.EachExpr(func(slot **ir.Expr) { scan(*slot) })
+	}
+
+	// Candidates worth extracting: cost·k > cost + cost_node.
+	var chosen []*vnInfo
+	for _, info := range table {
+		if info.count >= 2 && info.cost*info.count > info.cost+costNode {
+			chosen = append(chosen, info)
+		}
+	}
+	if len(chosen) == 0 {
+		return 0
+	}
+	// Materialize larger expressions first so smaller chosen subexpressions
+	// can still be referenced inside them.
+	sort.Slice(chosen, func(i, j int) bool { return chosen[i].cost > chosen[j].cost })
+
+	newNode := map[uint64]*ir.Node{}
+	replace := func(slot **ir.Expr, self *ir.Node) {
+		ir.WalkPtr(slot, func(pe **ir.Expr) bool {
+			e := *pe
+			if e.Op == ir.OpRef || e.Op == ir.OpConst {
+				return false
+			}
+			if nn, ok := newNode[e.Hash()]; ok && nn != self && ir.StructEq(nn.Expr, e) {
+				*pe = ir.Ref(nn)
+				return false
+			}
+			return true
+		})
+	}
+	count := 0
+	for _, info := range chosen {
+		h := info.expr.Hash()
+		if _, dup := newNode[h]; dup {
+			continue
+		}
+		n := g.AddNode(&ir.Node{
+			Name:  "_cse" + itoa(count),
+			Kind:  ir.KindComb,
+			Width: info.expr.Width,
+			Expr:  info.expr.Clone(),
+		})
+		newNode[h] = n
+		count++
+	}
+	// Rewrite every node, including the new CSE nodes (nesting), skipping
+	// each node's own defining expression root.
+	for _, n := range g.Nodes {
+		if n == nil {
+			continue
+		}
+		self := n
+		n.EachExpr(func(slot **ir.Expr) {
+			// Do not replace the root of a CSE node with a ref to itself.
+			if nn, ok := newNode[(*slot).Hash()]; ok && nn == self {
+				for i := range (*slot).Args {
+					replace(&(*slot).Args[i], self)
+				}
+				return
+			}
+			replace(slot, self)
+		})
+	}
+	return count
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [12]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

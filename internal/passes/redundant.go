@@ -1,0 +1,137 @@
+package passes
+
+import "gsim/internal/ir"
+
+// eliminateAliases removes combinational nodes whose expression is a bare
+// reference to another node of the same width (the paper's Alias Nodes,
+// Fig. 2 ❶), redirecting all readers to the original.
+func eliminateAliases(g *ir.Graph) int {
+	// Resolve alias chains: target[n] = ultimate non-alias node.
+	target := map[*ir.Node]*ir.Node{}
+	var resolve func(n *ir.Node) *ir.Node
+	resolve = func(n *ir.Node) *ir.Node {
+		if t, ok := target[n]; ok {
+			return t
+		}
+		t := n
+		if n.Kind == ir.KindComb && !n.IsOutput && n.Expr.Op == ir.OpRef && n.Expr.Node.Width == n.Width {
+			target[n] = n.Expr.Node // provisional, breaks cycles (none exist)
+			t = resolve(n.Expr.Node)
+		}
+		target[n] = t
+		return t
+	}
+	removed := 0
+	for _, n := range g.Nodes {
+		if n == nil {
+			continue
+		}
+		if resolve(n) != n {
+			removed++
+		}
+	}
+	if removed == 0 {
+		return 0
+	}
+	for id, n := range g.Nodes {
+		if n == nil {
+			continue
+		}
+		if target[n] != n {
+			g.Nodes[id] = nil
+			continue
+		}
+		n.EachExpr(func(slot **ir.Expr) {
+			ir.WalkPtr(slot, func(pe **ir.Expr) bool {
+				e := *pe
+				if e.Op == ir.OpRef {
+					if t := resolve(e.Node); t != e.Node {
+						e.Node = t
+					}
+				}
+				return true
+			})
+		})
+		if n.Kind == ir.KindReg && n.ResetSig != nil {
+			n.ResetSig = resolve(n.ResetSig)
+		}
+	}
+	return removed
+}
+
+// eliminateDead removes nodes unreachable (as transitive predecessors) from
+// any output — the paper's Dead Nodes (Fig. 2 ❷), Shorted Nodes left behind
+// by mux constant folding (❸), and Unused Registers including self-updating
+// ones (❹). Memory write ports stay live only while some read port of the
+// same memory is live.
+func eliminateDead(g *ir.Graph) int {
+	marked := make([]bool, len(g.Nodes))
+	var stack []*ir.Node
+	mark := func(n *ir.Node) {
+		if n != nil && !marked[n.ID] {
+			marked[n.ID] = true
+			stack = append(stack, n)
+		}
+	}
+	for _, n := range g.Nodes {
+		if n != nil && n.IsOutput {
+			mark(n)
+		}
+	}
+	// Track memories with a live read port; their write ports become roots.
+	memLive := make([]bool, len(g.Mems))
+	writesOf := make([][]*ir.Node, len(g.Mems))
+	for _, n := range g.Nodes {
+		if n != nil && n.Kind == ir.KindMemWrite {
+			writesOf[n.Mem.ID] = append(writesOf[n.Mem.ID], n)
+		}
+	}
+	for {
+		for len(stack) > 0 {
+			n := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			n.EachExpr(func(slot **ir.Expr) {
+				(*slot).Walk(func(e *ir.Expr) {
+					if e.Op == ir.OpRef {
+						mark(e.Node)
+					}
+				})
+			})
+			if n.Kind == ir.KindReg && n.ResetSig != nil {
+				mark(n.ResetSig)
+			}
+			if n.Kind == ir.KindMemRead && !memLive[n.Mem.ID] {
+				memLive[n.Mem.ID] = true
+			}
+		}
+		// Promote write ports of newly live memories; loop if that marked
+		// anything new.
+		grew := false
+		for mi, live := range memLive {
+			if !live {
+				continue
+			}
+			for _, w := range writesOf[mi] {
+				if !marked[w.ID] {
+					mark(w)
+					grew = true
+				}
+			}
+		}
+		if !grew {
+			break
+		}
+	}
+	removed := 0
+	for id, n := range g.Nodes {
+		if n == nil || marked[id] {
+			continue
+		}
+		if n.Kind == ir.KindInput {
+			continue // inputs stay: they are the testbench interface
+		}
+		g.Nodes[id] = nil
+		removed++
+	}
+	return removed
+}

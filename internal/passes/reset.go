@@ -1,0 +1,66 @@
+package passes
+
+import "gsim/internal/ir"
+
+// hoistResets implements the paper's reset handling optimization
+// (Listing 5 → Listing 6): a register whose next-value expression is
+// mux(rst, init, e) — with rst a 1-bit signal and init the register's
+// initial value — is rewritten to compute just e on the fast path. The
+// reset signal is recorded on the register (ir.Node.ResetSig); engines then
+// check each distinct reset signal once per cycle and force the init value
+// at commit time, reducing reset checks from the number of registers with a
+// reset port to the number of reset signals in the design.
+//
+// The transformation is exact: with the slow path applied at end of cycle,
+// the register's committed value when rst is high is init — the same value
+// the mux would have produced.
+func hoistResets(g *ir.Graph) int {
+	count := 0
+	for _, n := range g.Nodes {
+		if n == nil || n.Kind != ir.KindReg || n.ResetSig != nil {
+			continue
+		}
+		mux, wrap := unwrapPad(n.Expr)
+		if mux == nil || mux.Op != ir.OpMux {
+			continue
+		}
+		sel, t, f := mux.Args[0], mux.Args[1], mux.Args[2]
+		// Only top-level input resets are hoisted: the activity engine must
+		// observe the signal's transitions at poke time to re-arm the
+		// registers when reset deasserts. A derived (combinational) reset
+		// would settle mid-sweep, too late for an exact same-cycle update.
+		if sel.Op != ir.OpRef || sel.Node.Width != 1 || sel.Node.Kind != ir.KindInput {
+			continue
+		}
+		if t.Op != ir.OpConst {
+			continue
+		}
+		// The hoisted value must equal the register's initial value, or the
+		// power-on state would change.
+		initv := n.Init
+		if initv.Width == 0 {
+			initv = ir.ZeroInit(n)
+		}
+		tv := t.Imm
+		if !tv.EqValue(initv) {
+			continue
+		}
+		n.ResetSig = sel.Node
+		next := f
+		if wrap {
+			next = fit(next, n.Width)
+		}
+		n.Expr = fit(next, n.Width)
+		count++
+	}
+	return count
+}
+
+// unwrapPad looks through a possible width-fitting Pad around the reset mux
+// and reports whether one was present.
+func unwrapPad(e *ir.Expr) (*ir.Expr, bool) {
+	if e.Op == ir.OpPad {
+		return e.Args[0], true
+	}
+	return e, false
+}

@@ -1,0 +1,303 @@
+package passes
+
+import (
+	"gsim/internal/bitvec"
+	"gsim/internal/ir"
+)
+
+// simplifyGraph rewrites every expression bottom-up with constant folding
+// and algebraic simplification. Returns the number of rewrites applied.
+func simplifyGraph(g *ir.Graph) int {
+	changed := 0
+	for _, n := range g.Nodes {
+		if n == nil {
+			continue
+		}
+		n.EachExpr(func(slot **ir.Expr) {
+			var c int
+			*slot, c = simplifyExpr(*slot)
+			changed += c
+		})
+	}
+	return changed
+}
+
+// simplifyExpr rewrites e bottom-up and returns the replacement plus the
+// number of rewrites. The returned expression always has e's width.
+func simplifyExpr(e *ir.Expr) (*ir.Expr, int) {
+	changed := 0
+	for i := range e.Args {
+		var c int
+		e.Args[i], c = simplifyExpr(e.Args[i])
+		changed += c
+	}
+	for {
+		r := rewriteOnce(e)
+		if r == nil {
+			return e, changed
+		}
+		if r.Width != e.Width {
+			r = fit(r, e.Width)
+		}
+		e = r
+		changed++
+	}
+}
+
+func isConst(e *ir.Expr) bool { return e.Op == ir.OpConst }
+
+func isZero(e *ir.Expr) bool { return e.Op == ir.OpConst && e.Imm.IsZero() }
+
+func isOnes(e *ir.Expr) bool { return e.Op == ir.OpConst && e.Imm.IsOnes() }
+
+func isOne(e *ir.Expr) bool {
+	return e.Op == ir.OpConst && e.Imm.Uint64() == 1 && bitvec.OrR(bitvec.Shr(e.Imm, 1, e.Imm.Width)).IsZero()
+}
+
+func constOf(width int, v uint64) *ir.Expr { return ir.ConstUint(width, v) }
+
+// rewriteOnce applies one simplification rule to the root of e, or returns
+// nil when no rule applies. Arguments are assumed already simplified.
+func rewriteOnce(e *ir.Expr) *ir.Expr {
+	// Constant folding for any fully-constant operator application.
+	if e.Op != ir.OpRef && e.Op != ir.OpConst {
+		all := true
+		for _, a := range e.Args {
+			if !isConst(a) {
+				all = false
+				break
+			}
+		}
+		if all && foldable(e) {
+			return ir.Const(e.FoldConst())
+		}
+	}
+
+	a0 := func() *ir.Expr { return e.Args[0] }
+	a1 := func() *ir.Expr { return e.Args[1] }
+
+	switch e.Op {
+	case ir.OpAdd:
+		if isZero(a0()) {
+			return a1()
+		}
+		if isZero(a1()) {
+			return a0()
+		}
+	case ir.OpSub:
+		if isZero(a1()) {
+			return a0()
+		}
+		if ir.StructEq(a0(), a1()) {
+			return constOf(e.Width, 0)
+		}
+	case ir.OpMul:
+		if isZero(a0()) || isZero(a1()) {
+			return constOf(e.Width, 0)
+		}
+		if isOne(a0()) {
+			return a1()
+		}
+		if isOne(a1()) {
+			return a0()
+		}
+	case ir.OpDiv:
+		if isOne(a1()) {
+			return a0()
+		}
+	case ir.OpRem:
+		if isOne(a1()) {
+			return constOf(e.Width, 0)
+		}
+	case ir.OpAnd:
+		if isZero(a0()) || isZero(a1()) {
+			return constOf(e.Width, 0)
+		}
+		if isOnes(a0()) && a0().Width >= a1().Width {
+			return a1()
+		}
+		if isOnes(a1()) && a1().Width >= a0().Width {
+			return a0()
+		}
+		if ir.StructEq(a0(), a1()) {
+			return a0()
+		}
+	case ir.OpOr, ir.OpXor:
+		if isZero(a0()) {
+			return a1()
+		}
+		if isZero(a1()) {
+			return a0()
+		}
+		if ir.StructEq(a0(), a1()) {
+			if e.Op == ir.OpXor {
+				return constOf(e.Width, 0)
+			}
+			return a0()
+		}
+	case ir.OpNot:
+		if a0().Op == ir.OpNot {
+			return a0().Args[0]
+		}
+	case ir.OpAndR, ir.OpOrR, ir.OpXorR:
+		if a0().Width == 1 {
+			return a0()
+		}
+	case ir.OpEq:
+		if ir.StructEq(a0(), a1()) {
+			return constOf(1, 1)
+		}
+	case ir.OpNeq:
+		if ir.StructEq(a0(), a1()) {
+			return constOf(1, 0)
+		}
+	case ir.OpLt, ir.OpGt:
+		if ir.StructEq(a0(), a1()) {
+			return constOf(1, 0)
+		}
+	case ir.OpLeq, ir.OpGeq:
+		if ir.StructEq(a0(), a1()) {
+			return constOf(1, 1)
+		}
+	case ir.OpShl, ir.OpShr:
+		if e.Lo == 0 {
+			return a0()
+		}
+	case ir.OpDshl:
+		if isConst(a1()) {
+			n := a1().Imm.Uint64()
+			if n >= uint64(e.Width) {
+				return constOf(e.Width, 0)
+			}
+			return ir.Unary(ir.OpShl, a0(), int(n))
+		}
+	case ir.OpDshr:
+		if isConst(a1()) {
+			n := a1().Imm.Uint64()
+			if n >= uint64(a0().Width) {
+				return constOf(e.Width, 0)
+			}
+			return ir.Unary(ir.OpShr, a0(), int(n))
+		}
+	case ir.OpPad:
+		if a0().Width == e.Width {
+			return a0()
+		}
+		if a0().Op == ir.OpPad {
+			return fit(a0().Args[0], e.Width)
+		}
+	case ir.OpSExt:
+		if a0().Width == e.Width {
+			return a0()
+		}
+	case ir.OpCat:
+		// cat(0, x) is a zero extension.
+		if isZero(a0()) {
+			return fit(a1(), e.Width)
+		}
+		// Adjacent slices of the same expression merge: cat(x[h1:l1],
+		// x[h2:l2]) with l1 == h2+1 becomes x[h1:l2].
+		if a0().Op == ir.OpBits && a1().Op == ir.OpBits &&
+			a0().Lo == a1().Hi+1 && ir.StructEq(a0().Args[0], a1().Args[0]) {
+			return ir.BitsOf(a0().Args[0], a0().Hi, a1().Lo)
+		}
+	case ir.OpBits:
+		return rewriteBits(e)
+	case ir.OpMux:
+		sel, t, f := e.Args[0], e.Args[1], e.Args[2]
+		if isConst(sel) {
+			if sel.Imm.IsZero() {
+				return f
+			}
+			return t
+		}
+		if ir.StructEq(t, f) {
+			return t
+		}
+		if e.Width == 1 && isOne(t) && isZero(f) {
+			return sel
+		}
+		if e.Width == 1 && isZero(t) && isOne(f) {
+			return ir.Unary(ir.OpNot, sel, 0)
+		}
+	}
+	return nil
+}
+
+// foldable guards constant folding against the unsupported wide-division
+// case (the emitter rejects it too, so folding must not be the only escape).
+func foldable(e *ir.Expr) bool {
+	if e.Op == ir.OpDiv || e.Op == ir.OpRem {
+		return e.Args[0].Width <= 64 && e.Args[1].Width <= 64
+	}
+	return true
+}
+
+// rewriteBits simplifies a bits() application, including the paper's
+// one-hot decode pattern: bits(dshl(1, a), k, k) → eq(a, k).
+func rewriteBits(e *ir.Expr) *ir.Expr {
+	a := e.Args[0]
+	hi, lo := e.Hi, e.Lo
+	// Full-width slice.
+	if lo == 0 && hi == a.Width-1 {
+		return a
+	}
+	switch a.Op {
+	case ir.OpBits:
+		return ir.BitsOf(a.Args[0], a.Lo+hi, a.Lo+lo)
+	case ir.OpCat:
+		h, l := a.Args[0], a.Args[1]
+		if hi < l.Width {
+			return ir.BitsOf(l, hi, lo)
+		}
+		if lo >= l.Width {
+			return ir.BitsOf(h, hi-l.Width, lo-l.Width)
+		}
+	case ir.OpPad:
+		x := a.Args[0]
+		if hi < x.Width {
+			return ir.BitsOf(x, hi, lo)
+		}
+		if lo >= x.Width {
+			return constOf(e.Width, 0)
+		}
+		return fit(ir.BitsOf(x, x.Width-1, lo), e.Width)
+	case ir.OpShl:
+		n := a.Lo
+		if lo >= n {
+			return ir.BitsOf(a.Args[0], hi-n, lo-n)
+		}
+		if hi < n {
+			return constOf(e.Width, 0)
+		}
+	case ir.OpDshl:
+		// One-hot decode: bit k of (1 << a) is (a == k).
+		if hi == lo && isOne(a.Args[0]) {
+			amt := a.Args[1]
+			k := uint64(lo)
+			if amt.Width < 63 && k >= uint64(1)<<uint(amt.Width) {
+				return constOf(1, 0)
+			}
+			return ir.Binary(ir.OpEq, amt, constOf(amt.Width, k))
+		}
+	case ir.OpMux:
+		// Slicing distributes over mux; this narrows wide muxes whose users
+		// only need a few bits.
+		sel, t, f := a.Args[0], a.Args[1], a.Args[2]
+		return ir.MuxOf(sel, sliceZext(t, hi, lo), sliceZext(f, hi, lo))
+	}
+	return nil
+}
+
+// sliceZext returns bits [hi:lo] of e treating e as zero-extended to any
+// width: out-of-range bits read as zero.
+func sliceZext(e *ir.Expr, hi, lo int) *ir.Expr {
+	w := hi - lo + 1
+	if lo >= e.Width {
+		return constOf(w, 0)
+	}
+	if hi < e.Width {
+		return ir.BitsOf(e, hi, lo)
+	}
+	return fit(ir.BitsOf(e, e.Width-1, lo), w)
+}

@@ -1,0 +1,439 @@
+// Package rv provides the end-to-end correctness anchor for the simulator:
+// a small RV32I processor core elaborated in the IR (the repository's
+// stand-in for the paper's stuCore), a two-pass assembler for the supported
+// instruction subset, a reference instruction-set simulator (ISS), and the
+// CoreMark-like / Linux-boot-like workload programs used by the experiments.
+//
+// The same assembled program runs on the RTL core under every engine and on
+// the ISS; architectural state must match instruction for instruction.
+package rv
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Instruction subset: LUI AUIPC JAL JALR BEQ BNE BLT BGE BLTU BGEU LW LH LHU
+// LB LBU SW SH SB ADDI SLTI SLTIU XORI ORI ANDI SLLI SRLI SRAI ADD SUB SLL
+// SLT SLTU XOR SRL SRA OR AND ECALL, plus pseudo-instructions LI MV J NOP
+// BEQZ BNEZ RET CALL.
+
+var regNames = map[string]uint32{}
+
+func init() {
+	abi := []string{
+		"zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2",
+		"s0", "s1", "a0", "a1", "a2", "a3", "a4", "a5",
+		"a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7",
+		"s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6",
+	}
+	for i := 0; i < 32; i++ {
+		regNames[fmt.Sprintf("x%d", i)] = uint32(i)
+		regNames[abi[i]] = uint32(i)
+	}
+	regNames["fp"] = 8
+}
+
+// Assemble translates assembly text into instruction words. Two passes:
+// label collection, then encoding. Supports labels, comments (# and //),
+// .word directives, and the pseudo-instructions listed above.
+func Assemble(src string) ([]uint32, error) {
+	type line struct {
+		no   int
+		text string
+	}
+	var lines []line
+	for i, raw := range strings.Split(src, "\n") {
+		s := raw
+		if j := strings.Index(s, "#"); j >= 0 {
+			s = s[:j]
+		}
+		if j := strings.Index(s, "//"); j >= 0 {
+			s = s[:j]
+		}
+		s = strings.TrimSpace(s)
+		if s != "" {
+			lines = append(lines, line{i + 1, s})
+		}
+	}
+
+	// Pass 1: label addresses. Each line holds at most one label then
+	// optionally an instruction.
+	labels := map[string]uint32{}
+	pc := uint32(0)
+	type pending struct {
+		no   int
+		op   string
+		args []string
+		pc   uint32
+	}
+	var prog []pending
+	for _, ln := range lines {
+		text := ln.text
+		for {
+			if i := strings.Index(text, ":"); i >= 0 && !strings.ContainsAny(text[:i], " \t") {
+				label := strings.TrimSpace(text[:i])
+				if _, dup := labels[label]; dup {
+					return nil, fmt.Errorf("line %d: duplicate label %q", ln.no, label)
+				}
+				labels[label] = pc
+				text = strings.TrimSpace(text[i+1:])
+				continue
+			}
+			break
+		}
+		if text == "" {
+			continue
+		}
+		fields := strings.Fields(text)
+		op := strings.ToLower(fields[0])
+		args := splitArgs(strings.Join(fields[1:], " "))
+		prog = append(prog, pending{ln.no, op, args, pc})
+		pc += uint32(4 * instrWords(op))
+	}
+
+	// Pass 2: encode.
+	var out []uint32
+	for _, p := range prog {
+		words, err := encode(p.op, p.args, p.pc, labels)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", p.no, err)
+		}
+		out = append(out, words...)
+	}
+	return out, nil
+}
+
+func splitArgs(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+// instrWords returns how many 32-bit words an op expands to.
+func instrWords(op string) int {
+	switch op {
+	case "li", "call":
+		return 2 // worst case lui+addi / auipc+jalr; always two for stable layout
+	}
+	return 1
+}
+
+func reg(s string) (uint32, error) {
+	if r, ok := regNames[strings.ToLower(s)]; ok {
+		return r, nil
+	}
+	return 0, fmt.Errorf("bad register %q", s)
+}
+
+func imm(s string, labels map[string]uint32) (int64, error) {
+	s = strings.TrimSpace(s)
+	if v, ok := labels[s]; ok {
+		return int64(v), nil
+	}
+	neg := false
+	if strings.HasPrefix(s, "-") {
+		neg = true
+		s = s[1:]
+	}
+	base := 10
+	if strings.HasPrefix(s, "0x") || strings.HasPrefix(s, "0X") {
+		base = 16
+		s = s[2:]
+	}
+	v, err := strconv.ParseInt(s, base, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate %q", s)
+	}
+	if neg {
+		v = -v
+	}
+	return v, nil
+}
+
+// memOperand parses "imm(reg)".
+func memOperand(s string, labels map[string]uint32) (int64, uint32, error) {
+	open := strings.Index(s, "(")
+	close := strings.LastIndex(s, ")")
+	if open < 0 || close < open {
+		return 0, 0, fmt.Errorf("bad memory operand %q", s)
+	}
+	off := int64(0)
+	if t := strings.TrimSpace(s[:open]); t != "" {
+		v, err := imm(t, labels)
+		if err != nil {
+			return 0, 0, err
+		}
+		off = v
+	}
+	r, err := reg(strings.TrimSpace(s[open+1 : close]))
+	return off, r, err
+}
+
+// --- encoders ---
+
+func encR(f7, rs2, rs1, f3, rd, op uint32) uint32 {
+	return f7<<25 | rs2<<20 | rs1<<15 | f3<<12 | rd<<7 | op
+}
+
+func encI(immv int64, rs1, f3, rd, op uint32) (uint32, error) {
+	if immv < -2048 || immv > 2047 {
+		return 0, fmt.Errorf("I-immediate %d out of range", immv)
+	}
+	return uint32(immv)&0xfff<<20 | rs1<<15 | f3<<12 | rd<<7 | op, nil
+}
+
+func encS(immv int64, rs2, rs1, f3, op uint32) (uint32, error) {
+	if immv < -2048 || immv > 2047 {
+		return 0, fmt.Errorf("S-immediate %d out of range", immv)
+	}
+	u := uint32(immv) & 0xfff
+	return (u>>5)<<25 | rs2<<20 | rs1<<15 | f3<<12 | (u&0x1f)<<7 | op, nil
+}
+
+func encB(off int64, rs2, rs1, f3 uint32) (uint32, error) {
+	if off%2 != 0 || off < -4096 || off > 4094 {
+		return 0, fmt.Errorf("branch offset %d invalid", off)
+	}
+	u := uint32(off)
+	return (u>>12&1)<<31 | (u>>5&0x3f)<<25 | rs2<<20 | rs1<<15 | f3<<12 |
+		(u>>1&0xf)<<8 | (u>>11&1)<<7 | 0x63, nil
+}
+
+func encU(immv int64, rd, op uint32) uint32 {
+	return uint32(immv)&0xfffff<<12 | rd<<7 | op
+}
+
+func encJ(off int64, rd uint32) (uint32, error) {
+	if off%2 != 0 || off < -(1<<20) || off >= 1<<20 {
+		return 0, fmt.Errorf("jump offset %d invalid", off)
+	}
+	u := uint32(off)
+	return (u>>20&1)<<31 | (u>>1&0x3ff)<<21 | (u>>11&1)<<20 | (u>>12&0xff)<<12 | rd<<7 | 0x6f, nil
+}
+
+var rOps = map[string][2]uint32{ // funct3, funct7
+	"add": {0, 0x00}, "sub": {0, 0x20}, "sll": {1, 0x00}, "slt": {2, 0x00},
+	"sltu": {3, 0x00}, "xor": {4, 0x00}, "srl": {5, 0x00}, "sra": {5, 0x20},
+	"or": {6, 0x00}, "and": {7, 0x00},
+}
+
+var iOps = map[string]uint32{ // funct3
+	"addi": 0, "slti": 2, "sltiu": 3, "xori": 4, "ori": 6, "andi": 7,
+}
+
+var branchOps = map[string]uint32{
+	"beq": 0, "bne": 1, "blt": 4, "bge": 5, "bltu": 6, "bgeu": 7,
+}
+
+func encode(op string, args []string, pc uint32, labels map[string]uint32) ([]uint32, error) {
+	one := func(w uint32, err error) ([]uint32, error) {
+		if err != nil {
+			return nil, err
+		}
+		return []uint32{w}, nil
+	}
+	switch {
+	case op == ".word":
+		var out []uint32
+		for _, a := range args {
+			v, err := imm(a, labels)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, uint32(v))
+		}
+		return out, nil
+
+	case rOps[op] != [2]uint32{} || op == "add":
+		if f, ok := rOps[op]; ok {
+			if len(args) != 3 {
+				return nil, fmt.Errorf("%s needs 3 operands", op)
+			}
+			rd, e1 := reg(args[0])
+			rs1, e2 := reg(args[1])
+			rs2, e3 := reg(args[2])
+			if err := firstErr(e1, e2, e3); err != nil {
+				return nil, err
+			}
+			return []uint32{encR(f[1], rs2, rs1, f[0], rd, 0x33)}, nil
+		}
+	}
+	switch op {
+	case "addi", "slti", "sltiu", "xori", "ori", "andi":
+		if len(args) != 3 {
+			return nil, fmt.Errorf("%s needs 3 operands", op)
+		}
+		rd, e1 := reg(args[0])
+		rs1, e2 := reg(args[1])
+		v, e3 := imm(args[2], labels)
+		if err := firstErr(e1, e2, e3); err != nil {
+			return nil, err
+		}
+		return one(encI(v, rs1, iOps[op], rd, 0x13))
+
+	case "slli", "srli", "srai":
+		rd, e1 := reg(args[0])
+		rs1, e2 := reg(args[1])
+		v, e3 := imm(args[2], labels)
+		if err := firstErr(e1, e2, e3); err != nil {
+			return nil, err
+		}
+		if v < 0 || v > 31 {
+			return nil, fmt.Errorf("shift amount %d out of range", v)
+		}
+		f3 := uint32(1)
+		hi := uint32(0)
+		if op != "slli" {
+			f3 = 5
+			if op == "srai" {
+				hi = 0x20
+			}
+		}
+		return []uint32{encR(hi, uint32(v), rs1, f3, rd, 0x13)}, nil
+
+	case "lui", "auipc":
+		rd, e1 := reg(args[0])
+		v, e2 := imm(args[1], labels)
+		if err := firstErr(e1, e2); err != nil {
+			return nil, err
+		}
+		opc := uint32(0x37)
+		if op == "auipc" {
+			opc = 0x17
+		}
+		return []uint32{encU(v, rd, opc)}, nil
+
+	case "jal":
+		if len(args) == 1 { // jal label  (rd = ra)
+			args = []string{"ra", args[0]}
+		}
+		rd, e1 := reg(args[0])
+		target, e2 := imm(args[1], labels)
+		if err := firstErr(e1, e2); err != nil {
+			return nil, err
+		}
+		return one(encJ(target-int64(pc), rd))
+
+	case "jalr":
+		if len(args) == 1 { // jalr rs1
+			args = []string{"ra", "0(" + args[0] + ")"}
+		}
+		rd, e1 := reg(args[0])
+		off, rs1, e2 := memOperand(args[1], labels)
+		if err := firstErr(e1, e2); err != nil {
+			return nil, err
+		}
+		return one(encI(off, rs1, 0, rd, 0x67))
+
+	case "beq", "bne", "blt", "bge", "bltu", "bgeu":
+		rs1, e1 := reg(args[0])
+		rs2, e2 := reg(args[1])
+		target, e3 := imm(args[2], labels)
+		if err := firstErr(e1, e2, e3); err != nil {
+			return nil, err
+		}
+		return one(encB(target-int64(pc), rs2, rs1, branchOps[op]))
+
+	case "lw", "lb", "lbu", "lh", "lhu":
+		rd, e1 := reg(args[0])
+		off, rs1, e2 := memOperand(args[1], labels)
+		if err := firstErr(e1, e2); err != nil {
+			return nil, err
+		}
+		f3 := map[string]uint32{"lb": 0, "lh": 1, "lw": 2, "lbu": 4, "lhu": 5}[op]
+		return one(encI(off, rs1, f3, rd, 0x03))
+
+	case "sw", "sb", "sh":
+		rs2, e1 := reg(args[0])
+		off, rs1, e2 := memOperand(args[1], labels)
+		if err := firstErr(e1, e2); err != nil {
+			return nil, err
+		}
+		f3 := map[string]uint32{"sb": 0, "sh": 1, "sw": 2}[op]
+		return one(encS(off, rs2, rs1, f3, 0x23))
+
+	case "ecall":
+		return []uint32{0x73}, nil
+
+	// --- pseudo-instructions ---
+	case "nop":
+		return []uint32{0x13}, nil // addi x0, x0, 0
+	case "mv":
+		rd, e1 := reg(args[0])
+		rs, e2 := reg(args[1])
+		if err := firstErr(e1, e2); err != nil {
+			return nil, err
+		}
+		w, err := encI(0, rs, 0, rd, 0x13)
+		return one(w, err)
+	case "li":
+		rd, e1 := reg(args[0])
+		v, e2 := imm(args[1], labels)
+		if err := firstErr(e1, e2); err != nil {
+			return nil, err
+		}
+		// Always two words (lui+addi) so label layout is stable.
+		lo := v & 0xfff
+		if lo >= 0x800 {
+			lo -= 0x1000
+		}
+		hi := (v - lo) >> 12
+		w2, err := encI(lo, rd, 0, rd, 0x13)
+		if err != nil {
+			return nil, err
+		}
+		return []uint32{encU(hi, rd, 0x37), w2}, nil
+	case "j":
+		target, err := imm(args[0], labels)
+		if err != nil {
+			return nil, err
+		}
+		return one(encJ(target-int64(pc), 0))
+	case "beqz":
+		rs, e1 := reg(args[0])
+		target, e2 := imm(args[1], labels)
+		if err := firstErr(e1, e2); err != nil {
+			return nil, err
+		}
+		return one(encB(target-int64(pc), 0, rs, 0))
+	case "bnez":
+		rs, e1 := reg(args[0])
+		target, e2 := imm(args[1], labels)
+		if err := firstErr(e1, e2); err != nil {
+			return nil, err
+		}
+		return one(encB(target-int64(pc), 0, rs, 1))
+	case "ret":
+		w, err := encI(0, 1, 0, 0, 0x67)
+		return one(w, err)
+	case "call":
+		target, err := imm(args[0], labels)
+		if err != nil {
+			return nil, err
+		}
+		// Two words: jal ra, target preceded by a nop to keep the fixed
+		// two-word expansion.
+		w, err := encJ(target-int64(pc)-4, 1)
+		if err != nil {
+			return nil, err
+		}
+		return []uint32{0x13, w}, nil
+	}
+	return nil, fmt.Errorf("unknown instruction %q", op)
+}
+
+func firstErr(errs ...error) error {
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}

@@ -1,0 +1,250 @@
+package rv
+
+import (
+	"fmt"
+
+	"gsim/internal/bitvec"
+	"gsim/internal/ir"
+)
+
+// CoreConfig sizes the core's memories.
+type CoreConfig struct {
+	IMemWords int // instruction memory size in words
+	DMemWords int // data memory size in words
+}
+
+// DefaultCoreConfig fits the bundled workloads.
+func DefaultCoreConfig() CoreConfig {
+	return CoreConfig{IMemWords: 2048, DMemWords: 2048}
+}
+
+// Core describes the elaborated processor: the graph plus the node and
+// memory handles a testbench needs.
+type Core struct {
+	Graph *ir.Graph
+	Cfg   CoreConfig
+
+	// Node names (stable across optimization, all marked as outputs).
+	PCName      string
+	HaltedName  string
+	InstretName string
+
+	IMemID int // memory IDs for loading/peeking
+	DMemID int
+	RFID   int
+}
+
+// BuildCore elaborates a single-cycle RV32I subset core into a fresh graph.
+// The design is deliberately real hardware: instruction fetch from a ROM,
+// full decode, a 32-entry register file (as a two-read one-write memory),
+// ALU with all RV32I register/immediate ops, byte-addressable loads/stores
+// via read-modify-write, branch/jump resolution, and an ecall halt latch.
+// It is the repository's stuCore: the smallest design in Table I.
+func BuildCore(program []uint32, cfg CoreConfig) (*Core, error) {
+	if len(program) > cfg.IMemWords {
+		return nil, fmt.Errorf("rv: program (%d words) exceeds imem (%d words)", len(program), cfg.IMemWords)
+	}
+	b := ir.NewBuilder("rv32")
+	g := b.G
+
+	// Memories.
+	imem := b.Mem("imem", cfg.IMemWords, 32)
+	imem.Init = map[int]bitvec.BV{}
+	for i, w := range program {
+		imem.Init[i] = bitvec.FromUint64(32, uint64(w))
+	}
+	dmem := b.Mem("dmem", cfg.DMemWords, 32)
+	rf := b.Mem("rf", 32, 32)
+
+	// Architectural state.
+	pc := b.Reg("pc", 32)
+	halted := b.Reg("halted", 1)
+	instret := b.Reg("instret", 32)
+
+	// Fetch.
+	pcR := b.R(pc)
+	instrN := b.MemRead("instr", imem, b.Bits(pcR, 31, 2))
+	instr := b.R(instrN)
+
+	// Decode fields.
+	opcode := b.Comb("opcode", b.Bits(instr, 6, 0))
+	rd := b.Comb("rd", b.Bits(instr, 11, 7))
+	f3 := b.Comb("f3", b.Bits(instr, 14, 12))
+	rs1 := b.Comb("rs1", b.Bits(instr, 19, 15))
+	rs2 := b.Comb("rs2", b.Bits(instr, 24, 20))
+	f7 := b.Comb("f7", b.Bits(instr, 31, 25))
+
+	isOp := func(name string, v uint64) *ir.Expr {
+		return b.R(b.Comb("is_"+name, b.Eq(b.R(opcode), b.C(7, v))))
+	}
+	isLUI := isOp("lui", 0x37)
+	isAUIPC := isOp("auipc", 0x17)
+	isJAL := isOp("jal", 0x6f)
+	isJALR := isOp("jalr", 0x67)
+	isBranch := isOp("branch", 0x63)
+	isLoad := isOp("load", 0x03)
+	isStore := isOp("store", 0x23)
+	isALUI := isOp("alui", 0x13)
+	isALUR := isOp("alur", 0x33)
+	isEcall := isOp("ecall", 0x73)
+
+	// Immediates.
+	sext32 := func(e *ir.Expr) *ir.Expr { return b.SExt(e, 32) }
+	immI := b.Comb("immI", sext32(b.Bits(instr, 31, 20)))
+	immS := b.Comb("immS", sext32(b.Cat(b.Bits(instr, 31, 25), b.Bits(instr, 11, 7))))
+	immB := b.Comb("immB", sext32(b.CatAll(
+		b.Bit(instr, 31), b.Bit(instr, 7), b.Bits(instr, 30, 25), b.Bits(instr, 11, 8), b.C(1, 0))))
+	immU := b.Comb("immU", b.Cat(b.Bits(instr, 31, 12), b.C(12, 0)))
+	immJ := b.Comb("immJ", sext32(b.CatAll(
+		b.Bit(instr, 31), b.Bits(instr, 19, 12), b.Bit(instr, 20), b.Bits(instr, 30, 21), b.C(1, 0))))
+
+	// Register file reads (x0 reads zero).
+	rs1raw := b.MemRead("rs1raw", rf, b.R(rs1))
+	rs2raw := b.MemRead("rs2raw", rf, b.R(rs2))
+	rs1v := b.Comb("rs1v", b.Mux(b.Eq(b.R(rs1), b.C(5, 0)), b.C(32, 0), b.R(rs1raw)))
+	rs2v := b.Comb("rs2v", b.Mux(b.Eq(b.R(rs2), b.C(5, 0)), b.C(32, 0), b.R(rs2raw)))
+
+	// ALU.
+	aluB := b.Comb("aluB", b.Mux(isALUI, b.R(immI), b.R(rs2v)))
+	a := b.R(rs1v)
+	bb := b.R(aluB)
+	shamt := b.Comb("shamt", b.Bits(bb, 4, 0))
+	sh := b.R(shamt)
+	// Arithmetic right shift: shift the 63-bit sign extension logically.
+	sraFull := b.Dshr(b.SExt(a, 63), sh)
+	subOrAdd := b.Mux(
+		b.And(b.Eq(b.R(f7), b.C(7, 0x20)), isALUR),
+		b.SubW(a, bb, 32),
+		b.AddW(a, bb, 32))
+	aluOut := b.Comb("aluOut", b.Fit(muxTree(b, b.R(f3), []*ir.Expr{
+		subOrAdd,                // 0: add/sub
+		b.Dshl(a, sh, 32),       // 1: sll
+		b.Fit(b.SLt(a, bb), 32), // 2: slt
+		b.Fit(b.Lt(a, bb), 32),  // 3: sltu
+		b.Xor(a, bb),            // 4: xor
+		b.Mux(b.Eq(b.R(f7), b.C(7, 0x20)), b.Fit(sraFull, 32), b.Dshr(a, sh)), // 5: srl/sra
+		b.Or(a, bb),  // 6: or
+		b.And(a, bb), // 7: and
+	}), 32))
+
+	// Branch resolution.
+	takenRaw := muxTree(b, b.R(f3), []*ir.Expr{
+		b.Eq(a, b.R(rs2v)),         // beq
+		b.Neq(a, b.R(rs2v)),        // bne
+		b.C(1, 0),                  // (2) unused
+		b.C(1, 0),                  // (3) unused
+		b.SLt(a, b.R(rs2v)),        // blt
+		b.Not(b.SLt(a, b.R(rs2v))), // bge
+		b.Lt(a, b.R(rs2v)),         // bltu
+		b.Not(b.Lt(a, b.R(rs2v))),  // bgeu
+	})
+	taken := b.Comb("taken", b.And(isBranch, b.Fit(takenRaw, 1)))
+
+	// Effective addresses.
+	loadAddr := b.Comb("loadAddr", b.AddW(a, b.R(immI), 32))
+	storeAddr := b.Comb("storeAddr", b.AddW(a, b.R(immS), 32))
+
+	// Data memory: a load read port and a read-modify-write port for byte
+	// stores.
+	loadWordN := b.MemRead("loadWord", dmem, b.Bits(b.R(loadAddr), 31, 2))
+	storeWordN := b.MemRead("storeWord", dmem, b.Bits(b.R(storeAddr), 31, 2))
+
+	loadShift := b.Comb("loadShift", b.Cat(b.Bits(b.R(loadAddr), 1, 0), b.C(3, 0)))     // byte offset * 8
+	loadHalfShift := b.Comb("loadHalfShift", b.Cat(b.Bit(b.R(loadAddr), 1), b.C(4, 0))) // half offset * 16
+	loadByteRaw := b.Comb("loadByteRaw", b.Fit(b.Dshr(b.R(loadWordN), b.R(loadShift)), 8))
+	loadHalfRaw := b.Comb("loadHalfRaw", b.Fit(b.Dshr(b.R(loadWordN), b.R(loadHalfShift)), 16))
+	loadData := b.Comb("loadData", b.Fit(muxTree(b, b.R(f3), []*ir.Expr{
+		b.SExt(b.R(loadByteRaw), 32), // 0: lb
+		b.SExt(b.R(loadHalfRaw), 32), // 1: lh
+		b.R(loadWordN),               // 2: lw
+		b.C(32, 0),                   // 3
+		b.Fit(b.R(loadByteRaw), 32),  // 4: lbu
+		b.Fit(b.R(loadHalfRaw), 32),  // 5: lhu
+		b.C(32, 0), b.C(32, 0),
+	}), 32))
+
+	// Store data: word, or read-modify-write merge for byte/half stores.
+	storeShift := b.Comb("storeShift", b.Cat(b.Bits(b.R(storeAddr), 1, 0), b.C(3, 0)))
+	storeHalfShift := b.Comb("storeHalfShift", b.Cat(b.Bit(b.R(storeAddr), 1), b.C(4, 0)))
+	byteMask := b.Comb("byteMask", b.Fit(b.Dshl(b.C(8, 0xff), b.R(storeShift), 40), 32))
+	byteData := b.Comb("byteData", b.Fit(b.Dshl(b.Fit(b.R(rs2v), 8), b.R(storeShift), 40), 32))
+	halfMask := b.Comb("halfMask", b.Fit(b.Dshl(b.C(16, 0xffff), b.R(storeHalfShift), 48), 32))
+	halfData := b.Comb("halfData", b.Fit(b.Dshl(b.Fit(b.R(rs2v), 16), b.R(storeHalfShift), 48), 32))
+	isSB := b.Comb("isSB", b.And(isStore, b.Eq(b.R(f3), b.C(3, 0))))
+	isSH := b.Comb("isSH", b.And(isStore, b.Eq(b.R(f3), b.C(3, 1))))
+	storeData := b.Comb("storeData",
+		b.Mux(b.R(isSB),
+			b.Or(b.And(b.R(storeWordN), b.Not(b.R(byteMask))), b.R(byteData)),
+			b.Mux(b.R(isSH),
+				b.Or(b.And(b.R(storeWordN), b.Not(b.R(halfMask))), b.R(halfData)),
+				b.R(rs2v))))
+
+	notHalted := b.Comb("notHalted", b.Not(b.R(halted)))
+	b.MemWrite("dmem_w", dmem, b.Bits(b.R(storeAddr), 31, 2), b.R(storeData),
+		b.And(isStore, b.R(notHalted)))
+
+	// Register file write-back.
+	pcPlus4 := b.Comb("pcPlus4", b.AddW(pcR, b.C(32, 4), 32))
+	wbData := b.Comb("wbData",
+		b.Mux(isLUI, b.R(immU),
+			b.Mux(isAUIPC, b.AddW(pcR, b.R(immU), 32),
+				b.Mux(b.Or(isJAL, isJALR), b.R(pcPlus4),
+					b.Mux(isLoad, b.R(loadData), b.R(aluOut))))))
+	writesRd := b.Comb("writesRd", b.Or(b.Or(isLUI, isAUIPC), b.Or(b.Or(isJAL, isJALR), b.Or(isLoad, b.Or(isALUI, isALUR)))))
+	rfWen := b.Comb("rfWen", b.And(b.And(b.R(writesRd), b.Neq(b.R(rd), b.C(5, 0))), b.R(notHalted)))
+	b.MemWrite("rf_w", rf, b.R(rd), b.R(wbData), b.R(rfWen))
+
+	// Next PC.
+	jalrTarget := b.Comb("jalrTarget", b.And(b.AddW(a, b.R(immI), 32), b.Not(b.C(32, 1))))
+	nextPC := b.Comb("nextPC",
+		b.Mux(b.R(halted), pcR,
+			b.Mux(isJAL, b.AddW(pcR, b.R(immJ), 32),
+				b.Mux(isJALR, b.R(jalrTarget),
+					b.Mux(b.R(taken), b.AddW(pcR, b.R(immB), 32), b.R(pcPlus4))))))
+	b.SetNext(pc, b.R(nextPC))
+
+	// Halt latch and retired-instruction counter.
+	b.SetNext(halted, b.Or(b.R(halted), isEcall))
+	b.SetNext(instret, b.Mux(b.R(notHalted), b.AddW(b.R(instret), b.C(32, 1), 32), b.R(instret)))
+
+	// Observability.
+	b.MarkOutput(pc)
+	b.MarkOutput(halted)
+	b.MarkOutput(instret)
+	b.Output("pc_out", b.R(pc))
+	b.Output("halted_out", b.R(halted))
+
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("rv: core graph invalid: %v", err)
+	}
+	return &Core{
+		Graph: g, Cfg: cfg,
+		PCName: "pc", HaltedName: "halted", InstretName: "instret",
+		IMemID: imem.ID, DMemID: dmem.ID, RFID: rf.ID,
+	}, nil
+}
+
+// muxTree builds an 8-way selector over a 3-bit index. Arms are padded to a
+// common width.
+func muxTree(b *ir.Builder, sel *ir.Expr, arms []*ir.Expr) *ir.Expr {
+	if len(arms) != 8 {
+		panic("rv: muxTree needs 8 arms")
+	}
+	w := 0
+	for _, a := range arms {
+		if a.Width > w {
+			w = a.Width
+		}
+	}
+	for i := range arms {
+		arms[i] = b.Fit(arms[i], w)
+	}
+	s0, s1, s2 := b.Bit(sel, 0), b.Bit(sel, 1), b.Bit(sel, 2)
+	m01 := b.Mux(s0, arms[1], arms[0])
+	m23 := b.Mux(s0, arms[3], arms[2])
+	m45 := b.Mux(s0, arms[5], arms[4])
+	m67 := b.Mux(s0, arms[7], arms[6])
+	lo := b.Mux(s1, m23, m01)
+	hi := b.Mux(s1, m67, m45)
+	return b.Mux(s2, hi, lo)
+}

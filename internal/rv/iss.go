@@ -1,0 +1,216 @@
+package rv
+
+import "fmt"
+
+// ISS is the reference RV32I instruction-set simulator: the golden model
+// the RTL core is checked against. Word-addressed Harvard memories matching
+// the core's layout.
+type ISS struct {
+	PC     uint32
+	Regs   [32]uint32
+	IMem   []uint32 // instruction words
+	DMem   []uint32 // data words
+	Halted bool
+	Count  uint64 // retired instructions
+}
+
+// NewISS builds an ISS with the program loaded at PC 0.
+func NewISS(program []uint32, dmemWords int) *ISS {
+	iss := &ISS{IMem: program, DMem: make([]uint32, dmemWords)}
+	return iss
+}
+
+// Step executes one instruction. Halted machines stay halted.
+func (s *ISS) Step() error {
+	if s.Halted {
+		return nil
+	}
+	idx := s.PC >> 2
+	if idx >= uint32(len(s.IMem)) {
+		return fmt.Errorf("iss: PC %#x outside instruction memory", s.PC)
+	}
+	in := s.IMem[idx]
+	s.Count++
+	op := in & 0x7f
+	rd := in >> 7 & 0x1f
+	f3 := in >> 12 & 0x7
+	rs1 := in >> 15 & 0x1f
+	rs2 := in >> 20 & 0x1f
+	f7 := in >> 25
+	r1, r2 := s.Regs[rs1], s.Regs[rs2]
+	immI := uint32(int32(in) >> 20)
+	immS := uint32(int32(in)>>25<<5) | (in >> 7 & 0x1f)
+	immB := uint32(int32(in)>>31<<12) | (in>>7&1)<<11 | (in >> 25 & 0x3f << 5) | (in >> 8 & 0xf << 1)
+	immU := in & 0xfffff000
+	immJ := uint32(int32(in)>>31<<20) | (in & 0xff000) | (in >> 20 & 1 << 11) | (in >> 21 & 0x3ff << 1)
+
+	next := s.PC + 4
+	setRd := func(v uint32) {
+		if rd != 0 {
+			s.Regs[rd] = v
+		}
+	}
+	ldw := func(addr uint32) (uint32, error) {
+		w := addr >> 2
+		if w >= uint32(len(s.DMem)) {
+			return 0, fmt.Errorf("iss: load from %#x outside data memory", addr)
+		}
+		return s.DMem[w], nil
+	}
+
+	switch op {
+	case 0x37: // lui
+		setRd(immU)
+	case 0x17: // auipc
+		setRd(s.PC + immU)
+	case 0x6f: // jal
+		setRd(s.PC + 4)
+		next = s.PC + immJ
+	case 0x67: // jalr
+		t := (r1 + immI) &^ 1
+		setRd(s.PC + 4)
+		next = t
+	case 0x63: // branches
+		taken := false
+		switch f3 {
+		case 0:
+			taken = r1 == r2
+		case 1:
+			taken = r1 != r2
+		case 4:
+			taken = int32(r1) < int32(r2)
+		case 5:
+			taken = int32(r1) >= int32(r2)
+		case 6:
+			taken = r1 < r2
+		case 7:
+			taken = r1 >= r2
+		default:
+			return fmt.Errorf("iss: bad branch funct3 %d", f3)
+		}
+		if taken {
+			next = s.PC + immB
+		}
+	case 0x03: // loads
+		addr := r1 + immI
+		w, err := ldw(addr)
+		if err != nil {
+			return err
+		}
+		sh := (addr & 3) * 8
+		switch f3 {
+		case 0: // lb
+			b := w >> sh & 0xff
+			setRd(uint32(int32(b<<24) >> 24))
+		case 1: // lh
+			h := w >> sh & 0xffff
+			setRd(uint32(int32(h<<16) >> 16))
+		case 2: // lw
+			setRd(w)
+		case 4: // lbu
+			setRd(w >> sh & 0xff)
+		case 5: // lhu
+			setRd(w >> sh & 0xffff)
+		default:
+			return fmt.Errorf("iss: unsupported load funct3 %d", f3)
+		}
+	case 0x23: // stores
+		addr := r1 + immS
+		w := addr >> 2
+		if w >= uint32(len(s.DMem)) {
+			return fmt.Errorf("iss: store to %#x outside data memory", addr)
+		}
+		switch f3 {
+		case 0: // sb
+			sh := (addr & 3) * 8
+			mask := uint32(0xff) << sh
+			s.DMem[w] = s.DMem[w]&^mask | (r2&0xff)<<sh
+		case 1: // sh
+			sh := (addr & 2) * 8
+			mask := uint32(0xffff) << sh
+			s.DMem[w] = s.DMem[w]&^mask | (r2&0xffff)<<sh
+		case 2: // sw
+			s.DMem[w] = r2
+		default:
+			return fmt.Errorf("iss: unsupported store funct3 %d", f3)
+		}
+	case 0x13: // ALU immediate
+		var v uint32
+		switch f3 {
+		case 0:
+			v = r1 + immI
+		case 1:
+			v = r1 << (immI & 31)
+		case 2:
+			if int32(r1) < int32(immI) {
+				v = 1
+			}
+		case 3:
+			if r1 < immI {
+				v = 1
+			}
+		case 4:
+			v = r1 ^ immI
+		case 5:
+			if f7 == 0x20 {
+				v = uint32(int32(r1) >> (immI & 31))
+			} else {
+				v = r1 >> (immI & 31)
+			}
+		case 6:
+			v = r1 | immI
+		case 7:
+			v = r1 & immI
+		}
+		setRd(v)
+	case 0x33: // ALU register
+		var v uint32
+		switch f3 {
+		case 0:
+			if f7 == 0x20 {
+				v = r1 - r2
+			} else {
+				v = r1 + r2
+			}
+		case 1:
+			v = r1 << (r2 & 31)
+		case 2:
+			if int32(r1) < int32(r2) {
+				v = 1
+			}
+		case 3:
+			if r1 < r2 {
+				v = 1
+			}
+		case 4:
+			v = r1 ^ r2
+		case 5:
+			if f7 == 0x20 {
+				v = uint32(int32(r1) >> (r2 & 31))
+			} else {
+				v = r1 >> (r2 & 31)
+			}
+		case 6:
+			v = r1 | r2
+		case 7:
+			v = r1 & r2
+		}
+		setRd(v)
+	case 0x73: // ecall: halt
+		s.Halted = true
+	default:
+		return fmt.Errorf("iss: unknown opcode %#x at PC %#x", op, s.PC)
+	}
+	s.PC = next
+	return nil
+}
+
+// Run executes until halt or the cycle limit.
+func (s *ISS) Run(maxSteps int) error {
+	for i := 0; i < maxSteps && !s.Halted; i++ {
+		if err := s.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,200 @@
+package rv
+
+// Workload programs. The experiments need two software behaviors the paper
+// distinguishes (§IV-A): CoreMark "exhibits hot spots" — a small set of hot
+// loops dominating execution — while a Linux boot "does not" — control flow
+// keeps moving through different code. The two programs below reproduce
+// those activity profiles at the scale of the bundled core; both terminate
+// with ecall and leave a checksum in a0 so runs are self-verifying.
+
+// CoreMarkLike is the hot-loop workload: CRC accumulation, a small
+// matrix-multiply kernel, and a find-max scan, iterated many times — the
+// same loop bodies over and over, like CoreMark's list/matrix/state work.
+const CoreMarkLike = `
+start:
+    li   sp, 0x1f00
+    li   s0, 0          # checksum accumulator
+    li   s1, 5          # outer iterations
+
+outer:
+    # --- phase 1: CRC16 over a counter stream ---
+    li   t0, 0xffff     # crc
+    li   t1, 64         # bytes
+    li   t2, 1          # data byte seed
+crc_loop:
+    xor  t0, t0, t2
+    li   t3, 8
+crc_bit:
+    andi t4, t0, 1
+    srli t0, t0, 1
+    beqz t4, crc_noxor
+    li   t5, 0xa001
+    xor  t0, t0, t5
+crc_noxor:
+    addi t3, t3, -1
+    bnez t3, crc_bit
+    addi t2, t2, 7
+    andi t2, t2, 0xff
+    addi t1, t1, -1
+    bnez t1, crc_loop
+    add  s0, s0, t0
+
+    # --- phase 2: 4x4 matrix multiply (values synthesized in registers) ---
+    li   t0, 0          # i
+mm_i:
+    li   t1, 0          # j
+mm_j:
+    li   t2, 0          # k
+    li   t3, 0          # acc
+mm_k:
+    # a[i][k] = i*4+k+1 ; b[k][j] = k*4+j+2
+    slli t4, t0, 2
+    add  t4, t4, t2
+    addi t4, t4, 1
+    slli t5, t2, 2
+    add  t5, t5, t1
+    addi t5, t5, 2
+    # acc += a*b via shift-add multiply (8 partial products)
+    li   t6, 8
+mulloop:
+    andi a1, t5, 1
+    beqz a1, mulskip
+    add  t3, t3, t4
+mulskip:
+    slli t4, t4, 1
+    srli t5, t5, 1
+    addi t6, t6, -1
+    bnez t6, mulloop
+    addi t2, t2, 1
+    slti a1, t2, 4
+    bnez a1, mm_k
+    add  s0, s0, t3
+    addi t1, t1, 1
+    slti a1, t1, 4
+    bnez a1, mm_j
+    addi t0, t0, 1
+    slti a1, t0, 4
+    bnez a1, mm_i
+
+    # --- phase 3: find-max over a strided sequence ---
+    li   t0, 0          # max
+    li   t1, 97         # value
+    li   t2, 50         # count
+fm_loop:
+    bgeu t0, t1, fm_skip
+    mv   t0, t1
+fm_skip:
+    addi t1, t1, 61
+    andi t1, t1, 0x1ff
+    addi t2, t2, -1
+    bnez t2, fm_loop
+    add  s0, s0, t0
+
+    addi s1, s1, -1
+    bnez s1, outer
+
+    mv   a0, s0
+    ecall
+`
+
+// LinuxBootLike is the no-hot-spot workload: a sequence of distinct phases —
+// memory clearing, table initialization, pointer-chasing, string searching,
+// byte I/O, and a dispatch loop that keeps jumping to different handlers —
+// so activity keeps shifting between regions, like early kernel boot.
+const LinuxBootLike = `
+start:
+    li   sp, 0x1f00
+    li   s0, 0          # checksum
+
+    # --- phase 1: clear 256 words of memory (like BSS zeroing) ---
+    li   t0, 0x100
+    li   t1, 256
+clear_loop:
+    sw   zero, 0(t0)
+    addi t0, t0, 4
+    addi t1, t1, -1
+    bnez t1, clear_loop
+
+    # --- phase 2: build a pseudo page-table (scatter writes) ---
+    li   t0, 0          # index
+    li   t1, 0x100      # base
+pt_loop:
+    slli t2, t0, 2
+    add  t2, t2, t1
+    slli t3, t0, 7
+    addi t3, t3, 0x11
+    sw   t3, 0(t2)
+    addi t0, t0, 1
+    slti t4, t0, 128
+    bnez t4, pt_loop
+
+    # --- phase 3: pointer-chase through the table ---
+    li   t0, 0          # current index
+    li   t1, 200        # steps
+    li   t5, 0x100
+chase_loop:
+    slli t2, t0, 2
+    add  t2, t2, t5
+    lw   t3, 0(t2)
+    add  s0, s0, t3
+    andi t0, t3, 127
+    addi t1, t1, -1
+    bnez t1, chase_loop
+
+    # --- phase 4: byte writes and string scan (like console output) ---
+    li   t0, 0x600      # buffer
+    li   t1, 64
+    li   t2, 65
+emit_loop:
+    sb   t2, 0(t0)
+    addi t0, t0, 1
+    addi t2, t2, 1
+    andi t2, t2, 0x7f
+    addi t1, t1, -1
+    bnez t1, emit_loop
+    li   t0, 0x600
+    li   t1, 64
+scan_loop:
+    lbu  t3, 0(t0)
+    add  s0, s0, t3
+    addi t0, t0, 1
+    addi t1, t1, -1
+    bnez t1, scan_loop
+
+    # --- phase 5: dispatch loop over four handlers ---
+    li   t0, 40         # iterations
+    li   t1, 0          # selector
+dispatch:
+    andi t2, t1, 3
+    beqz t2, h0
+    addi t3, t2, -1
+    beqz t3, h1
+    addi t3, t2, -2
+    beqz t3, h2
+h3:
+    slli t4, s0, 1
+    xor  s0, s0, t4
+    j    dispatch_next
+h0:
+    addi s0, s0, 13
+    j    dispatch_next
+h1:
+    srli t4, s0, 3
+    add  s0, s0, t4
+    j    dispatch_next
+h2:
+    xori s0, s0, 0x55
+dispatch_next:
+    addi t1, t1, 1
+    addi t0, t0, -1
+    bnez t0, dispatch
+
+    mv   a0, s0
+    ecall
+`
+
+// Workloads maps workload names to their assembly sources.
+var Workloads = map[string]string{
+	"coremark": CoreMarkLike,
+	"linux":    LinuxBootLike,
+}

@@ -1,0 +1,106 @@
+// Package stats provides the small numeric helpers the experiment harness
+// reports with: geometric means, summaries, and histograms.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// GeoMean returns the geometric mean of positive values; non-positive values
+// are skipped. Returns 0 for an empty (or all-skipped) input.
+func GeoMean(xs []float64) float64 {
+	sum, n := 0.0, 0
+	for _, x := range xs {
+		if x > 0 {
+			sum += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Summary holds order statistics of a sample.
+type Summary struct {
+	N                int
+	Min, Median, Max float64
+	Mean             float64
+}
+
+// Summarize computes order statistics.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return Summary{
+		N:      len(s),
+		Min:    s[0],
+		Median: s[len(s)/2],
+		Max:    s[len(s)-1],
+		Mean:   Mean(s),
+	}
+}
+
+// String renders the summary on one line.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d min=%.3g med=%.3g mean=%.3g max=%.3g", s.N, s.Min, s.Median, s.Mean, s.Max)
+}
+
+// Histogram bins values into n equal-width buckets between min and max and
+// renders an ASCII sketch.
+func Histogram(xs []float64, n int) string {
+	if len(xs) == 0 || n <= 0 {
+		return "(empty)"
+	}
+	lo, hi := xs[0], xs[0]
+	for _, x := range xs {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	counts := make([]int, n)
+	for _, x := range xs {
+		i := int(float64(n) * (x - lo) / (hi - lo))
+		if i >= n {
+			i = n - 1
+		}
+		counts[i]++
+	}
+	maxc := 1
+	for _, c := range counts {
+		if c > maxc {
+			maxc = c
+		}
+	}
+	var b strings.Builder
+	for i, c := range counts {
+		binLo := lo + (hi-lo)*float64(i)/float64(n)
+		fmt.Fprintf(&b, "%10.3g | %s %d\n", binLo, strings.Repeat("*", c*40/maxc), c)
+	}
+	return b.String()
+}

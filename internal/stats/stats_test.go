@@ -1,0 +1,80 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{2, 8}); math.Abs(got-4) > 1e-9 {
+		t.Fatalf("geomean(2,8) = %g", got)
+	}
+	if got := GeoMean([]float64{5}); math.Abs(got-5) > 1e-9 {
+		t.Fatalf("geomean(5) = %g", got)
+	}
+	if GeoMean(nil) != 0 {
+		t.Fatal("geomean(empty) != 0")
+	}
+	// Non-positive values are skipped.
+	if got := GeoMean([]float64{0, -1, 4}); math.Abs(got-4) > 1e-9 {
+		t.Fatalf("geomean with skips = %g", got)
+	}
+}
+
+// Property: geomean lies between min and max of positive samples.
+func TestGeoMeanBounds(t *testing.T) {
+	f := func(raw []float64) bool {
+		var xs []float64
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, x := range raw {
+			v := math.Abs(x)
+			if v > 0 && !math.IsInf(v, 0) && !math.IsNaN(v) && v < 1e100 && v > 1e-100 {
+				xs = append(xs, v)
+				lo = math.Min(lo, v)
+				hi = math.Max(hi, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		g := GeoMean(xs)
+		return g >= lo*(1-1e-9) && g <= hi*(1+1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{3, 1, 2})
+	if s.N != 3 || s.Min != 1 || s.Max != 3 || s.Median != 2 || s.Mean != 2 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if !strings.Contains(s.String(), "n=3") {
+		t.Fatal("summary string broken")
+	}
+	if Summarize(nil).N != 0 {
+		t.Fatal("empty summary")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := Histogram([]float64{1, 1, 2, 3, 3, 3}, 3)
+	if !strings.Contains(h, "*") {
+		t.Fatalf("histogram missing bars: %q", h)
+	}
+	if Histogram(nil, 3) != "(empty)" {
+		t.Fatal("empty histogram")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Fatal("mean broken")
+	}
+	if Mean(nil) != 0 {
+		t.Fatal("mean(empty) != 0")
+	}
+}
