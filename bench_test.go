@@ -74,6 +74,19 @@ func BenchmarkFig6(b *testing.B) {
 	}
 }
 
+// BenchmarkGSIMMT sweeps the multi-threaded essential-signal engine over
+// thread counts, mirroring the Fig. 6 thread-sweep shape: like Verilator-MT,
+// small designs pay the barrier cost and large designs amortize it.
+func BenchmarkGSIMMT(b *testing.B) {
+	for _, d := range benchDesigns() {
+		for _, threads := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/%dT", d.Name, threads), func(b *testing.B) {
+				runSim(b, d, harness.WorkloadLinux, core.GSIMMT(threads))
+			})
+		}
+	}
+}
+
 // BenchmarkFig7 regenerates the SPEC-checkpoint study: GSIM vs Verilator on
 // per-checkpoint stimulus segments.
 func BenchmarkFig7(b *testing.B) {

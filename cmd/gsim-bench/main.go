@@ -2,7 +2,8 @@
 //
 // Usage:
 //
-//	gsim-bench -exp table1|fig6|fig7|fig8|fig9|table3|table4|all [-quick] [-cycles N]
+//	gsim-bench -exp table1|fig6|gsimmt|fig7|fig8|fig9|table3|table4|all [-quick] [-cycles N]
+//	           [-threads 1,2,4,8]   thread counts for the gsimmt sweep
 //
 // Results print as text tables in the paper's layout; EXPERIMENTS.md records
 // a full run with commentary.
@@ -12,17 +13,26 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"gsim/internal/gen"
 	"gsim/internal/harness"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, fig6, fig7, fig8, fig9, table3, table4, all")
+	exp := flag.String("exp", "all", "experiment: table1, fig6, gsimmt, fig7, fig8, fig9, table3, table4, all")
 	quick := flag.Bool("quick", false, "small designs and short measurements (smoke run)")
 	medium := flag.Bool("medium", false, "stucore + rocket-scale designs, full budget (the EXPERIMENTS.md tier)")
 	cycles := flag.Int("cycles", 0, "override timed cycles per measurement")
+	threadList := flag.String("threads", "1,2,4,8", "comma-separated thread counts for the gsimmt sweep")
 	flag.Parse()
+
+	threadCounts, err := parseThreads(*threadList)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	budget := harness.DefaultBudget()
 	designs := harness.Designs()
@@ -73,6 +83,14 @@ func main() {
 		harness.RenderFig6(os.Stdout, cells)
 		return nil
 	})
+	run("gsimmt", func() error {
+		rows, err := harness.GSIMMTSweep(designs, threadCounts, budget)
+		if err != nil {
+			return err
+		}
+		harness.RenderGSIMMT(os.Stdout, rows)
+		return nil
+	})
 	run("fig7", func() error {
 		rows, err := harness.Fig7(fig7Profile, budget)
 		if err != nil {
@@ -114,4 +132,17 @@ func main() {
 		harness.RenderTable4(os.Stdout, rows)
 		return nil
 	})
+}
+
+// parseThreads parses a comma-separated list of positive thread counts.
+func parseThreads(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("gsim-bench: bad -threads entry %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }

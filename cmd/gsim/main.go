@@ -5,7 +5,9 @@
 //	gsim [flags] design.fir
 //
 //	-engine gsim|verilator|essent|arcilator   simulator preset (default gsim)
-//	-threads N                                parallel full-cycle engine
+//	-threads N                                multi-threaded engine: gsim -> GSIMMT
+//	                                          (parallel essential-signal), verilator
+//	                                          -> Verilator-MT (parallel full-cycle)
 //	-cycles N                                 cycles to simulate
 //	-max-supernode N                          supernode size cap (paper Fig. 9)
 //	-poke name=value                          set an input before simulation (repeatable)
@@ -36,7 +38,7 @@ func (r *repeated) Set(v string) error { *r = append(*r, v); return nil }
 
 func main() {
 	engineName := flag.String("engine", "gsim", "simulator preset: gsim, verilator, essent, arcilator")
-	threads := flag.Int("threads", 0, "run the parallel full-cycle engine with N threads")
+	threads := flag.Int("threads", 0, "worker count: gsim -> parallel essential-signal (GSIMMT), verilator -> parallel full-cycle")
 	cycles := flag.Int("cycles", 10, "cycles to simulate")
 	maxSup := flag.Int("max-supernode", 0, "maximum supernode size (0 = default)")
 	showStats := flag.Bool("stats", false, "print engine counters and build info")
@@ -62,9 +64,17 @@ func main() {
 	var cfg core.Config
 	switch *engineName {
 	case "gsim":
-		cfg = core.GSIM()
+		if *threads > 0 {
+			cfg = core.GSIMMT(*threads)
+		} else {
+			cfg = core.GSIM()
+		}
 	case "verilator":
-		cfg = core.Verilator()
+		if *threads > 0 {
+			cfg = core.VerilatorMT(*threads)
+		} else {
+			cfg = core.Verilator()
+		}
 	case "essent":
 		cfg = core.Essent()
 	case "arcilator":
@@ -72,8 +82,8 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown engine %q", *engineName))
 	}
-	if *threads > 0 {
-		cfg = core.VerilatorMT(*threads)
+	if *threads > 0 && cfg.Threads == 0 {
+		fatal(fmt.Errorf("-threads is only valid with -engine gsim or verilator"))
 	}
 	if *maxSup > 0 {
 		cfg.MaxSupernode = *maxSup

@@ -1,0 +1,3 @@
+module gsim
+
+go 1.24

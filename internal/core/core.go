@@ -27,9 +27,10 @@ const (
 	EngineFullCycle EngineKind = iota
 	EngineParallel
 	EngineActivity
+	EngineParallelActivity
 )
 
-var engineNames = [...]string{"fullcycle", "parallel", "activity"}
+var engineNames = [...]string{"fullcycle", "parallel", "activity", "parallel-activity"}
 
 // String returns the engine name.
 func (k EngineKind) String() string { return engineNames[k] }
@@ -42,7 +43,7 @@ type Config struct {
 	Opt passes.Options
 
 	Engine  EngineKind
-	Threads int // EngineParallel worker count
+	Threads int // EngineParallel / EngineParallelActivity worker count
 
 	// Activity-engine knobs.
 	Partition    partition.Kind
@@ -118,6 +119,9 @@ func Build(g *ir.Graph, cfg Config) (*System, error) {
 	case EngineActivity:
 		sys.Part = partition.Build(work, cfg.Partition, cfg.MaxSupernode)
 		sys.Sim = engine.NewActivity(prog, sys.Part, cfg.Activity)
+	case EngineParallelActivity:
+		sys.Part = partition.Build(work, cfg.Partition, cfg.MaxSupernode)
+		sys.Sim = engine.NewParallelActivity(prog, sys.Part, cfg.Activity, cfg.Threads)
 	default:
 		return nil, fmt.Errorf("core: unknown engine %d", cfg.Engine)
 	}
@@ -127,8 +131,8 @@ func Build(g *ir.Graph, cfg Config) (*System, error) {
 
 // Close releases engine resources (parallel workers).
 func (s *System) Close() {
-	if p, ok := s.Sim.(*engine.Parallel); ok {
-		p.Close()
+	if c, ok := s.Sim.(interface{ Close() }); ok {
+		c.Close()
 	}
 }
 
@@ -198,4 +202,15 @@ func GSIM() Config {
 			Activation:    engine.ActCostModel,
 		},
 	}
+}
+
+// GSIMMT is the multi-threaded GSIM: the full essential-signal pipeline
+// executed by the ParallelActivity engine, which shards supernodes across N
+// persistent workers with level barriers.
+func GSIMMT(threads int) Config {
+	cfg := GSIM()
+	cfg.Name = fmt.Sprintf("gsim-%dT", threads)
+	cfg.Engine = EngineParallelActivity
+	cfg.Threads = threads
+	return cfg
 }

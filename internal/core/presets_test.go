@@ -37,6 +37,12 @@ func TestPresetShapes(t *testing.T) {
 		!g.Opt.BitSplit || !g.Opt.ResetOpt {
 		t.Fatalf("gsim preset drifted: %+v", g)
 	}
+	gmt := GSIMMT(4)
+	if gmt.Engine != EngineParallelActivity || gmt.Threads != 4 || gmt.Name != "gsim-4T" ||
+		gmt.Partition != partition.Enhanced || !gmt.Activity.MultiBitCheck ||
+		gmt.Activity.Activation != engine.ActCostModel || !gmt.Opt.BitSplit {
+		t.Fatalf("gsimmt preset drifted: %+v", gmt)
+	}
 }
 
 // TestBuildDoesNotMutateInput verifies the clone contract: building many

@@ -50,9 +50,24 @@ type Activity struct {
 	base
 	part *partition.Result
 	cfg  ActivityConfig
+	*activationPlan
 
-	active   []uint64 // one bit per supernode
-	supStart []int32  // members[supStart[s]:supStart[s+1]] are supernode s's nodes
+	active []uint64 // one bit per supernode
+
+	scratch     []uint64
+	pending     []int32
+	pendingFlag []bool
+	memScratch  []int32
+}
+
+// activationPlan is the supernode-level activation policy shared by the
+// serial (Activity) and parallel (ParallelActivity) essential-signal
+// engines: per-node reader-supernode lists, the per-node activation
+// strategy, and the supernodes re-armed by memory writes and reset pokes.
+// Keeping it in one place guarantees the two engines activate identically —
+// the equivalence tests assume exactly that.
+type activationPlan struct {
+	supStart []int32 // members[supStart[s]:supStart[s+1]] are supernode s's nodes
 	members  []int32
 
 	// Per-node tables (indexed by node ID).
@@ -61,11 +76,9 @@ type Activity struct {
 	succSups  []int32 // flattened reader-supernode lists
 	useBranch []bool
 
-	scratch     []uint64
-	pending     []int32
-	pendingFlag []bool
-	memReadSups [][]int32
-	memScratch  []int32
+	maxWords int32 // widest node value, sizing the old-value scratch buffers
+
+	memReadSups [][]int32 // memory ID -> read-port supernodes
 
 	// resetRegSups maps a reset signal's node ID to the supernodes holding
 	// its registers. Poking a reset signal re-arms those supernodes so the
@@ -75,35 +88,28 @@ type Activity struct {
 	resetRegSups map[int32][]int32
 }
 
-// NewActivity builds the essential-signal engine over a compiled program and
-// a supernode partition of the same graph.
-func NewActivity(p *emit.Program, part *partition.Result, cfg ActivityConfig) *Activity {
-	if cfg.BranchlessMax == 0 {
-		cfg.BranchlessMax = DefaultBranchlessMax
-	}
-	a := &Activity{base: newBase(p), part: part, cfg: cfg}
+// buildActivationPlan derives the activation policy for a compiled program
+// and partition. resets is the engine's reset grouping (base.resets).
+func buildActivationPlan(p *emit.Program, part *partition.Result, cfg ActivityConfig, resets []resetGroup) *activationPlan {
 	g := p.Graph
 	n := len(g.Nodes)
+	pl := &activationPlan{maxWords: 1}
 
 	// Flatten supernode membership.
-	a.supStart = make([]int32, part.Count()+1)
+	pl.supStart = make([]int32, part.Count()+1)
 	for s, m := range part.Members {
-		a.supStart[s+1] = a.supStart[s] + int32(len(m))
-		a.members = append(a.members, m...)
+		pl.supStart[s+1] = pl.supStart[s] + int32(len(m))
+		pl.members = append(pl.members, m...)
 	}
-	a.active = make([]uint64, (part.Count()+63)/64)
 
-	// Node kind table and max value width for the old-value scratch buffer.
-	a.kind = make([]ir.NodeKind, n)
-	maxWords := int32(1)
+	// Node kind table and max value width.
+	pl.kind = make([]ir.NodeKind, n)
 	for _, node := range g.Nodes {
-		a.kind[node.ID] = node.Kind
-		if w := p.WordsOf[node.ID]; w > maxWords {
-			maxWords = w
+		pl.kind[node.ID] = node.Kind
+		if w := p.WordsOf[node.ID]; w > pl.maxWords {
+			pl.maxWords = w
 		}
 	}
-	a.scratch = make([]uint64, maxWords)
-	a.pendingFlag = make([]bool, n)
 
 	// Reader-supernode lists. For combinational nodes the node's own
 	// supernode is excluded (members of one supernode are evaluated together
@@ -111,7 +117,7 @@ func NewActivity(p *emit.Program, part *partition.Result, cfg ActivityConfig) *A
 	// registers and inputs keep every reader because their activations land
 	// at commit/poke time for the *next* sweep.
 	adj := g.BuildAdjacency()
-	a.succStart = make([]int32, n+1)
+	pl.succStart = make([]int32, n+1)
 	for _, node := range g.Nodes {
 		id := node.ID
 		own := part.SupOf[id]
@@ -126,52 +132,66 @@ func NewActivity(p *emit.Program, part *partition.Result, cfg ActivityConfig) *A
 				continue
 			}
 			seen[s] = true
-			a.succSups = append(a.succSups, s)
+			pl.succSups = append(pl.succSups, s)
 		}
-		a.succStart[id+1] = int32(len(a.succSups))
+		pl.succStart[id+1] = int32(len(pl.succSups))
 	}
 
 	// Per-node activation strategy.
-	a.useBranch = make([]bool, n)
+	pl.useBranch = make([]bool, n)
 	for _, node := range g.Nodes {
 		id := node.ID
-		nsuccs := int(a.succStart[id+1] - a.succStart[id])
+		nsuccs := int(pl.succStart[id+1] - pl.succStart[id])
 		switch cfg.Activation {
 		case ActBranch:
-			a.useBranch[id] = true
+			pl.useBranch[id] = true
 		case ActBranchless:
-			a.useBranch[id] = false
+			pl.useBranch[id] = false
 		case ActCostModel:
-			a.useBranch[id] = nsuccs > cfg.BranchlessMax
+			pl.useBranch[id] = nsuccs > cfg.BranchlessMax
 		}
 	}
 
 	// Memory read-port supernodes, activated when a write changes contents.
-	a.memReadSups = make([][]int32, len(g.Mems))
+	pl.memReadSups = make([][]int32, len(g.Mems))
 	for mi, mem := range g.Mems {
 		seen := map[int32]bool{}
 		for _, rp := range mem.Reads {
 			s := part.SupOf[rp.ID]
 			if s >= 0 && !seen[s] {
 				seen[s] = true
-				a.memReadSups[mi] = append(a.memReadSups[mi], s)
+				pl.memReadSups[mi] = append(pl.memReadSups[mi], s)
 			}
 		}
 	}
 
-	if len(a.resets) > 0 {
-		a.resetRegSups = map[int32][]int32{}
-		for _, rg := range a.resets {
+	if len(resets) > 0 {
+		pl.resetRegSups = map[int32][]int32{}
+		for _, rg := range resets {
 			seen := map[int32]bool{}
 			for _, reg := range rg.regs {
 				s := part.SupOf[reg]
 				if s >= 0 && !seen[s] {
 					seen[s] = true
-					a.resetRegSups[rg.sig] = append(a.resetRegSups[rg.sig], s)
+					pl.resetRegSups[rg.sig] = append(pl.resetRegSups[rg.sig], s)
 				}
 			}
 		}
 	}
+	return pl
+}
+
+// NewActivity builds the essential-signal engine over a compiled program and
+// a supernode partition of the same graph.
+func NewActivity(p *emit.Program, part *partition.Result, cfg ActivityConfig) *Activity {
+	if cfg.BranchlessMax == 0 {
+		cfg.BranchlessMax = DefaultBranchlessMax
+	}
+	a := &Activity{base: newBase(p), part: part, cfg: cfg}
+	a.activationPlan = buildActivationPlan(p, part, cfg, a.resets)
+	a.active = make([]uint64, (part.Count()+63)/64)
+	a.scratch = make([]uint64, a.maxWords)
+	a.pendingFlag = make([]bool, len(p.Graph.Nodes))
 
 	a.activateAll()
 	return a

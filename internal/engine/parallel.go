@@ -21,12 +21,12 @@ type Parallel struct {
 	chunks     [][][]int32 // level -> worker -> node IDs
 	memScratch []int32
 
-	workers  sync.WaitGroup
-	startCh  []chan struct{}
-	doneCh   chan struct{}
-	level    atomic.Int32
-	pending  atomic.Int32
-	shutdown atomic.Bool
+	workers   sync.WaitGroup
+	startCh   []chan struct{}
+	doneCh    chan struct{}
+	level     atomic.Int32
+	pending   atomic.Int32
+	closeOnce sync.Once
 }
 
 // NewParallel builds a parallel full-cycle engine with the given worker
@@ -63,6 +63,7 @@ func NewParallel(p *emit.Program, byLevel [][]int32, threads int) *Parallel {
 		e.chunks = append(e.chunks, chunk)
 	}
 	e.startCh = make([]chan struct{}, threads)
+	e.workers.Add(threads)
 	for w := 0; w < threads; w++ {
 		e.startCh[w] = make(chan struct{}, 1)
 		go e.worker(w)
@@ -72,11 +73,10 @@ func NewParallel(p *emit.Program, byLevel [][]int32, threads int) *Parallel {
 
 // worker processes its chunk of every level, synchronizing with peers via an
 // atomic countdown per level; the last worker through a level advances it.
+// It exits when its start channel is closed.
 func (e *Parallel) worker(w int) {
+	defer e.workers.Done()
 	for range e.startCh[w] {
-		if e.shutdown.Load() {
-			return
-		}
 		for lv := 0; lv < len(e.chunks); lv++ {
 			// Wait for the level to open. Yield while spinning: worker
 			// counts routinely exceed core counts (the experiments sweep
@@ -119,15 +119,16 @@ func (e *Parallel) Step() {
 	e.applyResets(nil)
 }
 
-// Close shuts down the worker goroutines.
+// Close shuts down the worker goroutines and blocks until every one has
+// exited. It must not be called concurrently with Step; calling it more than
+// once is safe.
 func (e *Parallel) Close() {
-	e.shutdown.Store(true)
-	for w := 0; w < e.threads; w++ {
-		select {
-		case e.startCh[w] <- struct{}{}:
-		default:
+	e.closeOnce.Do(func() {
+		for w := 0; w < e.threads; w++ {
+			close(e.startCh[w])
 		}
-	}
+		e.workers.Wait()
+	})
 }
 
 // Poke sets an input value.

@@ -1,0 +1,403 @@
+package engine
+
+import (
+	"math/bits"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"gsim/internal/bitvec"
+	"gsim/internal/emit"
+	"gsim/internal/ir"
+	"gsim/internal/partition"
+)
+
+// ParallelActivity is the multi-threaded essential-signal engine (GSIMMT):
+// the Activity engine's per-supernode active bits combined with the Parallel
+// engine's persistent workers and level barriers.
+//
+// Supernodes are levelized over the dependence condensation and distributed
+// across persistent worker shards (partition.Result.Shard). Each (shard,
+// level) chunk owns a private, word-aligned range of the active-bit array, so
+// the Listing-4 multi-bit check runs per shard with no sharing: a worker
+// scans exactly its own words. Intra-cycle activations always target strictly
+// later levels (dependence edges cannot stay within a level), so workers
+// publish them into per-worker outbox masks that the owning shard OR-merges
+// into its active words at the level barrier — never touching a word another
+// worker can write in the same level. Register and memory commits, external
+// pokes, and the reset slow path run serially between cycles, exactly as in
+// Activity.
+//
+// The engine produces the same state trajectory as Activity and Reference;
+// the equivalence tests enforce this at several thread counts.
+type ParallelActivity struct {
+	base
+	part    *partition.Result
+	cfg     ActivityConfig
+	threads int
+	shard   *partition.ShardView
+	levels  int
+	*activationPlan
+
+	// Active-bit storage: one concatenated word array, shard-major then
+	// level-minor, each (shard, level) chunk padded to whole words.
+	active  []uint64
+	out     [][]uint64 // per-worker activation outboxes, same word space
+	wordLo  [][]int32  // [shard][level] -> first word; [shard][levels] ends it
+	supSlot []int32    // supernode -> slot (word*64 + bit)
+	slotSup []int32    // slot -> supernode; -1 for padding bits
+
+	// Per-node successor targets (indexed via the embedded plan's
+	// succStart): the plan's supernode lists resolved to (word, mask) pairs
+	// in the active/outbox word space.
+	succWord []int32
+	succMask []uint64
+
+	pendingFlag  []bool
+	memReadSlots [][]slotMask
+	memScratch   []int32
+	resetSlots   map[int32][]slotMask
+
+	ws []*paWorker
+
+	workers   sync.WaitGroup
+	startCh   []chan struct{}
+	doneCh    chan struct{}
+	level     atomic.Int32
+	barrier   atomic.Int32
+	closeOnce sync.Once
+}
+
+// slotMask addresses one supernode's active bit: active[word] |= mask.
+type slotMask struct {
+	word int32
+	mask uint64
+}
+
+// paWorker is one worker's private state: scratch buffer, pending-register
+// list, and stat counters, merged serially at end of cycle.
+type paWorker struct {
+	e       *ParallelActivity
+	id      int
+	scratch []uint64
+	pending []int32
+
+	nodeEvals    uint64
+	activations  uint64
+	examinations uint64
+	instrs       uint64
+}
+
+// NewParallelActivity builds the multi-threaded essential-signal engine over
+// a compiled program and a supernode partition of the same graph.
+func NewParallelActivity(p *emit.Program, part *partition.Result, cfg ActivityConfig, threads int) *ParallelActivity {
+	if threads < 1 {
+		threads = 1
+	}
+	if cfg.BranchlessMax == 0 {
+		cfg.BranchlessMax = DefaultBranchlessMax
+	}
+	e := &ParallelActivity{
+		base:    newBase(p),
+		part:    part,
+		cfg:     cfg,
+		threads: threads,
+		doneCh:  make(chan struct{}),
+	}
+	g := p.Graph
+
+	e.shard = part.Shard(g, threads, func(id int32) int64 { return int64(p.Code[id].Len()) })
+	e.levels = e.shard.Levels
+	e.activationPlan = buildActivationPlan(p, part, cfg, e.resets)
+
+	// Slot layout: shard-major, level-minor, each chunk padded to whole
+	// words, so no active word is shared between shards or between levels.
+	e.supSlot = make([]int32, part.Count())
+	e.wordLo = make([][]int32, threads)
+	var words int32
+	for w := 0; w < threads; w++ {
+		e.wordLo[w] = make([]int32, e.levels+1)
+		for lv := 0; lv < e.levels; lv++ {
+			e.wordLo[w][lv] = words
+			chunk := e.shard.Chunks[lv][w]
+			for i, s := range chunk {
+				e.supSlot[s] = words*64 + int32(i)
+			}
+			words += int32(len(chunk)+63) / 64
+		}
+		e.wordLo[w][e.levels] = words
+	}
+	e.active = make([]uint64, words)
+	e.slotSup = make([]int32, int(words)*64)
+	for i := range e.slotSup {
+		e.slotSup[i] = -1
+	}
+	for s, slot := range e.supSlot {
+		e.slotSup[slot] = int32(s)
+	}
+	e.out = make([][]uint64, threads)
+	for w := range e.out {
+		e.out[w] = make([]uint64, words)
+	}
+
+	e.pendingFlag = make([]bool, len(g.Nodes))
+
+	// Resolve the plan's supernode targets to (word, mask) pairs in this
+	// engine's active/outbox word space.
+	e.succWord = make([]int32, len(e.succSups))
+	e.succMask = make([]uint64, len(e.succSups))
+	for i, s := range e.succSups {
+		slot := e.supSlot[s]
+		e.succWord[i] = slot >> 6
+		e.succMask[i] = uint64(1) << uint(slot&63)
+	}
+	e.memReadSlots = make([][]slotMask, len(e.memReadSups))
+	for mi, sups := range e.memReadSups {
+		for _, s := range sups {
+			e.memReadSlots[mi] = append(e.memReadSlots[mi], e.slotOf(s))
+		}
+	}
+	if e.resetRegSups != nil {
+		e.resetSlots = map[int32][]slotMask{}
+		for sig, sups := range e.resetRegSups {
+			for _, s := range sups {
+				e.resetSlots[sig] = append(e.resetSlots[sig], e.slotOf(s))
+			}
+		}
+	}
+
+	e.ws = make([]*paWorker, threads)
+	e.startCh = make([]chan struct{}, threads)
+	e.workers.Add(threads)
+	for w := 0; w < threads; w++ {
+		e.ws[w] = &paWorker{e: e, id: w, scratch: make([]uint64, e.maxWords)}
+		e.startCh[w] = make(chan struct{}, 1)
+		go e.workerLoop(w)
+	}
+
+	e.activateAll()
+	return e
+}
+
+func (e *ParallelActivity) slotOf(sup int32) slotMask {
+	slot := e.supSlot[sup]
+	return slotMask{word: slot >> 6, mask: uint64(1) << uint(slot&63)}
+}
+
+func (e *ParallelActivity) activateAll() {
+	for _, slot := range e.supSlot {
+		e.active[slot>>6] |= uint64(1) << uint(slot&63)
+	}
+}
+
+// Reset restores initial state and re-arms full evaluation.
+func (e *ParallelActivity) Reset() {
+	e.m.Reset()
+	e.activateAll()
+	for _, ws := range e.ws {
+		for _, id := range ws.pending {
+			e.pendingFlag[id] = false
+		}
+		ws.pending = ws.pending[:0]
+	}
+}
+
+// Poke sets an input and activates its readers when the value changes.
+func (e *ParallelActivity) Poke(nodeID int, v bitvec.BV) {
+	if e.m.Poke(nodeID, v) {
+		e.activateReaders(int32(nodeID))
+		for _, sm := range e.resetSlots[int32(nodeID)] {
+			e.active[sm.word] |= sm.mask
+		}
+	}
+}
+
+// activateReaders sets reader-supernode active bits directly; only safe while
+// the workers are idle (poke, commit, and reset time).
+func (e *ParallelActivity) activateReaders(id int32) {
+	for k := e.succStart[id]; k < e.succStart[id+1]; k++ {
+		e.active[e.succWord[k]] |= e.succMask[k]
+	}
+	e.stats.Activations += uint64(e.succStart[id+1] - e.succStart[id])
+}
+
+// Step simulates one cycle: all workers sweep their shards level by level,
+// then registers, memories, and resets commit serially.
+func (e *ParallelActivity) Step() {
+	e.stats.Cycles++
+	e.level.Store(0)
+	e.barrier.Store(int32(e.threads))
+	for w := 0; w < e.threads; w++ {
+		e.startCh[w] <- struct{}{}
+	}
+	for w := 0; w < e.threads; w++ {
+		<-e.doneCh
+	}
+	for _, ws := range e.ws {
+		e.stats.NodeEvals += ws.nodeEvals
+		e.stats.Activations += ws.activations
+		e.stats.Examinations += ws.examinations
+		e.stats.InstrsExecuted += ws.instrs
+		ws.nodeEvals, ws.activations, ws.examinations, ws.instrs = 0, 0, 0, 0
+	}
+	e.commit()
+}
+
+// workerLoop runs one worker until its start channel is closed.
+func (e *ParallelActivity) workerLoop(w int) {
+	defer e.workers.Done()
+	ws := e.ws[w]
+	for range e.startCh[w] {
+		ws.runCycle()
+		e.doneCh <- struct{}{}
+	}
+}
+
+// runCycle sweeps the worker's chunks of every level. At each level the
+// worker first drains every outbox word targeting its chunk (all writers
+// finished strictly earlier levels, so the merge is race-free), then applies
+// the multi-bit check to the merged word.
+func (ws *paWorker) runCycle() {
+	e := ws.e
+	for lv := 0; lv < e.levels; lv++ {
+		// Wait for the level to open; yield while spinning, as worker counts
+		// can exceed core counts during thread-sweep experiments.
+		for e.level.Load() < int32(lv) {
+			runtime.Gosched()
+		}
+		lo, hi := e.wordLo[ws.id][lv], e.wordLo[ws.id][lv+1]
+		for wi := lo; wi < hi; wi++ {
+			word := e.active[wi]
+			e.active[wi] = 0
+			for u := range e.out {
+				word |= e.out[u][wi]
+				e.out[u][wi] = 0
+			}
+			if e.cfg.MultiBitCheck {
+				// Listing 4 applied per shard: one test clears 64 bits.
+				ws.examinations++
+				for word != 0 {
+					b := bits.TrailingZeros64(word)
+					word &^= uint64(1) << uint(b)
+					ws.examinations++
+					ws.evalSupernode(e.slotSup[int(wi)<<6+b])
+				}
+			} else {
+				for b := 0; b < 64; b++ {
+					s := e.slotSup[int(wi)<<6+b]
+					if s < 0 {
+						break // padding tail; real slots are packed low
+					}
+					ws.examinations++
+					if word&(uint64(1)<<uint(b)) != 0 {
+						ws.evalSupernode(s)
+					}
+				}
+			}
+		}
+		if e.barrier.Add(-1) == 0 {
+			// Last worker out resets the countdown and opens the next level.
+			e.barrier.Store(int32(e.threads))
+			e.level.Add(1)
+		}
+	}
+}
+
+// evalSupernode evaluates one supernode's members in dependence order,
+// mirroring Activity.evalSupernode with worker-private side state.
+func (ws *paWorker) evalSupernode(s int32) {
+	e := ws.e
+	p := e.m.Prog
+	st := e.m.State
+	for k := e.supStart[s]; k < e.supStart[s+1]; k++ {
+		id := e.members[k]
+		code := p.Code[id]
+		ws.nodeEvals++
+		ws.instrs += uint64(code.Len())
+		switch e.kind[id] {
+		case ir.KindReg:
+			e.m.Exec(code.Start, code.End)
+			if !e.pendingFlag[id] && !wordsEqual(st, p.Off[id], p.NextOff[id], p.WordsOf[id]) {
+				e.pendingFlag[id] = true
+				ws.pending = append(ws.pending, id)
+			}
+		case ir.KindMemWrite:
+			e.m.Exec(code.Start, code.End)
+		default: // comb, memread
+			off, w := p.Off[id], p.WordsOf[id]
+			old := ws.scratch[:w]
+			copy(old, st[off:off+w])
+			e.m.Exec(code.Start, code.End)
+			var diff uint64
+			for i := int32(0); i < w; i++ {
+				diff |= old[i] ^ st[off+i]
+			}
+			ws.activate(id, diff)
+		}
+	}
+}
+
+// activate publishes successor activations into the worker's outbox. Targets
+// always sit in strictly later levels, so the owning shard will merge them
+// before examining the corresponding words.
+func (ws *paWorker) activate(id int32, diff uint64) {
+	e := ws.e
+	start, end := e.succStart[id], e.succStart[id+1]
+	if start == end {
+		return
+	}
+	out := e.out[ws.id]
+	if e.useBranch[id] {
+		if diff != 0 {
+			for k := start; k < end; k++ {
+				out[e.succWord[k]] |= e.succMask[k]
+			}
+			ws.activations += uint64(end - start)
+		}
+		return
+	}
+	// Branchless: mask is all-ones iff diff != 0.
+	m := uint64(0) - ((diff | -diff) >> 63)
+	for k := start; k < end; k++ {
+		out[e.succWord[k]] |= e.succMask[k] & m
+	}
+	ws.activations += uint64(end - start)
+}
+
+// commit batches register and memory commits at end of cycle, then runs the
+// reset slow path — all serial, while the workers are parked.
+func (e *ParallelActivity) commit() {
+	p := e.m.Prog
+	st := e.m.State
+	for _, ws := range e.ws {
+		for _, id := range ws.pending {
+			e.pendingFlag[id] = false
+			cur, next, w := p.Off[id], p.NextOff[id], p.WordsOf[id]
+			copy(st[cur:cur+w], st[next:next+w])
+			e.stats.RegCommits++
+			e.activateReaders(id)
+		}
+		ws.pending = ws.pending[:0]
+	}
+
+	e.memScratch = e.commitWrites(e.memScratch[:0])
+	for _, memID := range e.memScratch {
+		for _, sm := range e.memReadSlots[memID] {
+			e.active[sm.word] |= sm.mask
+		}
+	}
+
+	e.applyResets(e.activateReaders)
+}
+
+// Close shuts down the worker goroutines and blocks until every one has
+// exited. It must not be called concurrently with Step; calling it more than
+// once is safe.
+func (e *ParallelActivity) Close() {
+	e.closeOnce.Do(func() {
+		for w := 0; w < e.threads; w++ {
+			close(e.startCh[w])
+		}
+		e.workers.Wait()
+	})
+}

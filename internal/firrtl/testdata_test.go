@@ -12,61 +12,64 @@ import (
 )
 
 // TestTestdataDesigns loads every bundled .fir design, builds it under the
-// full GSIM pipeline, and runs it in lockstep against the golden model with
-// random stimulus — an end-to-end frontend+pipeline integration test on
-// hand-written (rather than generated) input.
+// full GSIM pipeline — single-threaded and multi-threaded — and runs it in
+// lockstep against the golden model with random stimulus: an end-to-end
+// frontend+pipeline integration test on hand-written (rather than generated)
+// input.
 func TestTestdataDesigns(t *testing.T) {
 	files, err := filepath.Glob("../../testdata/*.fir")
 	if err != nil || len(files) < 3 {
 		t.Fatalf("expected >= 3 testdata designs, got %d (%v)", len(files), err)
 	}
 	for _, path := range files {
-		path := path
-		t.Run(filepath.Base(path), func(t *testing.T) {
-			g, err := LoadFile(path)
-			if err != nil {
-				t.Fatal(err)
-			}
-			ref, err := engine.NewReference(g)
-			if err != nil {
-				t.Fatal(err)
-			}
-			sys, err := core.Build(g, core.GSIM())
-			if err != nil {
-				t.Fatal(err)
-			}
-			defer sys.Close()
-			rng := rand.New(rand.NewSource(int64(len(path))))
-			for cycle := 0; cycle < 200; cycle++ {
-				for _, n := range g.Nodes {
-					if n == nil || n.Kind != ir.KindInput || n.Name == "clock" {
-						continue
-					}
-					v := bitvec.FromUint64(n.Width, rng.Uint64())
-					if n.Name == "reset" {
-						v = bitvec.FromUint64(1, uint64(rng.Intn(10)/9))
-					}
-					ref.Poke(n.ID, v)
-					m := sys.Node(n.Name)
-					sys.Sim.Poke(m.ID, v)
+		for _, cfg := range []core.Config{core.GSIM(), core.GSIMMT(4)} {
+			path, cfg := path, cfg
+			t.Run(filepath.Base(path)+"/"+cfg.Name, func(t *testing.T) {
+				g, err := LoadFile(path)
+				if err != nil {
+					t.Fatal(err)
 				}
-				ref.Step()
-				sys.Sim.Step()
-				for _, n := range g.Nodes {
-					if n == nil || !n.IsOutput {
-						continue
+				ref, err := engine.NewReference(g)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sys, err := core.Build(g, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer sys.Close()
+				rng := rand.New(rand.NewSource(int64(len(path))))
+				for cycle := 0; cycle < 200; cycle++ {
+					for _, n := range g.Nodes {
+						if n == nil || n.Kind != ir.KindInput || n.Name == "clock" {
+							continue
+						}
+						v := bitvec.FromUint64(n.Width, rng.Uint64())
+						if n.Name == "reset" {
+							v = bitvec.FromUint64(1, uint64(rng.Intn(10)/9))
+						}
+						ref.Poke(n.ID, v)
+						m := sys.Node(n.Name)
+						sys.Sim.Poke(m.ID, v)
 					}
-					m := sys.Node(n.Name)
-					if m == nil {
-						t.Fatalf("output %q missing after optimization", n.Name)
-					}
-					a, b := ref.Peek(n.ID), sys.Sim.Peek(m.ID)
-					if !a.EqValue(b) {
-						t.Fatalf("cycle %d: output %q: reference %s vs gsim %s", cycle, n.Name, a, b)
+					ref.Step()
+					sys.Sim.Step()
+					for _, n := range g.Nodes {
+						if n == nil || !n.IsOutput {
+							continue
+						}
+						m := sys.Node(n.Name)
+						if m == nil {
+							t.Fatalf("output %q missing after optimization", n.Name)
+						}
+						a, b := ref.Peek(n.ID), sys.Sim.Peek(m.ID)
+						if !a.EqValue(b) {
+							t.Fatalf("cycle %d: output %q: reference %s vs %s %s", cycle, n.Name, a, cfg.Name, b)
+						}
 					}
 				}
-			}
-		})
+			})
+		}
 	}
 }
 

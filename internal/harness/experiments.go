@@ -95,7 +95,8 @@ type Fig6Cell struct {
 	Speedup   float64
 }
 
-// Fig6Configs lists the simulators in the figure's legend order.
+// Fig6Configs lists the simulators in the figure's legend order, extended
+// with the multi-threaded GSIM variants.
 func Fig6Configs() []core.Config {
 	return []core.Config{
 		core.Verilator(),
@@ -106,6 +107,9 @@ func Fig6Configs() []core.Config {
 		core.Essent(),
 		core.Arcilator(),
 		core.GSIM(),
+		core.GSIMMT(2),
+		core.GSIMMT(4),
+		core.GSIMMT(8),
 	}
 }
 
@@ -136,6 +140,48 @@ func Fig6(designs []Design, b Budget) ([]Fig6Cell, error) {
 		}
 	}
 	return cells, nil
+}
+
+// --- GSIMMT: multi-threaded essential-signal thread sweep ---
+
+// GSIMMTRow is one (design, workload, thread-count) datapoint of the GSIMMT
+// sweep, normalized to single-threaded GSIM on the same cell.
+type GSIMMTRow struct {
+	Design   string
+	Workload string
+	Threads  int // 0 marks the single-threaded GSIM baseline
+	SpeedHz  float64
+	Speedup  float64
+}
+
+// GSIMMTSweep measures the parallel essential-signal engine across thread
+// counts — the Fig. 6 thread-sweep shape applied to GSIM itself. Like
+// Verilator-MT, small designs pay the barrier cost and large designs win.
+func GSIMMTSweep(designs []Design, threadCounts []int, b Budget) ([]GSIMMTRow, error) {
+	var rows []GSIMMTRow
+	for _, d := range designs {
+		for _, wl := range []string{WorkloadLinux, WorkloadCoreMark} {
+			base, _, err := runConfig(d, wl, core.GSIM(), b)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s/gsim: %v", d.Name, wl, err)
+			}
+			rows = append(rows, GSIMMTRow{Design: d.Name, Workload: wl, SpeedHz: base, Speedup: 1})
+			for _, th := range threadCounts {
+				hz, _, err := runConfig(d, wl, core.GSIMMT(th), b)
+				if err != nil {
+					return nil, fmt.Errorf("%s/%s/gsim-%dT: %v", d.Name, wl, th, err)
+				}
+				sp := 0.0
+				if base > 0 {
+					sp = hz / base
+				}
+				rows = append(rows, GSIMMTRow{
+					Design: d.Name, Workload: wl, Threads: th, SpeedHz: hz, Speedup: sp,
+				})
+			}
+		}
+	}
+	return rows, nil
 }
 
 // --- Figure 7: SPEC CPU2006 checkpoints ---

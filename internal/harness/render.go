@@ -65,6 +65,19 @@ func RenderFig6(w io.Writer, cells []Fig6Cell) {
 	}
 }
 
+// RenderGSIMMT prints the multi-threaded GSIM thread sweep.
+func RenderGSIMMT(w io.Writer, rows []GSIMMTRow) {
+	fmt.Fprintf(w, "GSIMMT: parallel essential-signal engine thread sweep (speedup vs 1T GSIM)\n")
+	fmt.Fprintf(w, "%-16s %-9s %-9s %12s %9s\n", "Design", "Workload", "Threads", "Speed", "Speedup")
+	for _, r := range rows {
+		label := "gsim"
+		if r.Threads > 0 {
+			label = fmt.Sprintf("%dT", r.Threads)
+		}
+		fmt.Fprintf(w, "%-16s %-9s %-9s %12s %8.2fx\n", r.Design, r.Workload, label, hz(r.SpeedHz), r.Speedup)
+	}
+}
+
 // RenderFig7 prints the checkpoint study.
 func RenderFig7(w io.Writer, rows []Fig7Row) {
 	fmt.Fprintf(w, "Figure 7: SPEC CPU2006 checkpoints on the largest design (speedup vs 1T Verilator)\n")

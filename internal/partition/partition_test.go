@@ -196,3 +196,140 @@ func TestMFFCFanoutFree(t *testing.T) {
 		}
 	}
 }
+
+// checkShardInvariants verifies the thread-shard view's contract: every
+// supernode appears in exactly one (level, shard) chunk consistent with
+// LevelOf/ShardOf, and every dependence edge between distinct supernodes
+// crosses to a strictly later level — the property the parallel engine's
+// level barriers rely on.
+func checkShardInvariants(t *testing.T, g *ir.Graph, r *Result, v *ShardView) {
+	t.Helper()
+	seen := make(map[int32]bool)
+	for lv, shards := range v.Chunks {
+		if len(shards) != v.Threads {
+			t.Fatalf("level %d has %d shards, want %d", lv, len(shards), v.Threads)
+		}
+		for w, chunk := range shards {
+			for i, s := range chunk {
+				if seen[s] {
+					t.Fatalf("supernode %d in two chunks", s)
+				}
+				seen[s] = true
+				if v.LevelOf[s] != int32(lv) || v.ShardOf[s] != int32(w) {
+					t.Fatalf("supernode %d chunk (%d,%d) disagrees with LevelOf=%d ShardOf=%d",
+						s, lv, w, v.LevelOf[s], v.ShardOf[s])
+				}
+				if i > 0 && chunk[i-1] >= s {
+					t.Fatalf("chunk (%d,%d) not ascending", lv, w)
+				}
+			}
+		}
+	}
+	if len(seen) != r.Count() {
+		t.Fatalf("shard view covers %d supernodes, want %d", len(seen), r.Count())
+	}
+	for _, n := range g.Nodes {
+		if n == nil || !n.HasCode() {
+			continue
+		}
+		n.EachExpr(func(slot **ir.Expr) {
+			(*slot).Walk(func(e *ir.Expr) {
+				if e.Op != ir.OpRef {
+					return
+				}
+				u := e.Node
+				if u.Kind == ir.KindReg || u.Kind == ir.KindInput {
+					return
+				}
+				us, ns := r.SupOf[u.ID], r.SupOf[n.ID]
+				if us < 0 || us == ns {
+					return
+				}
+				if v.LevelOf[us] >= v.LevelOf[ns] {
+					t.Fatalf("dep edge %s -> %s does not advance levels (%d >= %d)",
+						u.Name, n.Name, v.LevelOf[us], v.LevelOf[ns])
+				}
+			})
+		})
+	}
+}
+
+func TestShardInvariants(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		g := testGraph(t, seed)
+		for _, kind := range []Kind{None, MFFC, Enhanced} {
+			r := Build(g, kind, 8)
+			for _, threads := range []int{1, 2, 4, 7} {
+				checkShardInvariants(t, g, r, r.Shard(g, threads, nil))
+			}
+		}
+	}
+}
+
+// TestShardBalance: with many equal-weight supernodes per level, the LPT
+// assignment must not put everything on one shard.
+func TestShardBalance(t *testing.T) {
+	g := testGraph(t, 1)
+	r := Build(g, None, 1) // singletons: plenty of parallel slack
+	v := r.Shard(g, 4, nil)
+	perShard := make([]int, v.Threads)
+	for _, s := range v.ShardOf {
+		perShard[s]++
+	}
+	for w, n := range perShard {
+		if n == 0 {
+			t.Fatalf("shard %d received no supernodes: %v", w, perShard)
+		}
+	}
+	// Weighted sharding must honor the weight function, not just counts:
+	// make one supernode in a multi-supernode level outweigh all its level
+	// peers combined — LPT must then give it a shard of its own in that
+	// level, with every peer packed onto the other shard.
+	heavy := int32(-1)
+	for _, sups := range levelSups(v) {
+		if len(sups) > 2 {
+			heavy = sups[0]
+			break
+		}
+	}
+	if heavy < 0 {
+		t.Fatal("no level with > 2 supernodes in test graph")
+	}
+	heavyNodes := map[int32]bool{}
+	for _, id := range r.Members[heavy] {
+		heavyNodes[id] = true
+	}
+	wv := r.Shard(g, 2, func(id int32) int64 {
+		if heavyNodes[id] {
+			return 1 << 20
+		}
+		return 1
+	})
+	hl, hs := wv.LevelOf[heavy], wv.ShardOf[heavy]
+	if got := len(wv.Chunks[hl][hs]); got != 1 {
+		t.Fatalf("heavy supernode should sit alone in its shard at level %d, chunk has %d", hl, got)
+	}
+}
+
+// levelSups flattens a ShardView back to per-level supernode lists.
+func levelSups(v *ShardView) [][]int32 {
+	out := make([][]int32, v.Levels)
+	for lv, shards := range v.Chunks {
+		for _, c := range shards {
+			out[lv] = append(out[lv], c...)
+		}
+	}
+	return out
+}
+
+func TestShardDeterminism(t *testing.T) {
+	g := testGraph(t, 2)
+	r := Build(g, Enhanced, 8)
+	a := r.Shard(g, 4, nil)
+	b := r.Shard(g, 4, nil)
+	for s := range a.ShardOf {
+		if a.ShardOf[s] != b.ShardOf[s] || a.LevelOf[s] != b.LevelOf[s] {
+			t.Fatalf("nondeterministic shard assignment at supernode %d", s)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package partition
+
+import (
+	"sort"
+
+	"gsim/internal/ir"
+)
+
+// ShardView distributes a partition's supernodes across thread shards for
+// parallel essential-signal evaluation. Supernodes are first levelized over
+// the dependence condensation (all supernodes in one level are mutually
+// independent given earlier levels), then each level's supernodes are spread
+// across shards balanced by evaluation weight. The view is what
+// engine.ParallelActivity executes: workers sweep level by level with a
+// barrier between levels, so intra-cycle activations — which always target
+// strictly later levels — are visible before their targets are examined.
+type ShardView struct {
+	Threads int
+	Levels  int
+	LevelOf []int32     // supernode -> level
+	ShardOf []int32     // supernode -> shard
+	Chunks  [][][]int32 // level -> shard -> supernode IDs, ascending
+}
+
+// Shard builds the thread-shard view of the partition. nodeWeight gives the
+// evaluation cost of one node (typically its compiled instruction count);
+// nil weighs every node equally. threads < 1 is treated as 1.
+//
+// Levelization relies on the package's correctness invariant: the supernode
+// sequence is a topological order of the value-dependence condensation, so a
+// supernode's dependence predecessors always carry smaller indices.
+func (r *Result) Shard(g *ir.Graph, threads int, nodeWeight func(id int32) int64) *ShardView {
+	if threads < 1 {
+		threads = 1
+	}
+	n := r.Count()
+	v := &ShardView{
+		Threads: threads,
+		LevelOf: make([]int32, n),
+		ShardOf: make([]int32, n),
+	}
+	if n == 0 {
+		return v
+	}
+
+	// Supernode level: 1 + max level over dependence-predecessor supernodes.
+	// Register and input reads see last cycle's value and are excluded, the
+	// same dependence relation the partitioners order by.
+	weights := make([]int64, n)
+	for s := 0; s < n; s++ {
+		lv := int32(0)
+		for _, id := range r.Members[s] {
+			node := g.Nodes[id]
+			if nodeWeight != nil {
+				weights[s] += nodeWeight(id)
+			} else {
+				weights[s]++
+			}
+			node.EachExpr(func(slot **ir.Expr) {
+				(*slot).Walk(func(e *ir.Expr) {
+					if e.Op != ir.OpRef {
+						return
+					}
+					u := e.Node
+					if u.Kind == ir.KindReg || u.Kind == ir.KindInput {
+						return
+					}
+					us := r.SupOf[u.ID]
+					if us < 0 || us == int32(s) {
+						return
+					}
+					if l := v.LevelOf[us] + 1; l > lv {
+						lv = l
+					}
+				})
+			})
+		}
+		v.LevelOf[s] = lv
+		if int(lv)+1 > v.Levels {
+			v.Levels = int(lv) + 1
+		}
+	}
+
+	// Per level, longest-processing-time assignment: heaviest supernode first
+	// onto the least-loaded shard (lowest index on ties, for determinism).
+	byLevel := make([][]int32, v.Levels)
+	for s := int32(0); s < int32(n); s++ {
+		byLevel[v.LevelOf[s]] = append(byLevel[v.LevelOf[s]], s)
+	}
+	v.Chunks = make([][][]int32, v.Levels)
+	load := make([]int64, threads)
+	for lv, sups := range byLevel {
+		ordered := make([]int32, len(sups))
+		copy(ordered, sups)
+		sortByWeightDesc(ordered, weights)
+		for i := range load {
+			load[i] = 0
+		}
+		v.Chunks[lv] = make([][]int32, threads)
+		for _, s := range ordered {
+			w := 0
+			for t := 1; t < threads; t++ {
+				if load[t] < load[w] {
+					w = t
+				}
+			}
+			load[w] += weights[s]
+			v.ShardOf[s] = int32(w)
+			v.Chunks[lv][w] = append(v.Chunks[lv][w], s)
+		}
+		for w := 0; w < threads; w++ {
+			sortInt32(v.Chunks[lv][w])
+		}
+	}
+	return v
+}
+
+// sortByWeightDesc orders supernode IDs by descending weight, breaking ties
+// by ascending ID so the assignment is deterministic.
+func sortByWeightDesc(s []int32, weights []int64) {
+	sort.Slice(s, func(i, j int) bool {
+		if weights[s[i]] != weights[s[j]] {
+			return weights[s[i]] > weights[s[j]]
+		}
+		return s[i] < s[j]
+	})
+}
