@@ -9,12 +9,18 @@ package gsim_test
 
 import (
 	"fmt"
+	"math/rand"
+	"path/filepath"
+	"strings"
 	"testing"
 
+	"gsim/internal/bitvec"
 	"gsim/internal/core"
 	"gsim/internal/engine"
+	"gsim/internal/firrtl"
 	"gsim/internal/gen"
 	"gsim/internal/harness"
+	"gsim/internal/ir"
 	"gsim/internal/partition"
 	"gsim/internal/rv"
 )
@@ -74,15 +80,79 @@ func BenchmarkFig6(b *testing.B) {
 	}
 }
 
+// evalModes spans both evaluation paths for head-to-head benchmarks.
+var evalModes = []engine.EvalMode{engine.EvalKernel, engine.EvalInterp}
+
 // BenchmarkGSIMMT sweeps the multi-threaded essential-signal engine over
-// thread counts, mirroring the Fig. 6 thread-sweep shape: like Verilator-MT,
-// small designs pay the barrier cost and large designs amortize it.
+// thread counts and both evaluation modes, mirroring the Fig. 6 thread-sweep
+// shape: like Verilator-MT, small designs pay the barrier cost and large
+// designs amortize it. The kernel/interp axis shows how much of each
+// datapoint is instruction dispatch.
 func BenchmarkGSIMMT(b *testing.B) {
 	for _, d := range benchDesigns() {
 		for _, threads := range []int{1, 2, 4, 8} {
-			b.Run(fmt.Sprintf("%s/%dT", d.Name, threads), func(b *testing.B) {
-				runSim(b, d, harness.WorkloadLinux, core.GSIMMT(threads))
-			})
+			for _, mode := range evalModes {
+				cfg := core.GSIMMT(threads)
+				cfg.Eval = mode
+				b.Run(fmt.Sprintf("%s/%dT/%s", d.Name, threads, mode), func(b *testing.B) {
+					runSim(b, d, harness.WorkloadLinux, cfg)
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkKernelVsInterp is the PR's headline head-to-head: every testdata
+// FIRRTL design under the full-cycle (verilator) and essential-signal (gsim)
+// presets, closure-threaded kernels vs the switch-dispatch interpreter over
+// the same compiled program, with random stimulus. ns/cycle is reported per
+// sub-benchmark so the win is measured, not asserted.
+func BenchmarkKernelVsInterp(b *testing.B) {
+	files, err := filepath.Glob("testdata/*.fir")
+	if err != nil || len(files) == 0 {
+		b.Fatalf("no testdata designs: %v", err)
+	}
+	for _, f := range files {
+		g, err := firrtl.LoadFile(f)
+		if err != nil {
+			b.Fatal(err)
+		}
+		name := strings.TrimSuffix(filepath.Base(f), ".fir")
+		for _, preset := range []func() core.Config{core.Verilator, core.GSIM} {
+			for _, mode := range evalModes {
+				cfg := preset()
+				cfg.Eval = mode
+				b.Run(fmt.Sprintf("%s/%s/%s", name, cfg.Name, mode), func(b *testing.B) {
+					sys, err := core.Build(g, cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					defer sys.Close()
+					var inputs []*ir.Node
+					for _, n := range sys.Graph.Nodes {
+						if n.Kind == ir.KindInput {
+							inputs = append(inputs, n)
+						}
+					}
+					rng := rand.New(rand.NewSource(1))
+					poke := func() {
+						for _, in := range inputs {
+							sys.Sim.Poke(in.ID, bitvec.FromUint64(in.Width, rng.Uint64()))
+						}
+					}
+					for c := 0; c < 20; c++ {
+						poke()
+						sys.Sim.Step()
+					}
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						poke()
+						sys.Sim.Step()
+					}
+					b.StopTimer()
+					b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N), "ns/cycle")
+				})
+			}
 		}
 	}
 }

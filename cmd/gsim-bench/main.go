@@ -4,6 +4,7 @@
 //
 //	gsim-bench -exp table1|fig6|gsimmt|fig7|fig8|fig9|table3|table4|all [-quick] [-cycles N]
 //	           [-threads 1,2,4,8]   thread counts for the gsimmt sweep
+//	           [-eval kernel|interp] evaluation mode for every measured config
 //
 // Results print as text tables in the paper's layout; EXPERIMENTS.md records
 // a full run with commentary.
@@ -16,6 +17,7 @@ import (
 	"strconv"
 	"strings"
 
+	"gsim/internal/engine"
 	"gsim/internal/gen"
 	"gsim/internal/harness"
 )
@@ -26,9 +28,15 @@ func main() {
 	medium := flag.Bool("medium", false, "stucore + rocket-scale designs, full budget (the EXPERIMENTS.md tier)")
 	cycles := flag.Int("cycles", 0, "override timed cycles per measurement")
 	threadList := flag.String("threads", "1,2,4,8", "comma-separated thread counts for the gsimmt sweep")
+	evalName := flag.String("eval", "kernel", "instruction evaluation for every measured config: kernel or interp")
 	flag.Parse()
 
 	threadCounts, err := parseThreads(*threadList)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	evalMode, err := engine.ParseEvalMode(*evalName)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -54,6 +62,7 @@ func main() {
 	if *cycles > 0 {
 		budget.TimedCycles = *cycles
 	}
+	budget.Eval = evalMode
 
 	run := func(name string, f func() error) {
 		if *exp != "all" && *exp != name {
@@ -125,7 +134,7 @@ func main() {
 		return nil
 	})
 	run("table4", func() error {
-		rows, err := harness.Table4(designs)
+		rows, err := harness.Table4(designs, budget)
 		if err != nil {
 			return err
 		}

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"gsim/internal/core"
+	"gsim/internal/engine"
 	"gsim/internal/gen"
 	"gsim/internal/harness"
 	"gsim/internal/partition"
@@ -32,6 +33,12 @@ func main() {
 	}
 	d := harness.Synthetic(prof)
 	cfgs := []core.Config{core.Verilator(), core.VerilatorMT(2), core.Arcilator(), core.Essent(), core.GSIM()}
+	// The same pipeline under the reference interpreter, to see what the
+	// closure-threaded kernels buy on this profile.
+	gi := core.GSIM()
+	gi.Name = "gsim-interp"
+	gi.Eval = engine.EvalInterp
+	cfgs = append(cfgs, gi)
 	// add gsim variants
 	g2 := core.GSIM()
 	g2.Name = "gsim-mffc"
@@ -72,9 +79,14 @@ func main() {
 			nsup = sys.Part.Count()
 		}
 		_ = nsup
+		// instr/cyc reads the machine's retired counter, which must agree
+		// with the engine stats in every evaluation mode.
+		if ex := sys.Sim.Machine().Executed; ex != st.InstrsExecuted {
+			panic(fmt.Sprintf("%s: Machine.Executed=%d disagrees with stats.InstrsExecuted=%d", cfg.Name, ex, st.InstrsExecuted))
+		}
 		fmt.Printf("%-16s nodes=%-6d sups=%-6d af=%.4f evals/cyc=%-7d exam/cyc=%-7d act/cyc=%-6d instr/cyc=%-8d speed=%.1fkHz\n",
 			cfg.Name, gstats.Nodes, nsup, st.ActivityFactor(),
-			st.NodeEvals/st.Cycles, st.Examinations/st.Cycles, st.Activations/st.Cycles, st.InstrsExecuted/st.Cycles, hz/1000)
+			st.NodeEvals/st.Cycles, st.Examinations/st.Cycles, st.Activations/st.Cycles, sys.Sim.Machine().Executed/st.Cycles, hz/1000)
 		sys.Close()
 	}
 }

@@ -5,6 +5,9 @@
 //	gsim [flags] design.fir
 //
 //	-engine gsim|verilator|essent|arcilator   simulator preset (default gsim)
+//	-eval kernel|interp                       instruction evaluation: closure-threaded
+//	                                          kernels (default) or the reference
+//	                                          interpreter
 //	-threads N                                multi-threaded engine: gsim -> GSIMMT
 //	                                          (parallel essential-signal), verilator
 //	                                          -> Verilator-MT (parallel full-cycle)
@@ -38,6 +41,7 @@ func (r *repeated) Set(v string) error { *r = append(*r, v); return nil }
 
 func main() {
 	engineName := flag.String("engine", "gsim", "simulator preset: gsim, verilator, essent, arcilator")
+	evalName := flag.String("eval", "kernel", "instruction evaluation: kernel (closure-threaded, default) or interp (reference interpreter)")
 	threads := flag.Int("threads", 0, "worker count: gsim -> parallel essential-signal (GSIMMT), verilator -> parallel full-cycle")
 	cycles := flag.Int("cycles", 10, "cycles to simulate")
 	maxSup := flag.Int("max-supernode", 0, "maximum supernode size (0 = default)")
@@ -85,6 +89,11 @@ func main() {
 	if *threads > 0 && cfg.Threads == 0 {
 		fatal(fmt.Errorf("-threads is only valid with -engine gsim or verilator"))
 	}
+	evalMode, err := engine.ParseEvalMode(*evalName)
+	if err != nil {
+		fatal(err)
+	}
+	cfg.Eval = evalMode
 	if *maxSup > 0 {
 		cfg.MaxSupernode = *maxSup
 	}
@@ -93,7 +102,7 @@ func main() {
 		fatal(err)
 	}
 	defer sys.Close()
-	fmt.Printf("built %s in %v (passes: %s)\n", cfg.Name, sys.BuildTime.Round(1000), sys.PassResult)
+	fmt.Printf("built %s (%s eval) in %v (passes: %s)\n", cfg.Name, cfg.Eval, sys.BuildTime.Round(1000), sys.PassResult)
 	if sys.Part != nil {
 		fmt.Printf("partition: %d supernodes (avg %.1f nodes, cut %d)\n",
 			sys.Part.Count(), sys.Part.AvgSize(), sys.Part.CutEdges)

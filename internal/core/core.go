@@ -45,6 +45,11 @@ type Config struct {
 	Engine  EngineKind
 	Threads int // EngineParallel / EngineParallelActivity worker count
 
+	// Eval selects instruction evaluation: closure-threaded kernels (the
+	// zero value, default on for every preset) or the reference
+	// switch-dispatch interpreter (engine.EvalInterp).
+	Eval engine.EvalMode
+
 	// Activity-engine knobs.
 	Partition    partition.Kind
 	MaxSupernode int // paper's max supernode size parameter (Fig. 9)
@@ -108,20 +113,20 @@ func Build(g *ir.Graph, cfg Config) (*System, error) {
 	}
 	switch cfg.Engine {
 	case EngineFullCycle:
-		sys.Sim = engine.NewFullCycle(prog)
+		sys.Sim = engine.NewFullCycle(prog, cfg.Eval)
 	case EngineParallel:
 		order := make([]int32, len(work.Nodes))
 		for i := range order {
 			order[i] = int32(i)
 		}
 		_, byLevel := work.Levelize(order)
-		sys.Sim = engine.NewParallel(prog, byLevel, cfg.Threads)
+		sys.Sim = engine.NewParallel(prog, byLevel, cfg.Threads, cfg.Eval)
 	case EngineActivity:
 		sys.Part = partition.Build(work, cfg.Partition, cfg.MaxSupernode)
-		sys.Sim = engine.NewActivity(prog, sys.Part, cfg.Activity)
+		sys.Sim = engine.NewActivity(prog, sys.Part, cfg.Activity, cfg.Eval)
 	case EngineParallelActivity:
 		sys.Part = partition.Build(work, cfg.Partition, cfg.MaxSupernode)
-		sys.Sim = engine.NewParallelActivity(prog, sys.Part, cfg.Activity, cfg.Threads)
+		sys.Sim = engine.NewParallelActivity(prog, sys.Part, cfg.Activity, cfg.Threads, cfg.Eval)
 	default:
 		return nil, fmt.Errorf("core: unknown engine %d", cfg.Engine)
 	}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"gsim/internal/bitvec"
+	"gsim/internal/engine"
+	"gsim/internal/firrtl"
+	"gsim/internal/gen"
+	"gsim/internal/ir"
+)
+
+// evalLockstepConfigs are the engine configurations the kernel/interp
+// equivalence suite pins: full-cycle, parallel full-cycle, essential-signal,
+// and the multi-threaded essential-signal engine at 2 and 4 threads (the
+// race detector covers the threaded runs in CI).
+func evalLockstepConfigs() []Config {
+	return []Config{Verilator(), VerilatorMT(2), GSIM(), GSIMMT(2), GSIMMT(4)}
+}
+
+// lockstepDesigns returns every testdata FIRRTL design plus two generated
+// ones, as (name, graph) pairs.
+func lockstepDesigns(t *testing.T) (names []string, graphs []*ir.Graph) {
+	t.Helper()
+	files, err := filepath.Glob("../../testdata/*.fir")
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no testdata designs found: %v", err)
+	}
+	for _, f := range files {
+		g, err := firrtl.LoadFile(f)
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		names = append(names, filepath.Base(f))
+		graphs = append(graphs, g)
+	}
+	for _, seed := range []int64{5, 17} {
+		names = append(names, "gen"+string(rune('0'+seed%10)))
+		graphs = append(graphs, gen.Random(seed, gen.DefaultRandomConfig()))
+	}
+	return names, graphs
+}
+
+// interpTwin instantiates an interpreter-mode engine over the same compiled
+// program (and partition) as sys, so the two share node IDs and state layout
+// and their state images can be compared word for word.
+func interpTwin(t *testing.T, sys *System) engine.Sim {
+	t.Helper()
+	cfg := sys.Config
+	switch cfg.Engine {
+	case EngineFullCycle:
+		return engine.NewFullCycle(sys.Prog, engine.EvalInterp)
+	case EngineParallel:
+		order := make([]int32, len(sys.Graph.Nodes))
+		for i := range order {
+			order[i] = int32(i)
+		}
+		_, byLevel := sys.Graph.Levelize(order)
+		return engine.NewParallel(sys.Prog, byLevel, cfg.Threads, engine.EvalInterp)
+	case EngineActivity:
+		return engine.NewActivity(sys.Prog, sys.Part, cfg.Activity, engine.EvalInterp)
+	case EngineParallelActivity:
+		return engine.NewParallelActivity(sys.Prog, sys.Part, cfg.Activity, cfg.Threads, engine.EvalInterp)
+	}
+	t.Fatalf("unknown engine %v", cfg.Engine)
+	return nil
+}
+
+// TestEvalModesLockstep is the PR's core acceptance test: on every testdata
+// design and generated designs, for every engine, the kernel and interpreter
+// evaluation modes must produce bit-identical state images over 200
+// random-stimulus cycles, both must match the golden reference model on the
+// outputs, and the stat counters (including Machine.Executed) must agree
+// between modes. The interpreter engine runs over the same compiled program
+// as the kernel engine, so the comparison covers every state word including
+// temporaries.
+func TestEvalModesLockstep(t *testing.T) {
+	cycles := 200
+	if testing.Short() {
+		cycles = 50
+	}
+	names, graphs := lockstepDesigns(t)
+	for di, g := range graphs {
+		for _, cfg := range evalLockstepConfigs() {
+			cfg.Eval = engine.EvalKernel
+			sysK, err := Build(g, cfg)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", names[di], cfg.Name, err)
+			}
+			simI := interpTwin(t, sysK)
+			ref, err := engine.NewReference(sysK.Graph)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", names[di], cfg.Name, err)
+			}
+
+			var inputs, outputs []*ir.Node
+			for _, n := range sysK.Graph.Nodes {
+				if n.Kind == ir.KindInput {
+					inputs = append(inputs, n)
+				}
+				if n.IsOutput {
+					outputs = append(outputs, n)
+				}
+			}
+			rng := rand.New(rand.NewSource(int64(di)*101 + 7))
+			for c := 0; c < cycles; c++ {
+				for _, in := range inputs {
+					v := bitvec.FromUint64(in.Width, rng.Uint64())
+					if in.Name == "reset" {
+						v = bitvec.FromUint64(1, uint64(rng.Intn(10)/9))
+					}
+					ref.Poke(in.ID, v)
+					sysK.Sim.Poke(in.ID, v)
+					simI.Poke(in.ID, v)
+				}
+				ref.Step()
+				sysK.Sim.Step()
+				simI.Step()
+				stK, stI := sysK.Sim.Machine().State, simI.Machine().State
+				for w := range stK {
+					if stK[w] != stI[w] {
+						t.Fatalf("%s/%s cycle %d: state word %d: kernel %#x vs interp %#x",
+							names[di], cfg.Name, c, w, stK[w], stI[w])
+					}
+				}
+				for _, n := range outputs {
+					if a, b := ref.Peek(n.ID), sysK.Sim.Peek(n.ID); !a.EqValue(b) {
+						t.Fatalf("%s/%s cycle %d: output %q: reference %s vs kernel %s",
+							names[di], cfg.Name, c, n.Name, a, b)
+					}
+				}
+			}
+
+			// Stat counters must not depend on the evaluation mode, and the
+			// machine's retired-instruction counter must track the stats in
+			// both modes (gsim-diag and the harness read either).
+			a, b := sysK.Sim.Stats(), simI.Stats()
+			if a.NodeEvals != b.NodeEvals || a.Activations != b.Activations ||
+				a.Examinations != b.Examinations || a.InstrsExecuted != b.InstrsExecuted ||
+				a.RegCommits != b.RegCommits {
+				t.Fatalf("%s/%s: stats diverge between modes:\nkernel %+v\ninterp %+v",
+					names[di], cfg.Name, *a, *b)
+			}
+			if ex := sysK.Sim.Machine().Executed; ex != a.InstrsExecuted {
+				t.Fatalf("%s/%s: kernel Machine.Executed=%d vs stats %d", names[di], cfg.Name, ex, a.InstrsExecuted)
+			}
+			if ex := simI.Machine().Executed; ex != b.InstrsExecuted {
+				t.Fatalf("%s/%s: interp Machine.Executed=%d vs stats %d", names[di], cfg.Name, ex, b.InstrsExecuted)
+			}
+			if c, ok := simI.(interface{ Close() }); ok {
+				c.Close()
+			}
+			sysK.Close()
+		}
+	}
+}

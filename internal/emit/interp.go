@@ -14,9 +14,10 @@ type Machine struct {
 	State []uint64
 	Mems  [][]uint64
 
-	// Executed counts instructions retired since the last ResetCounters, when
-	// counting is enabled by the engine (engines add Range.Len themselves to
-	// keep this loop branch-free).
+	// Executed counts instructions retired since the last ResetCounters.
+	// Engines add range lengths from serial context (per step or at the
+	// end-of-cycle stat merge) so the hot loops stay branch-free and the
+	// counter stays race-free and accurate in both evaluation modes.
 	Executed uint64
 }
 

@@ -1,0 +1,189 @@
+package emit
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// KernelFn is one compiled instruction as a pre-bound closure — the
+// direct-threaded analogue of GSIM emitting specialized C++ statements.
+// Opcode dispatch, operand word offsets, widths, shift amounts, and result
+// masks are all resolved once when the kernel table is built, so retiring an
+// instruction at simulation time is a single indirect call with no operand
+// decode and no opcode switch. st is always the owning machine's state image
+// (passed so the hot loop loads it once per sweep, not once per
+// instruction); m carries the memory arrays and the wide-operation helpers.
+type KernelFn func(st []uint64, m *Machine)
+
+// numOpCodes bounds the opcode enumeration (via the cOpCount sentinel); the
+// kernel-coverage test sweeps [CCopy, numOpCodes) and fails if a new opcode
+// lands without a kernel or an explicit interpreter fallback.
+const numOpCodes = int(cOpCount)
+
+// BuildKernels populates p.Kernels with one closure per instruction. It is
+// idempotent; engines that select kernel evaluation call it at construction
+// time, so programs driven only by the interpreter never pay for the table.
+func (p *Program) BuildKernels() {
+	if p.Kernels != nil {
+		return
+	}
+	fns := make([]KernelFn, len(p.Instrs))
+	for i := range p.Instrs {
+		fns[i] = compileKernel(p, p.Instrs[i])
+	}
+	p.Kernels = fns
+}
+
+// ExecKernel runs instructions [start, end) through the kernel table.
+// BuildKernels must have been called on the program first.
+func (m *Machine) ExecKernel(start, end int32) {
+	st := m.State
+	for _, f := range m.Prog.Kernels[start:end] {
+		f(st, m)
+	}
+}
+
+// ExecKernelRange runs a node's compiled range through the kernel table.
+func (m *Machine) ExecKernelRange(r Range) { m.ExecKernel(r.Start, r.End) }
+
+// ResetCounters clears the machine's retired-instruction counter.
+func (m *Machine) ResetCounters() { m.Executed = 0 }
+
+// compileKernel translates one instruction into its pre-bound closure.
+// Instructions touching any value wider than 64 bits fall back to the
+// interpreter's multi-word path (execWide); every narrow opcode gets a
+// specialized closure with masks and shift amounts baked in, mirroring
+// execNarrow exactly — the lockstep tests pin the two bit-identical.
+func compileKernel(p *Program, in Instr) KernelFn {
+	if in.DW > 64 || in.AW > 64 || in.BW > 64 {
+		// Explicit interpreter fallback for wide operations: pre-bind a
+		// private copy of the instruction so the sweep never touches Instrs.
+		wide := in
+		return func(_ []uint64, m *Machine) { m.execWide(&wide) }
+	}
+	d, a, b, c := int(in.D), int(in.A), int(in.B), int(in.C)
+	aw, bw := in.AW, in.BW
+	dm := mask(in.DW)
+	switch in.Op {
+	case CCopy:
+		return func(st []uint64, _ *Machine) { st[d] = st[a] & dm }
+	case CAdd:
+		return func(st []uint64, _ *Machine) { st[d] = (st[a] + st[b]) & dm }
+	case CSub:
+		return func(st []uint64, _ *Machine) { st[d] = (st[a] - st[b]) & dm }
+	case CMul:
+		return func(st []uint64, _ *Machine) { st[d] = (st[a] * st[b]) & dm }
+	case CDiv:
+		return func(st []uint64, _ *Machine) {
+			var r uint64
+			if bv := st[b]; bv != 0 {
+				r = st[a] / bv
+			}
+			st[d] = r & dm
+		}
+	case CRem:
+		return func(st []uint64, _ *Machine) {
+			var r uint64
+			if bv := st[b]; bv != 0 {
+				r = st[a] % bv
+			}
+			st[d] = r & dm
+		}
+	case CNeg:
+		return func(st []uint64, _ *Machine) { st[d] = -st[a] & dm }
+	case CAnd:
+		return func(st []uint64, _ *Machine) { st[d] = (st[a] & st[b]) & dm }
+	case COr:
+		return func(st []uint64, _ *Machine) { st[d] = (st[a] | st[b]) & dm }
+	case CXor:
+		return func(st []uint64, _ *Machine) { st[d] = (st[a] ^ st[b]) & dm }
+	case CNot:
+		return func(st []uint64, _ *Machine) { st[d] = ^st[a] & dm }
+	case CAndR:
+		am := mask(aw)
+		return func(st []uint64, _ *Machine) { st[d] = b2u(st[a] == am) }
+	case COrR:
+		return func(st []uint64, _ *Machine) { st[d] = b2u(st[a] != 0) }
+	case CXorR:
+		return func(st []uint64, _ *Machine) { st[d] = uint64(bits.OnesCount64(st[a])) & 1 }
+	case CEq:
+		return func(st []uint64, _ *Machine) { st[d] = b2u(st[a] == st[b]) }
+	case CNeq:
+		return func(st []uint64, _ *Machine) { st[d] = b2u(st[a] != st[b]) }
+	case CLt:
+		return func(st []uint64, _ *Machine) { st[d] = b2u(st[a] < st[b]) }
+	case CLeq:
+		return func(st []uint64, _ *Machine) { st[d] = b2u(st[a] <= st[b]) }
+	case CGt:
+		return func(st []uint64, _ *Machine) { st[d] = b2u(st[a] > st[b]) }
+	case CGeq:
+		return func(st []uint64, _ *Machine) { st[d] = b2u(st[a] >= st[b]) }
+	case CSLt:
+		return func(st []uint64, _ *Machine) { st[d] = b2u(sext64(st[a], aw) < sext64(st[b], bw)) }
+	case CSLeq:
+		return func(st []uint64, _ *Machine) { st[d] = b2u(sext64(st[a], aw) <= sext64(st[b], bw)) }
+	case CSGt:
+		return func(st []uint64, _ *Machine) { st[d] = b2u(sext64(st[a], aw) > sext64(st[b], bw)) }
+	case CSGeq:
+		return func(st []uint64, _ *Machine) { st[d] = b2u(sext64(st[a], aw) >= sext64(st[b], bw)) }
+	case CShl:
+		sh := uint(in.Lo) // Go defines shifts >= 64 as 0, matching execNarrow
+		return func(st []uint64, _ *Machine) { st[d] = (st[a] << sh) & dm }
+	case CShr:
+		sh := uint(in.Lo)
+		return func(st []uint64, _ *Machine) { st[d] = (st[a] >> sh) & dm }
+	case CDshl:
+		return func(st []uint64, _ *Machine) {
+			var r uint64
+			if n := st[b]; n < 64 {
+				r = st[a] << n
+			}
+			st[d] = r & dm
+		}
+	case CDshr:
+		return func(st []uint64, _ *Machine) {
+			var r uint64
+			if n := st[b]; n < 64 {
+				r = st[a] >> n
+			}
+			st[d] = r & dm
+		}
+	case CCat:
+		sh := uint(bw)
+		return func(st []uint64, _ *Machine) { st[d] = (st[a]<<sh | st[b]) & dm }
+	case CBits:
+		sh := uint(in.Lo)
+		return func(st []uint64, _ *Machine) { st[d] = (st[a] >> sh) & dm }
+	case CSExt:
+		return func(st []uint64, _ *Machine) { st[d] = uint64(sext64(st[a], aw)) & dm }
+	case CMux:
+		return func(st []uint64, _ *Machine) {
+			r := st[c]
+			if st[a] != 0 {
+				r = st[b]
+			}
+			st[d] = r & dm
+		}
+	case CMemRead:
+		mi := int(in.Lo)
+		spec := &p.Mems[mi]
+		depth := uint64(spec.Depth)
+		wp := spec.WordsPer
+		return func(st []uint64, m *Machine) {
+			var r uint64
+			if addr := st[a]; addr < depth {
+				r = m.Mems[mi][int32(addr)*wp]
+			}
+			st[d] = r & dm
+		}
+	}
+	panic(fmt.Sprintf("emit: no kernel for opcode %d", in.Op))
+}
+
+// b2u converts a comparison result to the canonical 0/1 word.
+func b2u(v bool) uint64 {
+	if v {
+		return 1
+	}
+	return 0
+}

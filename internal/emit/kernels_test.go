@@ -1,0 +1,97 @@
+package emit
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"gsim/internal/bitvec"
+	"gsim/internal/ir"
+)
+
+// TestKernelMatchesInterp is the kernel-level property test: for random
+// expression trees (narrow and wide), the closure-threaded kernel sweep must
+// leave the machine in the exact state the interpreter leaves it in — every
+// word, including temporaries.
+func TestKernelMatchesInterp(t *testing.T) {
+	for seed := int64(100); seed < 140; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		b := ir.NewBuilder(fmt.Sprintf("k%d", seed))
+		var inputs []*ir.Node
+		vals := map[*ir.Node]bitvec.BV{}
+		for i := 0; i < 4; i++ {
+			w := 1 + rng.Intn(130)
+			in := b.Input(fmt.Sprintf("i%d", i), w)
+			inputs = append(inputs, in)
+			v := bitvec.New(w)
+			for j := range v.W {
+				v.W[j] = rng.Uint64()
+			}
+			vals[in] = bitvec.FromWords(w, v.W)
+		}
+		e := randExpr(rng, b, inputs, 5)
+		p, _ := compileExpr(t, inputs, b.G, e)
+		p.BuildKernels()
+		if len(p.Kernels) != len(p.Instrs) {
+			t.Fatalf("seed %d: %d kernels for %d instructions", seed, len(p.Kernels), len(p.Instrs))
+		}
+
+		mi := NewMachine(p)
+		mk := NewMachine(p)
+		for _, in := range inputs {
+			mi.Poke(in.ID, vals[in])
+			mk.Poke(in.ID, vals[in])
+		}
+		mi.Exec(0, int32(len(p.Instrs)))
+		mk.ExecKernel(0, int32(len(p.Instrs)))
+		for w := range mi.State {
+			if mi.State[w] != mk.State[w] {
+				t.Fatalf("seed %d: state word %d: interp %#x vs kernel %#x\nexpr: %s",
+					seed, w, mi.State[w], mk.State[w], e)
+			}
+		}
+	}
+}
+
+// TestKernelOpcodeCoverage pins the contract the engines rely on: every
+// opcode in the enumeration compiles to a kernel — a specialized narrow
+// closure when all operands fit one word, and the explicit interpreter
+// fallback (execWide) otherwise. A new opcode added without a kernel makes
+// compileKernel panic, which this sweep turns into a test failure.
+func TestKernelOpcodeCoverage(t *testing.T) {
+	p := &Program{Mems: []MemSpec{{Depth: 2, Width: 8, WordsPer: 1, Init: make([]uint64, 2)}}}
+	for op := int(CCopy); op < numOpCodes; op++ {
+		narrow := Instr{Op: OpCode(op), DW: 8, AW: 8, BW: 8}
+		if fn := mustCompile(t, p, narrow); fn == nil {
+			t.Fatalf("opcode %d: no narrow kernel", op)
+		}
+		wide := Instr{Op: OpCode(op), DW: 128, AW: 128, BW: 128}
+		if fn := mustCompile(t, p, wide); fn == nil {
+			t.Fatalf("opcode %d: no wide fallback", op)
+		}
+	}
+}
+
+func mustCompile(t *testing.T, p *Program, in Instr) (fn KernelFn) {
+	t.Helper()
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("opcode %d (widths %d/%d/%d): compileKernel panicked: %v", in.Op, in.DW, in.AW, in.BW, r)
+		}
+	}()
+	return compileKernel(p, in)
+}
+
+// TestBuildKernelsIdempotent: building twice must not reallocate the table
+// (engines sharing a program may all request kernels).
+func TestBuildKernelsIdempotent(t *testing.T) {
+	b := ir.NewBuilder("idem")
+	in := b.Input("i", 8)
+	p, _ := compileExpr(t, []*ir.Node{in}, b.G, b.Add(ir.Ref(in), ir.Ref(in)))
+	p.BuildKernels()
+	first := &p.Kernels[0]
+	p.BuildKernels()
+	if first != &p.Kernels[0] {
+		t.Fatal("BuildKernels rebuilt the table")
+	}
+}

@@ -62,6 +62,12 @@ const (
 	CSExt
 	CMux
 	CMemRead
+
+	// cOpCount is the enumeration sentinel: keep it last. The kernel
+	// coverage test sweeps [CCopy, cOpCount), so an opcode added above
+	// without a compileKernel case fails the suite instead of panicking at
+	// engine construction.
+	cOpCount
 )
 
 var opcodeOf = map[ir.Op]OpCode{
@@ -107,6 +113,11 @@ type Program struct {
 	NumWords int
 	Init     []uint64 // initial state image: const pool + register init values
 	Instrs   []Instr
+
+	// Kernels is the closure-threaded form of Instrs: one pre-bound closure
+	// per instruction, built on demand by BuildKernels. nil until an engine
+	// selects kernel evaluation.
+	Kernels []KernelFn
 
 	// Per node-ID tables (indexed by ir.Node.ID).
 	Code    []Range // instruction range evaluating the node

@@ -54,6 +54,10 @@ type Activity struct {
 
 	active []uint64 // one bit per supernode
 
+	// Kernel mode: per-supernode fused closure chains and the old-value
+	// parking buffer their change tracking uses. nil under EvalInterp.
+	supKerns []supKernel
+
 	scratch     []uint64
 	pending     []int32
 	pendingFlag []bool
@@ -182,15 +186,25 @@ func buildActivationPlan(p *emit.Program, part *partition.Result, cfg ActivityCo
 }
 
 // NewActivity builds the essential-signal engine over a compiled program and
-// a supernode partition of the same graph.
-func NewActivity(p *emit.Program, part *partition.Result, cfg ActivityConfig) *Activity {
+// a supernode partition of the same graph. In kernel mode (the default)
+// every supernode is fused into one closure chain; EvalInterp selects the
+// per-instruction reference interpreter.
+func NewActivity(p *emit.Program, part *partition.Result, cfg ActivityConfig, mode EvalMode) *Activity {
 	if cfg.BranchlessMax == 0 {
 		cfg.BranchlessMax = DefaultBranchlessMax
 	}
-	a := &Activity{base: newBase(p), part: part, cfg: cfg}
+	a := &Activity{base: newBase(p, mode), part: part, cfg: cfg}
 	a.activationPlan = buildActivationPlan(p, part, cfg, a.resets)
 	a.active = make([]uint64, (part.Count()+63)/64)
-	a.scratch = make([]uint64, a.maxWords)
+	scratchWords := a.maxWords
+	if mode == EvalKernel {
+		var kw int32
+		a.supKerns, kw = buildSupKernels(p, a.activationPlan)
+		if kw > scratchWords {
+			scratchWords = kw
+		}
+	}
+	a.scratch = make([]uint64, scratchWords)
 	a.pendingFlag = make([]bool, len(p.Graph.Nodes))
 
 	a.activateAll()
@@ -261,14 +275,20 @@ func (a *Activity) Step() {
 	a.commit()
 }
 
+// evalSupernode dispatches to the fused kernel chain or the interpreter
+// sweep, whichever the engine was built with.
 func (a *Activity) evalSupernode(s int32) {
+	if a.supKerns != nil {
+		a.evalSupernodeKernel(s)
+		return
+	}
 	p := a.m.Prog
 	st := a.m.State
 	for k := a.supStart[s]; k < a.supStart[s+1]; k++ {
 		id := a.members[k]
 		code := p.Code[id]
 		a.stats.NodeEvals++
-		a.stats.InstrsExecuted += uint64(code.Len())
+		a.countInstrs(uint64(code.Len()))
 		switch a.kind[id] {
 		case ir.KindReg:
 			a.m.Exec(code.Start, code.End)
@@ -288,6 +308,40 @@ func (a *Activity) evalSupernode(s int32) {
 				diff |= old[i] ^ st[off+i]
 			}
 			a.activate(id, diff)
+		}
+	}
+}
+
+// evalSupernodeKernel is the closure-threaded path: park the old values of
+// every change-tracked member, run the supernode's fused closure chain, then
+// diff and activate. It produces the same state trajectory, activations, and
+// stat counters as the interpreter path (activation bit-ORs commute, and a
+// member's value slot is written only by its own instructions).
+func (a *Activity) evalSupernodeKernel(s int32) {
+	sk := &a.supKerns[s]
+	m := a.m
+	st := m.State
+	scr := a.scratch
+	for _, t := range sk.track {
+		copy(scr[t.scr:t.scr+t.w], st[t.off:t.off+t.w])
+	}
+	for _, f := range sk.fns {
+		f(st, m)
+	}
+	a.stats.NodeEvals += sk.nodes
+	a.countInstrs(sk.instrs)
+	for _, t := range sk.track {
+		var diff uint64
+		for i := int32(0); i < t.w; i++ {
+			diff |= scr[t.scr+i] ^ st[t.off+i]
+		}
+		a.activate(t.id, diff)
+	}
+	p := m.Prog
+	for _, id := range sk.regs {
+		if !a.pendingFlag[id] && !wordsEqual(st, p.Off[id], p.NextOff[id], p.WordsOf[id]) {
+			a.pendingFlag[id] = true
+			a.pending = append(a.pending, id)
 		}
 	}
 }

@@ -68,9 +68,10 @@ func (s *Stats) ActivityFactor() float64 {
 type base struct {
 	g      *ir.Graph
 	m      *emit.Machine
-	regs   []int32 // register node IDs
-	writes []int32 // memory write-port node IDs
-	coded  []int32 // all node IDs with evaluation work, in ID (== topo) order
+	exec   func(start, end int32) // bound to Machine.ExecKernel or Machine.Exec
+	regs   []int32                // register node IDs
+	writes []int32                // memory write-port node IDs
+	coded  []int32                // all node IDs with evaluation work, in ID (== topo) order
 	resets []resetGroup
 	stats  Stats
 }
@@ -85,8 +86,14 @@ type resetGroup struct {
 	regs []int32
 }
 
-func newBase(p *emit.Program) base {
+func newBase(p *emit.Program, mode EvalMode) base {
 	b := base{g: p.Graph, m: emit.NewMachine(p)}
+	if mode == EvalInterp {
+		b.exec = b.m.Exec
+	} else {
+		p.BuildKernels()
+		b.exec = b.m.ExecKernel
+	}
 	bySig := map[int32]int{}
 	for _, n := range p.Graph.Nodes {
 		if n.HasCode() {
@@ -141,6 +148,15 @@ func (b *base) applyResets(onChange func(id int32)) {
 			}
 		}
 	}
+}
+
+// countInstrs retires n instructions into both the engine stats and the
+// machine's Executed counter. Engines call it only from serial context (per
+// step, or at the end-of-cycle worker-stat merge), so the counters stay
+// race-free and accurate regardless of evaluation mode and thread count.
+func (b *base) countInstrs(n uint64) {
+	b.stats.InstrsExecuted += n
+	b.m.Executed += n
 }
 
 func (b *base) Peek(nodeID int) bitvec.BV            { return b.m.Peek(nodeID) }

@@ -17,9 +17,11 @@ type FullCycle struct {
 
 // NewFullCycle builds a full-cycle engine for a compiled program. The
 // program's graph must have been compacted in topological order (core.Build
-// guarantees this).
-func NewFullCycle(p *emit.Program) *FullCycle {
-	return &FullCycle{base: newBase(p)}
+// guarantees this). In kernel mode (the default) the whole instruction
+// stream is one fused closure sweep; EvalInterp selects the reference
+// interpreter.
+func NewFullCycle(p *emit.Program, mode EvalMode) *FullCycle {
+	return &FullCycle{base: newBase(p, mode)}
 }
 
 // Reset restores initial state.
@@ -30,9 +32,9 @@ func (f *FullCycle) Reset() {
 // Step simulates one cycle.
 func (f *FullCycle) Step() {
 	f.stats.Cycles++
-	f.m.Exec(0, int32(len(f.m.Prog.Instrs)))
+	f.exec(0, int32(len(f.m.Prog.Instrs)))
 	f.stats.NodeEvals += uint64(len(f.coded))
-	f.stats.InstrsExecuted += uint64(len(f.m.Prog.Instrs))
+	f.countInstrs(uint64(len(f.m.Prog.Instrs)))
 	f.commitRegs()
 	f.memScratch = f.commitWrites(f.memScratch[:0])
 	f.applyResets(nil)

@@ -1,10 +1,6 @@
 package engine
 
 import (
-	"runtime"
-	"sync"
-	"sync/atomic"
-
 	"gsim/internal/bitvec"
 	"gsim/internal/emit"
 )
@@ -12,30 +8,29 @@ import (
 // Parallel is the multi-threaded full-cycle engine: the stand-in for
 // Verilator's -threads mode. Nodes are levelized (all nodes in one level are
 // mutually independent given earlier levels); each level is split across
-// persistent workers separated by barriers. Like the real thing, the
-// fixed per-level synchronization cost means small designs slow down while
-// large designs speed up — the shape Fig. 6 reports.
+// persistent workers separated by barriers (workerPool). Like the real
+// thing, the fixed per-level synchronization cost means small designs slow
+// down while large designs speed up — the shape Fig. 6 reports.
+//
+// In kernel mode every (level, worker) chunk is fused into one closure
+// slice, so a worker's share of a level is a single sweep with no per-node
+// range lookups and no per-instruction dispatch.
 type Parallel struct {
 	base
 	threads    int
-	chunks     [][][]int32 // level -> worker -> node IDs
+	chunks     [][][]int32         // level -> worker -> node IDs
+	fused      [][][]emit.KernelFn // kernel mode: level -> worker -> fused closures
+	pool       *workerPool
 	memScratch []int32
-
-	workers   sync.WaitGroup
-	startCh   []chan struct{}
-	doneCh    chan struct{}
-	level     atomic.Int32
-	pending   atomic.Int32
-	closeOnce sync.Once
 }
 
 // NewParallel builds a parallel full-cycle engine with the given worker
 // count. byLevel is the graph's levelization (ir.Graph.Levelize).
-func NewParallel(p *emit.Program, byLevel [][]int32, threads int) *Parallel {
+func NewParallel(p *emit.Program, byLevel [][]int32, threads int, mode EvalMode) *Parallel {
 	if threads < 1 {
 		threads = 1
 	}
-	e := &Parallel{base: newBase(p), threads: threads, doneCh: make(chan struct{})}
+	e := &Parallel{base: newBase(p, mode), threads: threads}
 	// Split each level into per-worker chunks, skipping nodes with no code
 	// and balancing by instruction count.
 	for _, level := range byLevel {
@@ -62,39 +57,35 @@ func NewParallel(p *emit.Program, byLevel [][]int32, threads int) *Parallel {
 		}
 		e.chunks = append(e.chunks, chunk)
 	}
-	e.startCh = make([]chan struct{}, threads)
-	e.workers.Add(threads)
-	for w := 0; w < threads; w++ {
-		e.startCh[w] = make(chan struct{}, 1)
-		go e.worker(w)
+	if mode == EvalKernel {
+		e.fused = make([][][]emit.KernelFn, len(e.chunks))
+		for lv, chunk := range e.chunks {
+			e.fused[lv] = make([][]emit.KernelFn, threads)
+			for w, ids := range chunk {
+				var fns []emit.KernelFn
+				for _, id := range ids {
+					r := p.Code[id]
+					fns = append(fns, p.Kernels[r.Start:r.End]...)
+				}
+				e.fused[lv][w] = fns
+			}
+		}
 	}
+	e.pool = newWorkerPool(threads, len(e.chunks), e.runLevel)
 	return e
 }
 
-// worker processes its chunk of every level, synchronizing with peers via an
-// atomic countdown per level; the last worker through a level advances it.
-// It exits when its start channel is closed.
-func (e *Parallel) worker(w int) {
-	defer e.workers.Done()
-	for range e.startCh[w] {
-		for lv := 0; lv < len(e.chunks); lv++ {
-			// Wait for the level to open. Yield while spinning: worker
-			// counts routinely exceed core counts (the experiments sweep
-			// thread counts the way the paper does), and a pure spin then
-			// starves the workers that still hold work.
-			for e.level.Load() < int32(lv) {
-				runtime.Gosched()
-			}
-			for _, id := range e.chunks[lv][w] {
-				e.m.ExecRange(e.m.Prog.Code[id])
-			}
-			if e.pending.Add(-1) == 0 {
-				// Last worker out resets the countdown and opens the next level.
-				e.pending.Store(int32(e.threads))
-				e.level.Add(1)
-			}
+// runLevel executes worker w's chunk of level lv.
+func (e *Parallel) runLevel(w, lv int) {
+	if e.fused != nil {
+		st := e.m.State
+		for _, f := range e.fused[lv][w] {
+			f(st, e.m)
 		}
-		e.doneCh <- struct{}{}
+		return
+	}
+	for _, id := range e.chunks[lv][w] {
+		e.m.ExecRange(e.m.Prog.Code[id])
 	}
 }
 
@@ -104,16 +95,9 @@ func (e *Parallel) Reset() { e.m.Reset() }
 // Step simulates one cycle across all workers.
 func (e *Parallel) Step() {
 	e.stats.Cycles++
-	e.level.Store(0)
-	e.pending.Store(int32(e.threads))
-	for w := 0; w < e.threads; w++ {
-		e.startCh[w] <- struct{}{}
-	}
-	for w := 0; w < e.threads; w++ {
-		<-e.doneCh
-	}
+	e.pool.cycle()
 	e.stats.NodeEvals += uint64(len(e.coded))
-	e.stats.InstrsExecuted += uint64(len(e.m.Prog.Instrs))
+	e.countInstrs(uint64(len(e.m.Prog.Instrs)))
 	e.commitRegs()
 	e.memScratch = e.commitWrites(e.memScratch[:0])
 	e.applyResets(nil)
@@ -122,14 +106,7 @@ func (e *Parallel) Step() {
 // Close shuts down the worker goroutines and blocks until every one has
 // exited. It must not be called concurrently with Step; calling it more than
 // once is safe.
-func (e *Parallel) Close() {
-	e.closeOnce.Do(func() {
-		for w := 0; w < e.threads; w++ {
-			close(e.startCh[w])
-		}
-		e.workers.Wait()
-	})
-}
+func (e *Parallel) Close() { e.pool.Close() }
 
 // Poke sets an input value.
 func (e *Parallel) Poke(nodeID int, v bitvec.BV) { e.m.Poke(nodeID, v) }

@@ -2,9 +2,6 @@ package engine
 
 import (
 	"math/bits"
-	"runtime"
-	"sync"
-	"sync/atomic"
 
 	"gsim/internal/bitvec"
 	"gsim/internal/emit"
@@ -13,8 +10,8 @@ import (
 )
 
 // ParallelActivity is the multi-threaded essential-signal engine (GSIMMT):
-// the Activity engine's per-supernode active bits combined with the Parallel
-// engine's persistent workers and level barriers.
+// the Activity engine's per-supernode active bits combined with persistent
+// workers and level barriers (workerPool).
 //
 // Supernodes are levelized over the dependence condensation and distributed
 // across persistent worker shards (partition.Result.Shard). Each (shard,
@@ -24,12 +21,15 @@ import (
 // later levels (dependence edges cannot stay within a level), so workers
 // publish them into per-worker outbox masks that the owning shard OR-merges
 // into its active words at the level barrier — never touching a word another
-// worker can write in the same level. Register and memory commits, external
-// pokes, and the reset slow path run serially between cycles, exactly as in
-// Activity.
+// worker can write in the same level. A per-(writer, chunk) dirty flag lets
+// the merge skip outboxes that published nothing into the chunk, so an idle
+// design no longer pays the O(threads x words) merge every cycle. Register
+// and memory commits, external pokes, and the reset slow path run serially
+// between cycles, exactly as in Activity.
 //
-// The engine produces the same state trajectory as Activity and Reference;
-// the equivalence tests enforce this at several thread counts.
+// The engine produces the same state trajectory as Activity and Reference in
+// both evaluation modes; the equivalence tests enforce this at several
+// thread counts.
 type ParallelActivity struct {
 	base
 	part    *partition.Result
@@ -37,21 +37,28 @@ type ParallelActivity struct {
 	threads int
 	shard   *partition.ShardView
 	levels  int
+	pool    *workerPool
 	*activationPlan
 
 	// Active-bit storage: one concatenated word array, shard-major then
 	// level-minor, each (shard, level) chunk padded to whole words.
 	active  []uint64
 	out     [][]uint64 // per-worker activation outboxes, same word space
+	dirty   [][]bool   // per-worker: chunk index -> outbox has pending bits
 	wordLo  [][]int32  // [shard][level] -> first word; [shard][levels] ends it
 	supSlot []int32    // supernode -> slot (word*64 + bit)
 	slotSup []int32    // slot -> supernode; -1 for padding bits
 
 	// Per-node successor targets (indexed via the embedded plan's
 	// succStart): the plan's supernode lists resolved to (word, mask) pairs
-	// in the active/outbox word space.
-	succWord []int32
-	succMask []uint64
+	// in the active/outbox word space, plus the owning (shard, level) chunk
+	// index for dirty marking.
+	succWord  []int32
+	succMask  []uint64
+	succChunk []int32
+
+	// Kernel mode: per-supernode fused closure chains. nil under EvalInterp.
+	supKerns []supKernel
 
 	pendingFlag  []bool
 	memReadSlots [][]slotMask
@@ -59,13 +66,6 @@ type ParallelActivity struct {
 	resetSlots   map[int32][]slotMask
 
 	ws []*paWorker
-
-	workers   sync.WaitGroup
-	startCh   []chan struct{}
-	doneCh    chan struct{}
-	level     atomic.Int32
-	barrier   atomic.Int32
-	closeOnce sync.Once
 }
 
 // slotMask addresses one supernode's active bit: active[word] |= mask.
@@ -89,8 +89,10 @@ type paWorker struct {
 }
 
 // NewParallelActivity builds the multi-threaded essential-signal engine over
-// a compiled program and a supernode partition of the same graph.
-func NewParallelActivity(p *emit.Program, part *partition.Result, cfg ActivityConfig, threads int) *ParallelActivity {
+// a compiled program and a supernode partition of the same graph. In kernel
+// mode (the default) every supernode is fused into one closure chain;
+// EvalInterp selects the per-instruction reference interpreter.
+func NewParallelActivity(p *emit.Program, part *partition.Result, cfg ActivityConfig, threads int, mode EvalMode) *ParallelActivity {
 	if threads < 1 {
 		threads = 1
 	}
@@ -98,11 +100,10 @@ func NewParallelActivity(p *emit.Program, part *partition.Result, cfg ActivityCo
 		cfg.BranchlessMax = DefaultBranchlessMax
 	}
 	e := &ParallelActivity{
-		base:    newBase(p),
+		base:    newBase(p, mode),
 		part:    part,
 		cfg:     cfg,
 		threads: threads,
-		doneCh:  make(chan struct{}),
 	}
 	g := p.Graph
 
@@ -136,8 +137,20 @@ func NewParallelActivity(p *emit.Program, part *partition.Result, cfg ActivityCo
 		e.slotSup[slot] = int32(s)
 	}
 	e.out = make([][]uint64, threads)
+	e.dirty = make([][]bool, threads)
 	for w := range e.out {
 		e.out[w] = make([]uint64, words)
+		e.dirty[w] = make([]bool, threads*e.levels)
+	}
+	// wordChunk maps an active word to its owning (shard, level) chunk index
+	// (shard*levels + level), the granule of outbox dirty tracking.
+	wordChunk := make([]int32, words)
+	for w := 0; w < threads; w++ {
+		for lv := 0; lv < e.levels; lv++ {
+			for wi := e.wordLo[w][lv]; wi < e.wordLo[w][lv+1]; wi++ {
+				wordChunk[wi] = int32(w*e.levels + lv)
+			}
+		}
 	}
 
 	e.pendingFlag = make([]bool, len(g.Nodes))
@@ -146,10 +159,12 @@ func NewParallelActivity(p *emit.Program, part *partition.Result, cfg ActivityCo
 	// engine's active/outbox word space.
 	e.succWord = make([]int32, len(e.succSups))
 	e.succMask = make([]uint64, len(e.succSups))
+	e.succChunk = make([]int32, len(e.succSups))
 	for i, s := range e.succSups {
 		slot := e.supSlot[s]
 		e.succWord[i] = slot >> 6
 		e.succMask[i] = uint64(1) << uint(slot&63)
+		e.succChunk[i] = wordChunk[slot>>6]
 	}
 	e.memReadSlots = make([][]slotMask, len(e.memReadSups))
 	for mi, sups := range e.memReadSups {
@@ -166,14 +181,19 @@ func NewParallelActivity(p *emit.Program, part *partition.Result, cfg ActivityCo
 		}
 	}
 
-	e.ws = make([]*paWorker, threads)
-	e.startCh = make([]chan struct{}, threads)
-	e.workers.Add(threads)
-	for w := 0; w < threads; w++ {
-		e.ws[w] = &paWorker{e: e, id: w, scratch: make([]uint64, e.maxWords)}
-		e.startCh[w] = make(chan struct{}, 1)
-		go e.workerLoop(w)
+	scratchWords := e.maxWords
+	if mode == EvalKernel {
+		var kw int32
+		e.supKerns, kw = buildSupKernels(p, e.activationPlan)
+		if kw > scratchWords {
+			scratchWords = kw
+		}
 	}
+	e.ws = make([]*paWorker, threads)
+	for w := 0; w < threads; w++ {
+		e.ws[w] = &paWorker{e: e, id: w, scratch: make([]uint64, scratchWords)}
+	}
+	e.pool = newWorkerPool(threads, e.levels, e.runLevel)
 
 	e.activateAll()
 	return e
@@ -225,88 +245,77 @@ func (e *ParallelActivity) activateReaders(id int32) {
 // then registers, memories, and resets commit serially.
 func (e *ParallelActivity) Step() {
 	e.stats.Cycles++
-	e.level.Store(0)
-	e.barrier.Store(int32(e.threads))
-	for w := 0; w < e.threads; w++ {
-		e.startCh[w] <- struct{}{}
-	}
-	for w := 0; w < e.threads; w++ {
-		<-e.doneCh
-	}
+	e.pool.cycle()
 	for _, ws := range e.ws {
 		e.stats.NodeEvals += ws.nodeEvals
 		e.stats.Activations += ws.activations
 		e.stats.Examinations += ws.examinations
-		e.stats.InstrsExecuted += ws.instrs
+		e.countInstrs(ws.instrs)
 		ws.nodeEvals, ws.activations, ws.examinations, ws.instrs = 0, 0, 0, 0
 	}
 	e.commit()
 }
 
-// workerLoop runs one worker until its start channel is closed.
-func (e *ParallelActivity) workerLoop(w int) {
-	defer e.workers.Done()
+// runLevel sweeps worker w's chunk of level lv. The worker first drains
+// every outbox marked dirty for its chunk (all writers finished strictly
+// earlier levels, so the merge is race-free), then applies the multi-bit
+// check to the merged words. Clean outboxes — the common case on idle
+// designs — are skipped entirely.
+func (e *ParallelActivity) runLevel(w, lv int) {
 	ws := e.ws[w]
-	for range e.startCh[w] {
-		ws.runCycle()
-		e.doneCh <- struct{}{}
+	lo, hi := e.wordLo[w][lv], e.wordLo[w][lv+1]
+	if lo == hi {
+		return
 	}
-}
-
-// runCycle sweeps the worker's chunks of every level. At each level the
-// worker first drains every outbox word targeting its chunk (all writers
-// finished strictly earlier levels, so the merge is race-free), then applies
-// the multi-bit check to the merged word.
-func (ws *paWorker) runCycle() {
-	e := ws.e
-	for lv := 0; lv < e.levels; lv++ {
-		// Wait for the level to open; yield while spinning, as worker counts
-		// can exceed core counts during thread-sweep experiments.
-		for e.level.Load() < int32(lv) {
-			runtime.Gosched()
+	chunk := int32(w*e.levels + lv)
+	for u := range e.out {
+		du := e.dirty[u]
+		if !du[chunk] {
+			continue
 		}
-		lo, hi := e.wordLo[ws.id][lv], e.wordLo[ws.id][lv+1]
+		du[chunk] = false
+		out := e.out[u]
 		for wi := lo; wi < hi; wi++ {
-			word := e.active[wi]
-			e.active[wi] = 0
-			for u := range e.out {
-				word |= e.out[u][wi]
-				e.out[u][wi] = 0
-			}
-			if e.cfg.MultiBitCheck {
-				// Listing 4 applied per shard: one test clears 64 bits.
-				ws.examinations++
-				for word != 0 {
-					b := bits.TrailingZeros64(word)
-					word &^= uint64(1) << uint(b)
-					ws.examinations++
-					ws.evalSupernode(e.slotSup[int(wi)<<6+b])
-				}
-			} else {
-				for b := 0; b < 64; b++ {
-					s := e.slotSup[int(wi)<<6+b]
-					if s < 0 {
-						break // padding tail; real slots are packed low
-					}
-					ws.examinations++
-					if word&(uint64(1)<<uint(b)) != 0 {
-						ws.evalSupernode(s)
-					}
-				}
-			}
+			e.active[wi] |= out[wi]
+			out[wi] = 0
 		}
-		if e.barrier.Add(-1) == 0 {
-			// Last worker out resets the countdown and opens the next level.
-			e.barrier.Store(int32(e.threads))
-			e.level.Add(1)
+	}
+	for wi := lo; wi < hi; wi++ {
+		word := e.active[wi]
+		e.active[wi] = 0
+		if e.cfg.MultiBitCheck {
+			// Listing 4 applied per shard: one test clears 64 bits.
+			ws.examinations++
+			for word != 0 {
+				b := bits.TrailingZeros64(word)
+				word &^= uint64(1) << uint(b)
+				ws.examinations++
+				ws.evalSupernode(e.slotSup[int(wi)<<6+b])
+			}
+		} else {
+			for b := 0; b < 64; b++ {
+				s := e.slotSup[int(wi)<<6+b]
+				if s < 0 {
+					break // padding tail; real slots are packed low
+				}
+				ws.examinations++
+				if word&(uint64(1)<<uint(b)) != 0 {
+					ws.evalSupernode(s)
+				}
+			}
 		}
 	}
 }
 
-// evalSupernode evaluates one supernode's members in dependence order,
-// mirroring Activity.evalSupernode with worker-private side state.
+// evalSupernode evaluates one supernode's members, dispatching to the fused
+// kernel chain or the interpreter sweep, whichever the engine was built
+// with. Both mirror Activity.evalSupernode with worker-private side state.
 func (ws *paWorker) evalSupernode(s int32) {
 	e := ws.e
+	if e.supKerns != nil {
+		ws.evalSupernodeKernel(s)
+		return
+	}
 	p := e.m.Prog
 	st := e.m.State
 	for k := e.supStart[s]; k < e.supStart[s+1]; k++ {
@@ -337,9 +346,45 @@ func (ws *paWorker) evalSupernode(s int32) {
 	}
 }
 
-// activate publishes successor activations into the worker's outbox. Targets
-// always sit in strictly later levels, so the owning shard will merge them
-// before examining the corresponding words.
+// evalSupernodeKernel is the closure-threaded path: park old values, run the
+// supernode's fused closure chain, then diff and activate — the parallel
+// twin of Activity.evalSupernodeKernel over worker-private state.
+func (ws *paWorker) evalSupernodeKernel(s int32) {
+	e := ws.e
+	sk := &e.supKerns[s]
+	m := e.m
+	st := m.State
+	scr := ws.scratch
+	for _, t := range sk.track {
+		copy(scr[t.scr:t.scr+t.w], st[t.off:t.off+t.w])
+	}
+	for _, f := range sk.fns {
+		f(st, m)
+	}
+	ws.nodeEvals += sk.nodes
+	ws.instrs += sk.instrs
+	for _, t := range sk.track {
+		var diff uint64
+		for i := int32(0); i < t.w; i++ {
+			diff |= scr[t.scr+i] ^ st[t.off+i]
+		}
+		ws.activate(t.id, diff)
+	}
+	p := m.Prog
+	for _, id := range sk.regs {
+		if !e.pendingFlag[id] && !wordsEqual(st, p.Off[id], p.NextOff[id], p.WordsOf[id]) {
+			e.pendingFlag[id] = true
+			ws.pending = append(ws.pending, id)
+		}
+	}
+}
+
+// activate publishes successor activations into the worker's outbox and
+// marks the target chunks dirty. Targets always sit in strictly later
+// levels, so the owning shard will merge them before examining the
+// corresponding words. The branchless path marks dirty even for a zero mask
+// (by design: it exists to avoid the data-dependent branch); a spurious
+// dirty flag only costs the owner one clean-range scan, never correctness.
 func (ws *paWorker) activate(id int32, diff uint64) {
 	e := ws.e
 	start, end := e.succStart[id], e.succStart[id+1]
@@ -347,10 +392,12 @@ func (ws *paWorker) activate(id int32, diff uint64) {
 		return
 	}
 	out := e.out[ws.id]
+	dirty := e.dirty[ws.id]
 	if e.useBranch[id] {
 		if diff != 0 {
 			for k := start; k < end; k++ {
 				out[e.succWord[k]] |= e.succMask[k]
+				dirty[e.succChunk[k]] = true
 			}
 			ws.activations += uint64(end - start)
 		}
@@ -360,6 +407,7 @@ func (ws *paWorker) activate(id int32, diff uint64) {
 	m := uint64(0) - ((diff | -diff) >> 63)
 	for k := start; k < end; k++ {
 		out[e.succWord[k]] |= e.succMask[k] & m
+		dirty[e.succChunk[k]] = true
 	}
 	ws.activations += uint64(end - start)
 }
@@ -393,11 +441,4 @@ func (e *ParallelActivity) commit() {
 // Close shuts down the worker goroutines and blocks until every one has
 // exited. It must not be called concurrently with Step; calling it more than
 // once is safe.
-func (e *ParallelActivity) Close() {
-	e.closeOnce.Do(func() {
-		for w := 0; w < e.threads; w++ {
-			close(e.startCh[w])
-		}
-		e.workers.Wait()
-	})
-}
+func (e *ParallelActivity) Close() { e.pool.Close() }

@@ -45,7 +45,7 @@ func TestParallelActivityMatchesReference(t *testing.T) {
 				t.Fatal(err)
 			}
 			part := partition.Build(g, partition.Enhanced, 4)
-			sim := NewParallelActivity(p, part, ActivityConfig{MultiBitCheck: true, Activation: ActCostModel}, threads)
+			sim := NewParallelActivity(p, part, ActivityConfig{MultiBitCheck: true, Activation: ActCostModel}, threads, EvalKernel)
 			defer sim.Close()
 
 			var inputs []*ir.Node
@@ -100,7 +100,7 @@ func TestParallelActivityModesAgree(t *testing.T) {
 			t.Fatal(err)
 		}
 		part := partition.Build(g, partition.MFFC, 8)
-		sim := NewParallelActivity(p, part, cfg, 3)
+		sim := NewParallelActivity(p, part, cfg, 3, EvalKernel)
 		var outs []*ir.Node
 		for _, n := range g.Nodes {
 			if n.IsOutput {
@@ -134,7 +134,7 @@ func TestParallelActivityModesAgree(t *testing.T) {
 func TestParallelActivitySkipsIdleWork(t *testing.T) {
 	p, g, en, c := buildCounter(t)
 	part := partition.Build(g, partition.Enhanced, 4)
-	sim := NewParallelActivity(p, part, ActivityConfig{MultiBitCheck: true, Activation: ActCostModel}, 2)
+	sim := NewParallelActivity(p, part, ActivityConfig{MultiBitCheck: true, Activation: ActCostModel}, 2, EvalKernel)
 	defer sim.Close()
 	StepN(sim, 2)
 	evalsBefore := sim.Stats().NodeEvals
@@ -177,7 +177,7 @@ func TestParallelCloseJoinsWorkers(t *testing.T) {
 		order[i] = int32(i)
 	}
 	_, byLevel := g.Levelize(order)
-	sim := NewParallel(p, byLevel, 4)
+	sim := NewParallel(p, byLevel, 4, EvalKernel)
 	sim.Poke(en.ID, bitvec.FromUint64(1, 1))
 	StepN(sim, 3)
 	sim.Close()
@@ -190,7 +190,7 @@ func TestParallelActivityCloseJoinsWorkers(t *testing.T) {
 	base := runtime.NumGoroutine()
 	p, g, en, _ := buildCounter(t)
 	part := partition.Build(g, partition.Enhanced, 4)
-	sim := NewParallelActivity(p, part, ActivityConfig{MultiBitCheck: true, Activation: ActCostModel}, 4)
+	sim := NewParallelActivity(p, part, ActivityConfig{MultiBitCheck: true, Activation: ActCostModel}, 4, EvalKernel)
 	sim.Poke(en.ID, bitvec.FromUint64(1, 1))
 	StepN(sim, 3)
 	sim.Close()

@@ -1,0 +1,96 @@
+package engine
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// workerPool is the persistent worker-pool and level-barrier scaffolding
+// shared by Parallel and ParallelActivity. It owns the goroutines, the
+// per-cycle start/done handshake, the atomic level countdown between
+// barriers, and the deterministic idempotent Close — keeping the two
+// engines' synchronization behavior from diverging (ROADMAP open item).
+//
+// Each cycle() runs every worker through levels 0..levels-1: a worker calls
+// run(w, lv) for its share of level lv, then waits at the barrier until the
+// last worker through opens the next level. run must only touch state that
+// is private to (w, lv) or published by strictly earlier levels; the barrier
+// atomics provide the happens-before edges.
+type workerPool struct {
+	threads int
+	levels  int
+	run     func(w, lv int)
+
+	wg        sync.WaitGroup
+	startCh   []chan struct{}
+	doneCh    chan struct{}
+	level     atomic.Int32
+	pending   atomic.Int32
+	closeOnce sync.Once
+}
+
+// newWorkerPool starts threads persistent workers executing run.
+func newWorkerPool(threads, levels int, run func(w, lv int)) *workerPool {
+	p := &workerPool{
+		threads: threads,
+		levels:  levels,
+		run:     run,
+		startCh: make([]chan struct{}, threads),
+		doneCh:  make(chan struct{}),
+	}
+	p.wg.Add(threads)
+	for w := 0; w < threads; w++ {
+		p.startCh[w] = make(chan struct{}, 1)
+		go p.loop(w)
+	}
+	return p
+}
+
+// loop runs one worker until its start channel is closed.
+func (p *workerPool) loop(w int) {
+	defer p.wg.Done()
+	for range p.startCh[w] {
+		for lv := 0; lv < p.levels; lv++ {
+			// Wait for the level to open. Yield while spinning: worker counts
+			// routinely exceed core counts (the experiments sweep thread
+			// counts the way the paper does), and a pure spin then starves
+			// the workers that still hold work.
+			for p.level.Load() < int32(lv) {
+				runtime.Gosched()
+			}
+			p.run(w, lv)
+			if p.pending.Add(-1) == 0 {
+				// Last worker out resets the countdown and opens the next level.
+				p.pending.Store(int32(p.threads))
+				p.level.Add(1)
+			}
+		}
+		p.doneCh <- struct{}{}
+	}
+}
+
+// cycle runs one full sweep: all workers through all levels, returning after
+// every worker has parked again.
+func (p *workerPool) cycle() {
+	p.level.Store(0)
+	p.pending.Store(int32(p.threads))
+	for w := 0; w < p.threads; w++ {
+		p.startCh[w] <- struct{}{}
+	}
+	for w := 0; w < p.threads; w++ {
+		<-p.doneCh
+	}
+}
+
+// Close shuts down the worker goroutines and blocks until every one has
+// exited. It must not be called concurrently with cycle; calling it more
+// than once is safe.
+func (p *workerPool) Close() {
+	p.closeOnce.Do(func() {
+		for w := 0; w < p.threads; w++ {
+			close(p.startCh[w])
+		}
+		p.wg.Wait()
+	})
+}

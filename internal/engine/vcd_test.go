@@ -9,7 +9,7 @@ import (
 
 func TestVCDDump(t *testing.T) {
 	p, g, en, _ := buildCounter(t)
-	sim := NewFullCycle(p)
+	sim := NewFullCycle(p, EvalKernel)
 	var sb strings.Builder
 	vcd, err := NewVCD(&sb, sim, g, nil)
 	if err != nil {

@@ -11,11 +11,17 @@ import (
 	"gsim/internal/partition"
 )
 
-// Budget controls how long each measurement runs. The defaults keep the
-// whole suite in CI-scale time; -full in cmd/gsim-bench raises them.
+// Budget controls how long each measurement runs, and which evaluation mode
+// every measured configuration uses. The defaults keep the whole suite in
+// CI-scale time; -full in cmd/gsim-bench raises them.
 type Budget struct {
 	WarmupCycles int
 	TimedCycles  int
+
+	// Eval is applied to every configuration the experiments build: kernel
+	// (zero value, default) or the reference interpreter (cmd/gsim-bench
+	// -eval interp).
+	Eval engine.EvalMode
 }
 
 // DefaultBudget is sized so every experiment completes in minutes.
@@ -44,6 +50,7 @@ func measure(sys *core.System, drive Driver, b Budget) float64 {
 
 // runConfig builds and measures one (design, workload, config) cell.
 func runConfig(d Design, workload string, cfg core.Config, b Budget) (float64, *core.System, error) {
+	cfg.Eval = b.Eval
 	sys, drive, err := buildSystem(d, workload, cfg)
 	if err != nil {
 		return 0, nil, err
@@ -73,7 +80,9 @@ func Table1(designs []Design, b Budget) ([]Table1Row, error) {
 			return nil, err
 		}
 		stats := g.ComputeStats()
-		sys, err := core.Build(g, core.Verilator())
+		cfg := core.Verilator()
+		cfg.Eval = b.Eval
+		sys, err := core.Build(g, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -216,6 +225,7 @@ func Fig7(p gen.Profile, b Budget) ([]Fig7Row, error) {
 		seed := int64(1000 + i*17)
 		speed := map[string]float64{}
 		for _, cfg := range []core.Config{core.Verilator(), core.VerilatorMT(4), core.VerilatorMT(8), core.GSIM()} {
+			cfg.Eval = b.Eval
 			sys, err := core.Build(g, cfg)
 			if err != nil {
 				return nil, err
@@ -400,6 +410,7 @@ func Table3(d Design, b Budget) ([]Table3Row, error) {
 			Partition:    a.kind,
 			MaxSupernode: a.size,
 			Activity:     engine.ActivityConfig{Activation: engine.ActBranch},
+			Eval:         b.Eval,
 		}
 		sys, drive, err := buildSystem(d, WorkloadCoreMark, cfg)
 		if err != nil {
@@ -433,13 +444,15 @@ type Table4Row struct {
 }
 
 // Table4 reproduces the resource comparison: emission time (full build:
-// passes + compile), code size (compiled instruction bytes), and data size
-// (state image bytes, memories excluded) per design and simulator.
-func Table4(designs []Design) ([]Table4Row, error) {
+// passes + compile, including the kernel table in kernel mode), code size
+// (compiled instruction bytes), and data size (state image bytes, memories
+// excluded) per design and simulator.
+func Table4(designs []Design, b Budget) ([]Table4Row, error) {
 	cfgs := []core.Config{core.Verilator(), core.Essent(), core.Arcilator(), core.GSIM()}
 	var rows []Table4Row
 	for _, d := range designs {
 		for _, cfg := range cfgs {
+			cfg.Eval = b.Eval
 			g, _, err := d.Build(WorkloadLinux)
 			if err != nil {
 				return nil, err

@@ -154,7 +154,7 @@ func TestExperimentsSmoke(t *testing.T) {
 	})
 
 	t.Run("table4", func(t *testing.T) {
-		rows, err := Table4(designs)
+		rows, err := Table4(designs, QuickBudget())
 		if err != nil {
 			t.Fatal(err)
 		}
