@@ -102,27 +102,47 @@ func BenchmarkGSIMMT(b *testing.B) {
 	}
 }
 
-// BenchmarkKernelVsInterp is the PR's headline head-to-head: every testdata
-// FIRRTL design under the full-cycle (verilator) and essential-signal (gsim)
-// presets, closure-threaded kernels vs the switch-dispatch interpreter over
-// the same compiled program, with random stimulus. ns/cycle is reported per
-// sub-benchmark so the win is measured, not asserted.
+// BenchmarkKernelVsInterp is the kernel pipeline's headline head-to-head:
+// every testdata FIRRTL design plus the stucore (real RV32 core) and
+// rocket-scale profiles, under the full-cycle (verilator) and
+// essential-signal (gsim) presets, across all three evaluation modes —
+// the fused kernel pipeline (superinstructions + width classes), the PR-2
+// per-instruction kernel baseline (kernel-nofuse), and the switch-dispatch
+// interpreter — over the same compiled program, with random stimulus.
+// ns/cycle is reported per sub-benchmark so the fusion win is measured, not
+// asserted: compare the kernel and kernel-nofuse rows of one design/preset.
 func BenchmarkKernelVsInterp(b *testing.B) {
 	files, err := filepath.Glob("testdata/*.fir")
 	if err != nil || len(files) == 0 {
 		b.Fatalf("no testdata designs: %v", err)
 	}
+	type design struct {
+		name  string
+		graph *ir.Graph
+	}
+	var designs []design
 	for _, f := range files {
 		g, err := firrtl.LoadFile(f)
 		if err != nil {
 			b.Fatal(err)
 		}
-		name := strings.TrimSuffix(filepath.Base(f), ".fir")
+		designs = append(designs, design{strings.TrimSuffix(filepath.Base(f), ".fir"), g})
+	}
+	for _, d := range []harness.Design{harness.StuCore(), harness.Synthetic(gen.RocketLike())} {
+		g, _, err := d.Build(harness.WorkloadLinux)
+		if err != nil {
+			b.Fatal(err)
+		}
+		designs = append(designs, design{d.Name, g})
+	}
+	kernelModes := []engine.EvalMode{engine.EvalKernel, engine.EvalKernelNoFuse, engine.EvalInterp}
+	for _, d := range designs {
+		g := d.graph
 		for _, preset := range []func() core.Config{core.Verilator, core.GSIM} {
-			for _, mode := range evalModes {
+			for _, mode := range kernelModes {
 				cfg := preset()
 				cfg.Eval = mode
-				b.Run(fmt.Sprintf("%s/%s/%s", name, cfg.Name, mode), func(b *testing.B) {
+				b.Run(fmt.Sprintf("%s/%s/%s", d.name, cfg.Name, mode), func(b *testing.B) {
 					sys, err := core.Build(g, cfg)
 					if err != nil {
 						b.Fatal(err)

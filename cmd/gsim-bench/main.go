@@ -4,7 +4,7 @@
 //
 //	gsim-bench -exp table1|fig6|gsimmt|fig7|fig8|fig9|table3|table4|all [-quick] [-cycles N]
 //	           [-threads 1,2,4,8]   thread counts for the gsimmt sweep
-//	           [-eval kernel|interp] evaluation mode for every measured config
+//	           [-eval kernel|kernel-nofuse|interp] evaluation mode for every measured config
 //
 // Results print as text tables in the paper's layout; EXPERIMENTS.md records
 // a full run with commentary.
@@ -28,7 +28,7 @@ func main() {
 	medium := flag.Bool("medium", false, "stucore + rocket-scale designs, full budget (the EXPERIMENTS.md tier)")
 	cycles := flag.Int("cycles", 0, "override timed cycles per measurement")
 	threadList := flag.String("threads", "1,2,4,8", "comma-separated thread counts for the gsimmt sweep")
-	evalName := flag.String("eval", "kernel", "instruction evaluation for every measured config: kernel or interp")
+	evalName := flag.String("eval", "kernel", "instruction evaluation for every measured config: kernel, kernel-nofuse, or interp")
 	flag.Parse()
 
 	threadCounts, err := parseThreads(*threadList)

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"gsim/internal/core"
+	"gsim/internal/emit"
 	"gsim/internal/engine"
 	"gsim/internal/gen"
 	"gsim/internal/harness"
@@ -33,12 +34,18 @@ func main() {
 	}
 	d := harness.Synthetic(prof)
 	cfgs := []core.Config{core.Verilator(), core.VerilatorMT(2), core.Arcilator(), core.Essent(), core.GSIM()}
-	// The same pipeline under the reference interpreter, to see what the
-	// closure-threaded kernels buy on this profile.
+	// The same pipeline under the reference interpreter and the pre-fusion
+	// kernel baseline, to see what the closure-threaded kernels — and the
+	// superinstruction/width-class pipeline on top of them — buy here.
 	gi := core.GSIM()
 	gi.Name = "gsim-interp"
 	gi.Eval = engine.EvalInterp
-	cfgs = append(cfgs, gi)
+	gnf := core.GSIM()
+	gnf.Name = "gsim-nofuse"
+	gnf.Eval = engine.EvalKernelNoFuse
+	cfgs = append(cfgs, gi, gnf)
+	// The multi-threaded engine, to report shard balance and batching reach.
+	cfgs = append(cfgs, core.GSIMMT(2))
 	// add gsim variants
 	g2 := core.GSIM()
 	g2.Name = "gsim-mffc"
@@ -84,9 +91,44 @@ func main() {
 		if ex := sys.Sim.Machine().Executed; ex != st.InstrsExecuted {
 			panic(fmt.Sprintf("%s: Machine.Executed=%d disagrees with stats.InstrsExecuted=%d", cfg.Name, ex, st.InstrsExecuted))
 		}
-		fmt.Printf("%-16s nodes=%-6d sups=%-6d af=%.4f evals/cyc=%-7d exam/cyc=%-7d act/cyc=%-6d instr/cyc=%-8d speed=%.1fkHz\n",
+		extra := ""
+		if pa, ok := sys.Sim.(*engine.ParallelActivity); ok {
+			batched, total := pa.BatchedWords()
+			extra = fmt.Sprintf(" imbalance=%.2f batchwords=%d/%d", pa.Shard().Imbalance(), batched, total)
+		}
+		fmt.Printf("%-16s nodes=%-6d sups=%-6d af=%.4f evals/cyc=%-7d exam/cyc=%-7d act/cyc=%-6d instr/cyc=%-8d speed=%.1fkHz%s\n",
 			cfg.Name, gstats.Nodes, nsup, st.ActivityFactor(),
-			st.NodeEvals/st.Cycles, st.Examinations/st.Cycles, st.Activations/st.Cycles, sys.Sim.Machine().Executed/st.Cycles, hz/1000)
+			st.NodeEvals/st.Cycles, st.Examinations/st.Cycles, st.Activations/st.Cycles, sys.Sim.Machine().Executed/st.Cycles, hz/1000, extra)
 		sys.Close()
 	}
+
+	// Fusion reach on this profile, measured over the same chains the GSIM
+	// engine actually compiles: each supernode's concatenated member
+	// instructions (not the linear stream, whose adjacencies differ).
+	sys, _, err := harness.BuildSystemForDiag(d, "coremark", core.GSIM())
+	if err != nil {
+		panic(err)
+	}
+	var counts [emit.NumFusePatterns]int
+	instrs := 0
+	var chain []emit.Instr
+	for _, members := range sys.Part.Members {
+		chain = chain[:0]
+		for _, id := range members {
+			r := sys.Prog.Code[id]
+			chain = append(chain, sys.Prog.Instrs[r.Start:r.End]...)
+		}
+		instrs += len(chain)
+		for pat, n := range emit.FusionStats(chain) {
+			counts[pat] += n
+		}
+	}
+	fused := 0
+	fmt.Printf("fusion (of %d chained instrs):", instrs)
+	for pat := emit.FuseNone + 1; pat < emit.NumFusePatterns; pat++ {
+		fmt.Printf(" %s=%d", pat, counts[pat])
+		fused += counts[pat]
+	}
+	fmt.Printf(" total=%d pairs (%.1f%% of instrs)\n", fused, 200*float64(fused)/float64(instrs))
+	sys.Close()
 }

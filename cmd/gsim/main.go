@@ -5,9 +5,11 @@
 //	gsim [flags] design.fir
 //
 //	-engine gsim|verilator|essent|arcilator   simulator preset (default gsim)
-//	-eval kernel|interp                       instruction evaluation: closure-threaded
-//	                                          kernels (default) or the reference
-//	                                          interpreter
+//	-eval kernel|kernel-nofuse|interp         instruction evaluation: the fused kernel
+//	                                          pipeline (default: superinstructions,
+//	                                          width classes, bound chains), the
+//	                                          pre-fusion kernel baseline, or the
+//	                                          reference interpreter
 //	-threads N                                multi-threaded engine: gsim -> GSIMMT
 //	                                          (parallel essential-signal), verilator
 //	                                          -> Verilator-MT (parallel full-cycle)
@@ -41,7 +43,7 @@ func (r *repeated) Set(v string) error { *r = append(*r, v); return nil }
 
 func main() {
 	engineName := flag.String("engine", "gsim", "simulator preset: gsim, verilator, essent, arcilator")
-	evalName := flag.String("eval", "kernel", "instruction evaluation: kernel (closure-threaded, default) or interp (reference interpreter)")
+	evalName := flag.String("eval", "kernel", "instruction evaluation: kernel (fused pipeline, default), kernel-nofuse (pre-fusion baseline), or interp (reference interpreter)")
 	threads := flag.Int("threads", 0, "worker count: gsim -> parallel essential-signal (GSIMMT), verilator -> parallel full-cycle")
 	cycles := flag.Int("cycles", 10, "cycles to simulate")
 	maxSup := flag.Int("max-supernode", 0, "maximum supernode size (0 = default)")

@@ -45,9 +45,11 @@ type Config struct {
 	Engine  EngineKind
 	Threads int // EngineParallel / EngineParallelActivity worker count
 
-	// Eval selects instruction evaluation: closure-threaded kernels (the
-	// zero value, default on for every preset) or the reference
-	// switch-dispatch interpreter (engine.EvalInterp).
+	// Eval selects instruction evaluation: the fused kernel pipeline
+	// (the zero value, default on for every preset — superinstruction
+	// fusion, 2-word width classes, machine-bound chains), the pre-fusion
+	// per-instruction kernel baseline (engine.EvalKernelNoFuse), or the
+	// reference switch-dispatch interpreter (engine.EvalInterp).
 	Eval engine.EvalMode
 
 	// Activity-engine knobs.

@@ -1,0 +1,183 @@
+package core
+
+import (
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gsim/internal/bitvec"
+	"gsim/internal/engine"
+	"gsim/internal/firrtl"
+	"gsim/internal/gen"
+	"gsim/internal/ir"
+
+	"math/rand"
+)
+
+// fuzzGraph decodes a byte string into a design. Inputs that parse as FIRRTL
+// become that circuit (so the testdata corpus seeds real designs and their
+// mutations); anything else seeds internal/gen's random circuit generator,
+// with the shape knobs — node count, widths, memory, wide-value and reset
+// fractions — drawn from the bytes so the fuzzer explores the design space,
+// not just stimulus. Returns nil for inputs not worth simulating (parse
+// errors on FIRRTL-looking text are fine — they fall through to gen — but
+// designs too large to lockstep quickly are skipped).
+func fuzzGraph(data []byte) *ir.Graph {
+	if g := parseFIRRTL(data); g != nil {
+		return g
+	}
+	if len(data) == 0 {
+		return nil
+	}
+	at := func(i int) byte {
+		return data[i%len(data)]
+	}
+	var seed int64
+	if len(data) >= 8 {
+		seed = int64(binary.LittleEndian.Uint64(data))
+	} else {
+		for i, b := range data {
+			seed |= int64(b) << (8 * i)
+		}
+	}
+	cfg := gen.RandomConfig{
+		Nodes:     20 + int(at(8))%120,
+		Inputs:    1 + int(at(9))%4,
+		Regs:      1 + int(at(10))%14,
+		MaxWidth:  1 + int(at(11))%90,
+		MemDepth:  []int{0, 4, 16}[int(at(12))%3],
+		WideFrac:  float64(int(at(13))%4) * 0.1,
+		ResetFrac: float64(int(at(14))%3) * 0.4,
+	}
+	return gen.Random(seed, cfg)
+}
+
+// parseFIRRTL attempts to interpret the bytes as a FIRRTL circuit, bounding
+// the result so a fuzz-mutated width or depth cannot blow up the lockstep
+// run. The parser is not the fuzz target — a panic on mangled text degrades
+// to the random-design path instead of failing the run.
+func parseFIRRTL(data []byte) (g *ir.Graph) {
+	defer func() {
+		if recover() != nil {
+			g = nil
+		}
+	}()
+	parsed, err := firrtl.Load(string(data))
+	if err != nil || parsed == nil {
+		return nil
+	}
+	words := 0
+	for _, n := range parsed.Nodes {
+		if n == nil || n.Width < 0 || n.Width > 4096 {
+			return nil
+		}
+		words += bitvec.WordsFor(n.Width)
+	}
+	if len(parsed.Nodes) > 4000 || words > 1<<16 {
+		return nil
+	}
+	for _, m := range parsed.Mems {
+		if m.Depth > 1<<12 || m.Width > 4096 {
+			return nil
+		}
+	}
+	return parsed
+}
+
+// FuzzKernelLockstep is the generative conformance harness behind the kernel
+// compiler: for every fuzz input, decode a design, then run the fused kernel
+// pipeline, the pre-fusion kernel baseline, the reference interpreter, and
+// the independent ir-reference oracle in lockstep, failing on any state or
+// stat divergence. The seed corpus is the committed testdata designs plus a
+// handful of byte seeds for the generator path; `go test -fuzz=FuzzKernelLockstep`
+// explores from there (CI runs a 30s smoke).
+func FuzzKernelLockstep(f *testing.F) {
+	files, err := filepath.Glob("../../testdata/*.fir")
+	if err != nil || len(files) == 0 {
+		f.Fatalf("no testdata designs found: %v", err)
+	}
+	for _, fp := range files {
+		data, err := os.ReadFile(fp)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15})
+	f.Add([]byte("gsim"))
+	f.Add([]byte{0xff, 0xee, 0xdd, 0xcc, 0xbb, 0xaa, 0x99, 0x88, 0x40, 0x02, 0x07, 0x50, 0x01, 0x03, 0x02})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g := fuzzGraph(data)
+		if g == nil {
+			t.Skip("input decodes to no design")
+		}
+		sysK, err := Build(g, GSIM())
+		if err != nil {
+			t.Skip("design does not compile:", err)
+		}
+		defer sysK.Close()
+		simNF := engine.NewActivity(sysK.Prog, sysK.Part, sysK.Config.Activity, engine.EvalKernelNoFuse)
+		simI := engine.NewActivity(sysK.Prog, sysK.Part, sysK.Config.Activity, engine.EvalInterp)
+		ref, err := engine.NewReference(sysK.Graph)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		var inputs, outputs []*ir.Node
+		for _, n := range sysK.Graph.Nodes {
+			if n.Kind == ir.KindInput {
+				inputs = append(inputs, n)
+			}
+			if n.IsOutput {
+				outputs = append(outputs, n)
+			}
+		}
+		rng := rand.New(rand.NewSource(int64(len(data))*31 + 5))
+		const cycles = 24
+		for c := 0; c < cycles; c++ {
+			for _, in := range inputs {
+				v := bitvec.FromUint64(in.Width, rng.Uint64())
+				if in.Name == "reset" {
+					v = bitvec.FromUint64(1, uint64(rng.Intn(8)/7))
+				}
+				ref.Poke(in.ID, v)
+				sysK.Sim.Poke(in.ID, v)
+				simNF.Poke(in.ID, v)
+				simI.Poke(in.ID, v)
+			}
+			ref.Step()
+			sysK.Sim.Step()
+			simNF.Step()
+			simI.Step()
+			stK := sysK.Sim.Machine().State
+			for name, st := range map[string][]uint64{
+				"kernel-nofuse": simNF.Machine().State,
+				"interp":        simI.Machine().State,
+			} {
+				for w := range stK {
+					if stK[w] != st[w] {
+						t.Fatalf("cycle %d: state word %d: kernel %#x vs %s %#x",
+							c, w, stK[w], name, st[w])
+					}
+				}
+			}
+			for _, n := range outputs {
+				if a, b := ref.Peek(n.ID), sysK.Sim.Peek(n.ID); !a.EqValue(b) {
+					t.Fatalf("cycle %d: output %q: reference %s vs kernel %s", c, n.Name, a, b)
+				}
+			}
+		}
+
+		// Stats must not depend on the evaluation mode.
+		a, b, nf := sysK.Sim.Stats(), simI.Stats(), simNF.Stats()
+		for name, other := range map[string]*engine.Stats{"interp": b, "kernel-nofuse": nf} {
+			if a.NodeEvals != other.NodeEvals || a.Activations != other.Activations ||
+				a.Examinations != other.Examinations || a.InstrsExecuted != other.InstrsExecuted ||
+				a.RegCommits != other.RegCommits {
+				t.Fatalf("stats diverge kernel vs %s:\nkernel %+v\n%s %+v", name, *a, name, *other)
+			}
+		}
+	})
+}

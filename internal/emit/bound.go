@@ -1,0 +1,561 @@
+package emit
+
+import (
+	"fmt"
+	"math/bits"
+
+	"gsim/internal/bitvec"
+)
+
+// Bound chains: the final stage of the kernel-compiling pipeline. Where the
+// Kernels table pre-resolves opcode dispatch and operand offsets but still
+// indexes the state slice on every access, a bound chain is compiled for ONE
+// machine: every operand becomes a *uint64 into that machine's state image,
+// every closure takes no arguments, and superinstruction fusion and the
+// 2-word width classes apply along the way. This is the closest a
+// closure-threaded interpreter gets to GSIM's emitted straight-line C++ —
+// no dispatch, no operand decode, no bounds checks, no argument traffic.
+//
+// Safety: a machine's State and Mems backing arrays are allocated once in
+// NewMachine and mutated only in place (Reset and Poke copy into them), so
+// the pre-resolved pointers stay valid for the machine's lifetime. Engines
+// build chains against their own machine at construction time.
+
+// BoundFn is one bound superinstruction: a no-argument closure over
+// pre-resolved state pointers.
+type BoundFn func()
+
+// CompileChainBound compiles an instruction chain into its bound form for
+// machine m: superinstruction fusion over adjacent pairs, width-class
+// specialization, operand pointers resolved into m's state image. The chain
+// need not be contiguous in the program.
+func (p *Program) CompileChainBound(m *Machine, ins []Instr) []BoundFn {
+	fns := make([]BoundFn, 0, len(ins))
+	for i := 0; i < len(ins); i++ {
+		if i+1 < len(ins) {
+			if pat := MatchFusion(ins[i], ins[i+1]); pat != FuseNone {
+				fns = append(fns, compileFusedBound(p, m, ins[i], ins[i+1], pat))
+				i++
+				continue
+			}
+		}
+		fns = append(fns, compileKernelBound(m, ins[i]))
+	}
+	return fns
+}
+
+// compileKernelBound dispatches one instruction on width class, bound form.
+func compileKernelBound(m *Machine, in Instr) BoundFn {
+	if in.DW > 64 || in.AW > 64 || in.BW > 64 {
+		if fn := compile2WBound(m, in); fn != nil {
+			return fn
+		}
+		wide := in
+		return func() { m.execWide(&wide) }
+	}
+	return compileNarrowBound(m, in)
+}
+
+// compileNarrowBound is the pointer-resolved twin of compileNarrowKernel;
+// the two must stay semantically identical (the chain property tests and the
+// cross-engine lockstep suites pin them against the interpreter).
+func compileNarrowBound(m *Machine, in Instr) BoundFn {
+	st := m.State
+	pd, pa := &st[in.D], &st[in.A]
+	pb := &st[in.B]
+	aw, bw := in.AW, in.BW
+	dm := mask(in.DW)
+	switch in.Op {
+	case CCopy:
+		return func() { *pd = *pa & dm }
+	case CAdd:
+		return func() { *pd = (*pa + *pb) & dm }
+	case CSub:
+		return func() { *pd = (*pa - *pb) & dm }
+	case CMul:
+		return func() { *pd = (*pa * *pb) & dm }
+	case CDiv:
+		return func() {
+			var r uint64
+			if bv := *pb; bv != 0 {
+				r = *pa / bv
+			}
+			*pd = r & dm
+		}
+	case CRem:
+		return func() {
+			var r uint64
+			if bv := *pb; bv != 0 {
+				r = *pa % bv
+			}
+			*pd = r & dm
+		}
+	case CNeg:
+		return func() { *pd = -*pa & dm }
+	case CAnd:
+		return func() { *pd = (*pa & *pb) & dm }
+	case COr:
+		return func() { *pd = (*pa | *pb) & dm }
+	case CXor:
+		return func() { *pd = (*pa ^ *pb) & dm }
+	case CNot:
+		return func() { *pd = ^*pa & dm }
+	case CAndR:
+		am := mask(aw)
+		return func() { *pd = b2u(*pa == am) }
+	case COrR:
+		return func() { *pd = b2u(*pa != 0) }
+	case CXorR:
+		return func() { *pd = uint64(bits.OnesCount64(*pa)) & 1 }
+	case CEq:
+		return func() { *pd = b2u(*pa == *pb) }
+	case CNeq:
+		return func() { *pd = b2u(*pa != *pb) }
+	case CLt:
+		return func() { *pd = b2u(*pa < *pb) }
+	case CLeq:
+		return func() { *pd = b2u(*pa <= *pb) }
+	case CGt:
+		return func() { *pd = b2u(*pa > *pb) }
+	case CGeq:
+		return func() { *pd = b2u(*pa >= *pb) }
+	case CSLt:
+		return func() { *pd = b2u(sext64(*pa, aw) < sext64(*pb, bw)) }
+	case CSLeq:
+		return func() { *pd = b2u(sext64(*pa, aw) <= sext64(*pb, bw)) }
+	case CSGt:
+		return func() { *pd = b2u(sext64(*pa, aw) > sext64(*pb, bw)) }
+	case CSGeq:
+		return func() { *pd = b2u(sext64(*pa, aw) >= sext64(*pb, bw)) }
+	case CShl:
+		sh := uint(in.Lo)
+		return func() { *pd = (*pa << sh) & dm }
+	case CShr:
+		sh := uint(in.Lo)
+		return func() { *pd = (*pa >> sh) & dm }
+	case CDshl:
+		return func() {
+			var r uint64
+			if n := *pb; n < 64 {
+				r = *pa << n
+			}
+			*pd = r & dm
+		}
+	case CDshr:
+		return func() {
+			var r uint64
+			if n := *pb; n < 64 {
+				r = *pa >> n
+			}
+			*pd = r & dm
+		}
+	case CCat:
+		sh := uint(bw)
+		return func() { *pd = (*pa<<sh | *pb) & dm }
+	case CBits:
+		sh := uint(in.Lo)
+		return func() { *pd = (*pa >> sh) & dm }
+	case CSExt:
+		return func() { *pd = uint64(sext64(*pa, aw)) & dm }
+	case CMux:
+		pc := &st[in.C]
+		return func() {
+			r := *pc
+			if *pa != 0 {
+				r = *pb
+			}
+			*pd = r & dm
+		}
+	case CMemRead:
+		mi := int(in.Lo)
+		spec := &m.Prog.Mems[mi]
+		mem := m.Mems[mi]
+		depth := uint64(spec.Depth)
+		wp := spec.WordsPer
+		return func() {
+			var r uint64
+			if addr := *pa; addr < depth {
+				r = mem[int32(addr)*wp]
+			}
+			*pd = r & dm
+		}
+	}
+	// compileKernel panics for unknown opcodes; mirror it so the coverage
+	// sweep catches a new opcode in either compiler.
+	panic(fmt.Sprintf("emit: no bound kernel for opcode %d", in.Op))
+}
+
+// bsrc2 pre-resolves a two-word operand read: low pointer, high pointer and
+// the zero-extension mask (the high pointer aliases the low word with a zero
+// mask for one-word operands, keeping the read branchless).
+func bsrc2(st []uint64, off, w int32) (lo, hi *uint64, hiMask uint64) {
+	lo = &st[off]
+	hi = lo
+	if w > 64 {
+		hi = &st[off+1]
+		hiMask = ^uint64(0)
+	}
+	return
+}
+
+// compile2WBound builds the two-word width-class closure (see the WidthClass
+// doc in wide2.go), or returns nil when the instruction is not in the 2-word
+// class; each closure reproduces execWide's result exactly, including the
+// top-word mask — the width-class tests pin this on randomized state.
+func compile2WBound(m *Machine, in Instr) BoundFn {
+	if !is2Word(in) {
+		return nil
+	}
+	st := m.State
+	hm := bitvec.TopMask(int(in.DW))
+	a0, a1, am := bsrc2(st, in.A, in.AW)
+	b0, b1, bm := bsrc2(st, in.B, in.BW)
+	switch in.Op {
+	case CCopy, CAdd, CSub, CAnd, COr, CXor, CNot, CMux:
+		d0, d1 := &st[in.D], &st[in.D+1]
+		switch in.Op {
+		case CCopy:
+			return func() { *d0 = *a0; *d1 = (*a1 & am) & hm }
+		case CAdd:
+			return func() {
+				s0, c := bits.Add64(*a0, *b0, 0)
+				*d0 = s0
+				*d1 = ((*a1 & am) + (*b1 & bm) + c) & hm
+			}
+		case CSub:
+			return func() {
+				s0, br := bits.Sub64(*a0, *b0, 0)
+				*d0 = s0
+				*d1 = ((*a1 & am) - (*b1 & bm) - br) & hm
+			}
+		case CAnd:
+			return func() { *d0 = *a0 & *b0; *d1 = (*a1 & am) & (*b1 & bm) & hm }
+		case COr:
+			return func() { *d0 = *a0 | *b0; *d1 = ((*a1 & am) | (*b1 & bm)) & hm }
+		case CXor:
+			return func() { *d0 = *a0 ^ *b0; *d1 = ((*a1 & am) ^ (*b1 & bm)) & hm }
+		case CNot:
+			return func() { *d0 = ^*a0; *d1 = ^(*a1 & am) & hm }
+		default: // CMux
+			psel := &st[in.A]
+			c0, c1, cm := bsrc2(st, in.C, in.BW)
+			return func() {
+				lo, hi := *c0, *c1&cm
+				if *psel != 0 {
+					lo, hi = *b0, *b1&bm
+				}
+				*d0 = lo
+				*d1 = hi & hm
+			}
+		}
+	case CEq:
+		pd := &st[in.D]
+		return func() {
+			diff := (*a0 ^ *b0) | ((*a1 & am) ^ (*b1 & bm))
+			*pd = b2u(diff == 0)
+		}
+	case CNeq:
+		pd := &st[in.D]
+		return func() {
+			diff := (*a0 ^ *b0) | ((*a1 & am) ^ (*b1 & bm))
+			*pd = b2u(diff != 0)
+		}
+	}
+	return nil
+}
+
+
+// narrowValueBound compiles a pure narrow instruction into a no-argument
+// value closure over pre-resolved pointers — the producer half of the bound
+// generic fusion families.
+func narrowValueBound(m *Machine, in Instr) func() uint64 {
+	if !pureNarrow(in) {
+		return nil
+	}
+	st := m.State
+	pa, pb := &st[in.A], &st[in.B]
+	aw := in.AW
+	dm := mask(in.DW)
+	if isCmp(in.Op) {
+		x, y, xw, yw, negBit, kind := cmpParts(in)
+		px, py := &st[x], &st[y]
+		switch kind {
+		case cmpEqK:
+			return func() uint64 { return b2u(*px == *py) ^ negBit }
+		case cmpLtS:
+			return func() uint64 { return b2u(sext64(*px, xw) < sext64(*py, yw)) ^ negBit }
+		}
+		return func() uint64 { return b2u(*px < *py) ^ negBit }
+	}
+	switch in.Op {
+	case CCopy:
+		return func() uint64 { return *pa & dm }
+	case CAdd:
+		return func() uint64 { return (*pa + *pb) & dm }
+	case CSub:
+		return func() uint64 { return (*pa - *pb) & dm }
+	case CMul:
+		return func() uint64 { return (*pa * *pb) & dm }
+	case CDiv:
+		return func() uint64 {
+			if bv := *pb; bv != 0 {
+				return (*pa / bv) & dm
+			}
+			return 0
+		}
+	case CRem:
+		return func() uint64 {
+			if bv := *pb; bv != 0 {
+				return (*pa % bv) & dm
+			}
+			return 0
+		}
+	case CNeg:
+		return func() uint64 { return -*pa & dm }
+	case CAnd:
+		return func() uint64 { return (*pa & *pb) & dm }
+	case COr:
+		return func() uint64 { return (*pa | *pb) & dm }
+	case CXor:
+		return func() uint64 { return (*pa ^ *pb) & dm }
+	case CNot:
+		return func() uint64 { return ^*pa & dm }
+	case CAndR:
+		am := mask(aw)
+		return func() uint64 { return b2u(*pa == am) }
+	case COrR:
+		return func() uint64 { return b2u(*pa != 0) }
+	case CXorR:
+		return func() uint64 { return uint64(bits.OnesCount64(*pa)) & 1 }
+	case CShl:
+		sh := uint(in.Lo)
+		return func() uint64 { return (*pa << sh) & dm }
+	case CShr, CBits:
+		sh := uint(in.Lo)
+		return func() uint64 { return (*pa >> sh) & dm }
+	case CDshl:
+		return func() uint64 {
+			if n := *pb; n < 64 {
+				return (*pa << n) & dm
+			}
+			return 0
+		}
+	case CDshr:
+		return func() uint64 {
+			if n := *pb; n < 64 {
+				return (*pa >> n) & dm
+			}
+			return 0
+		}
+	case CCat:
+		sh := uint(in.BW)
+		return func() uint64 { return (*pa<<sh | *pb) & dm }
+	case CSExt:
+		return func() uint64 { return uint64(sext64(*pa, aw)) & dm }
+	case CMux:
+		pc := &st[in.C]
+		return func() uint64 {
+			r := *pc
+			if *pa != 0 {
+				r = *pb
+			}
+			return r & dm
+		}
+	}
+	return nil
+}
+
+// compileFusedBound builds the single bound closure for a matched pair.
+// Every variant stores a's result first and then computes b, so state-slot
+// aliasing between the two instructions can never change the outcome
+// relative to running them back to back. The specialized patterns inline
+// both computations; the generic Alu* patterns compute the producer through
+// its pre-bound value closure (one thin call) and inline the consumer tail.
+func compileFusedBound(p *Program, m *Machine, a, b Instr, pat FusePattern) BoundFn {
+	st := m.State
+	pad, paa, pab := &st[a.D], &st[a.A], &st[a.B]
+	adm := mask(a.DW)
+	pbd := &st[b.D]
+	bdm := mask(b.DW)
+	maskShift := uint(0)
+	if b.Op == CBits {
+		maskShift = uint(b.Lo)
+	}
+	switch pat {
+	case FuseCopyMux:
+		psel, pbb, pbc := &st[b.A], &st[b.B], &st[b.C]
+		return func() {
+			*pad = *paa & adm
+			r := *pbc
+			if *psel != 0 {
+				r = *pbb
+			}
+			*pbd = r & bdm
+		}
+	case FuseCmpMux:
+		return compileCmpMuxBound(st, a, b)
+	case FuseAddMask:
+		sh := maskShift
+		return func() {
+			t := (*paa + *pab) & adm
+			*pad = t
+			*pbd = (t >> sh) & bdm
+		}
+	case FuseSubMask:
+		sh := maskShift
+		return func() {
+			t := (*paa - *pab) & adm
+			*pad = t
+			*pbd = (t >> sh) & bdm
+		}
+	case FuseAluMask:
+		pv := narrowValueBound(m, a)
+		sh := maskShift
+		return func() {
+			t := pv()
+			*pad = t
+			*pbd = (t >> sh) & bdm
+		}
+	case FuseAluMux:
+		pv := narrowValueBound(m, a)
+		psel, pbb, pbc := &st[b.A], &st[b.B], &st[b.C]
+		return func() {
+			*pad = pv()
+			r := *pbc
+			if *psel != 0 {
+				r = *pbb
+			}
+			*pbd = r & bdm
+		}
+	case FuseAluCat:
+		pv := narrowValueBound(m, a)
+		pba, pbb := &st[b.A], &st[b.B]
+		sh := uint(b.BW)
+		return func() {
+			*pad = pv()
+			*pbd = (*pba<<sh | *pbb) & bdm
+		}
+	case FuseAluLogic:
+		pv := narrowValueBound(m, a)
+		pba, pbb := &st[b.A], &st[b.B]
+		switch b.Op {
+		case CAnd:
+			return func() { *pad = pv(); *pbd = (*pba & *pbb) & bdm }
+		case COr:
+			return func() { *pad = pv(); *pbd = (*pba | *pbb) & bdm }
+		default: // CXor
+			return func() { *pad = pv(); *pbd = (*pba ^ *pbb) & bdm }
+		}
+	case FuseAluEq:
+		pv := narrowValueBound(m, a)
+		pba, pbb := &st[b.A], &st[b.B]
+		negBit := b2u(b.Op == CNeq)
+		return func() {
+			*pad = pv()
+			*pbd = b2u(*pba == *pbb) ^ negBit
+		}
+	case FuseAluMemRead:
+		pv := narrowValueBound(m, a)
+		mi := int(b.Lo)
+		spec := &p.Mems[mi]
+		mem := m.Mems[mi]
+		depth := uint64(spec.Depth)
+		wp := spec.WordsPer
+		return func() {
+			t := pv()
+			*pad = t
+			var r uint64
+			if t < depth {
+				r = mem[int32(t)*wp]
+			}
+			*pbd = r & bdm
+		}
+	case FuseAndEqz:
+		pother := pbb2(st, a, b)
+		switch b.Op {
+		case CEq:
+			return func() {
+				t := (*paa & *pab) & adm
+				*pad = t
+				*pbd = b2u(t == *pother)
+			}
+		case CNeq:
+			return func() {
+				t := (*paa & *pab) & adm
+				*pad = t
+				*pbd = b2u(t != *pother)
+			}
+		default: // COrR
+			return func() {
+				t := (*paa & *pab) & adm
+				*pad = t
+				*pbd = b2u(t != 0)
+			}
+		}
+	case FuseMuxMux:
+		pasel, pac := &st[a.A], &st[a.C]
+		psel, pbb, pbc := &st[b.A], &st[b.B], &st[b.C]
+		return func() {
+			t := *pac
+			if *pasel != 0 {
+				t = *pab
+			}
+			*pad = t & adm
+			r := *pbc
+			if *psel != 0 {
+				r = *pbb
+			}
+			*pbd = r & bdm
+		}
+	}
+	return nil
+}
+
+// pbb2 resolves the non-forwarded operand of an and-eqz consumer.
+func pbb2(st []uint64, a, b Instr) *uint64 {
+	if b.B == a.D {
+		return &st[b.A]
+	}
+	return &st[b.B]
+}
+
+// compileCmpMuxBound specializes compare-into-mux into one straight-line
+// closure per comparison kernel (see cmpParts).
+func compileCmpMuxBound(st []uint64, a, b Instr) BoundFn {
+	pad := &st[a.D]
+	pbb, pbc, pbd := &st[b.B], &st[b.C], &st[b.D]
+	bdm := mask(b.DW)
+	x, y, xw, yw, negBit, kind := cmpParts(a)
+	px, py := &st[x], &st[y]
+	switch kind {
+	case cmpEqK:
+		return func() {
+			c := b2u(*px == *py) ^ negBit
+			*pad = c
+			r := *pbc
+			if c != 0 {
+				r = *pbb
+			}
+			*pbd = r & bdm
+		}
+	case cmpLtS:
+		return func() {
+			c := b2u(sext64(*px, xw) < sext64(*py, yw)) ^ negBit
+			*pad = c
+			r := *pbc
+			if c != 0 {
+				r = *pbb
+			}
+			*pbd = r & bdm
+		}
+	}
+	return func() {
+		c := b2u(*px < *py) ^ negBit
+		*pad = c
+		r := *pbc
+		if c != 0 {
+			r = *pbb
+		}
+		*pbd = r & bdm
+	}
+}

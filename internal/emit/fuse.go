@@ -1,0 +1,231 @@
+package emit
+
+// genericFusion gates the generic Alu* fusion families (the specialized
+// patterns are always on). It exists as a compile-time experiment knob for
+// the benchmarks; both settings are conformance-tested.
+const genericFusion = true
+
+// Superinstruction fusion: a peephole pass over an instruction chain that
+// collapses common two-instruction patterns into single pre-bound closures.
+// The per-instruction indirect call is the dominant cost of the
+// closure-threaded kernels on narrow designs (GSIM's emitted C++ pays no
+// such dispatch; Manticore and Parendi both report instruction-granularity
+// overhead dominating BSP-style RTL simulation), so halving the call count
+// on the hottest idioms is a direct win.
+//
+// A fused closure performs exactly the stores of its two source instructions
+// in their original order — the intermediate result is still written to its
+// state slot. That makes fusion trivially bit-identical to sequential
+// execution (the lockstep and fuzz suites pin this): the only thing removed
+// is dispatch, plus the intermediate value is forwarded through a register
+// where the match proves the slot identity.
+//
+// Fusion is applied at kernel-chain build time (Program.CompileChainBound), never
+// to the instruction stream itself, so Instrs, Code ranges, and instruction
+// counting are untouched: a fused superinstruction still retires two
+// instructions.
+
+// FusePattern identifies one fusible two-instruction idiom. The pattern
+// coverage test sweeps [FuseNone+1, NumFusePatterns) and fails if a pattern
+// lands without a test exemplar, so the enumeration doubles as the test
+// checklist — keep NumFusePatterns last.
+type FusePattern uint8
+
+// The implemented fusion patterns. The first group is fully specialized —
+// both halves compiled into one straight-line closure body. The Alu* group
+// is the generic long tail: any pure narrow producer (narrowValueBound)
+// compiled as a pre-bound value closure feeding a specialized consumer tail;
+// it costs
+// one thin value call where the specialized patterns cost none, and still
+// removes the second kernel dispatch. The split is measured: the specialized
+// group covers the hottest idioms in the RV32 core and the synthetic
+// profiles, the generic group roughly triples fusion coverage.
+const (
+	// FuseNone: the pair does not fuse.
+	FuseNone FusePattern = iota
+	// FuseCopyMux: a copy (ref/pad/const root) feeding any operand of a mux.
+	FuseCopyMux
+	// FuseCmpMux: a comparison result selecting a mux — the ubiquitous
+	// "cond ? a : b" of priority logic and ALU flag selects.
+	FuseCmpMux
+	// FuseAddMask: an add whose result is immediately truncated or sliced
+	// (FIRRTL add widens by one bit; the following bits/pad masks it back
+	// down, or picks the carry).
+	FuseAddMask
+	// FuseSubMask: the subtract twin of FuseAddMask.
+	FuseSubMask
+	// FuseAndEqz: a bitwise and feeding an equality/inequality test or an
+	// or-reduction — mask-then-test control logic.
+	FuseAndEqz
+	// FuseMuxMux: a mux feeding an arm of the next mux — priority-encoder
+	// chains, which compile to long runs of adjacent muxes.
+	FuseMuxMux
+	// FuseAluMask: any other pure producer into a truncation (copy, or bits
+	// at any shift) — bus slicing and width fitting.
+	FuseAluMask
+	// FuseAluMux: any pure producer into any operand of a mux.
+	FuseAluMux
+	// FuseAluCat: any pure producer into either side of a concatenation —
+	// bus assembly chains.
+	FuseAluCat
+	// FuseAluLogic: any pure producer (comparisons included) into a binary
+	// and/or/xor — flag combining.
+	FuseAluLogic
+	// FuseAluEq: any pure producer into an equality/inequality test.
+	FuseAluEq
+	// FuseAluMemRead: an address computation feeding a memory read port.
+	FuseAluMemRead
+
+	// NumFusePatterns is the enumeration sentinel: keep it last.
+	NumFusePatterns
+)
+
+var fusePatternNames = [NumFusePatterns]string{
+	"none", "copy-mux", "cmp-mux", "add-mask", "sub-mask", "and-eqz", "mux-mux",
+	"alu-mask", "alu-mux", "alu-cat", "alu-logic", "alu-eq", "alu-memread",
+}
+
+// String names the pattern.
+func (p FusePattern) String() string {
+	if int(p) < len(fusePatternNames) {
+		return fusePatternNames[p]
+	}
+	return "invalid"
+}
+
+// isCmp reports whether op is one of the ten comparisons (0/1 result).
+func isCmp(op OpCode) bool { return op >= CEq && op <= CSGeq }
+
+// narrow reports whether every width of the instruction fits one word.
+func narrow(in Instr) bool { return in.DW <= 64 && in.AW <= 64 && in.BW <= 64 }
+
+// pureNarrow reports whether the instruction is a pure narrow value producer
+// — compilable by narrowValueBound into a pre-bound value closure.
+// Everything except the memory read (which needs the machine's memory
+// arrays).
+func pureNarrow(in Instr) bool { return narrow(in) && in.Op >= CCopy && in.Op < CMemRead }
+
+// MatchFusion classifies an adjacent instruction pair (a executes first).
+// Only fully narrow pairs fuse; the wide regime goes through the width-class
+// kernels instead. Matching is purely structural — opcodes and the identity
+// of a's destination slot among b's operand slots — so it is valid on any
+// chain regardless of which nodes the instructions came from. The
+// specialized patterns are tried first; the generic Alu* families catch the
+// remaining pure producers.
+func MatchFusion(a, b Instr) FusePattern {
+	if !narrow(a) || !narrow(b) {
+		return FuseNone
+	}
+	pure := pureNarrow(a) && genericFusion
+	switch b.Op {
+	case CMux:
+		feedsArm := b.B == a.D || b.C == a.D
+		feeds := b.A == a.D || feedsArm
+		switch {
+		case a.Op == CCopy && feeds:
+			return FuseCopyMux
+		case isCmp(a.Op) && b.A == a.D:
+			return FuseCmpMux
+		case a.Op == CMux && feedsArm:
+			return FuseMuxMux
+		case pure && feeds:
+			return FuseAluMux
+		}
+	case CCopy, CBits:
+		if b.A != a.D {
+			return FuseNone
+		}
+		switch {
+		case a.Op == CAdd:
+			return FuseAddMask
+		case a.Op == CSub:
+			return FuseSubMask
+		case pure:
+			return FuseAluMask
+		}
+	case CCat:
+		if pure && (b.A == a.D || b.B == a.D) {
+			return FuseAluCat
+		}
+	case CAnd, COr, CXor:
+		// b.Op == CAnd also terminates an a == CAnd chain; the generic
+		// family handles it like any other producer.
+		if pure && (b.A == a.D || b.B == a.D) {
+			return FuseAluLogic
+		}
+	case CEq, CNeq:
+		if a.Op == CAnd && (b.A == a.D || b.B == a.D) {
+			return FuseAndEqz
+		}
+		if pure && (b.A == a.D || b.B == a.D) {
+			return FuseAluEq
+		}
+	case COrR:
+		if a.Op == CAnd && b.A == a.D {
+			return FuseAndEqz
+		}
+	case CMemRead:
+		if pure && b.A == a.D {
+			return FuseAluMemRead
+		}
+	}
+	return FuseNone
+}
+
+// cmpKind classifies the three comparison kernels the ten comparison opcodes
+// reduce to.
+type cmpKind uint8
+
+const (
+	cmpEqK  cmpKind = iota // x == y
+	cmpLtU                 // x < y, unsigned
+	cmpLtS                 // x < y, signed
+)
+
+// cmpParts normalizes a comparison instruction: the ten opcodes reduce to
+// three kernels plus an operand swap and a result negation, resolved at
+// compile time: a<=b == !(b<a), a>b == b<a, a>=b == !(a<b), a!=b == !(a==b).
+func cmpParts(a Instr) (x, y int, xw, yw int32, negBit uint64, kind cmpKind) {
+	x, y = int(a.A), int(a.B)
+	xw, yw = a.AW, a.BW
+	var neg bool
+	switch a.Op {
+	case CEq:
+		kind = cmpEqK
+	case CNeq:
+		kind, neg = cmpEqK, true
+	case CLt:
+		kind = cmpLtU
+	case CLeq:
+		x, y, xw, yw = y, x, yw, xw
+		kind, neg = cmpLtU, true
+	case CGt:
+		x, y, xw, yw = y, x, yw, xw
+		kind = cmpLtU
+	case CGeq:
+		kind, neg = cmpLtU, true
+	case CSLt:
+		kind = cmpLtS
+	case CSLeq:
+		x, y, xw, yw = y, x, yw, xw
+		kind, neg = cmpLtS, true
+	case CSGt:
+		x, y, xw, yw = y, x, yw, xw
+		kind = cmpLtS
+	case CSGeq:
+		kind, neg = cmpLtS, true
+	}
+	return x, y, xw, yw, b2u(neg), kind
+}
+
+// FusionStats counts, per pattern, how many adjacent pairs of the chain
+// would fuse — the diagnostic behind cmd/gsim-diag's fusion report.
+func FusionStats(ins []Instr) (counts [NumFusePatterns]int) {
+	for i := 0; i+1 < len(ins); i++ {
+		if pat := MatchFusion(ins[i], ins[i+1]); pat != FuseNone {
+			counts[pat]++
+			i++
+		}
+	}
+	return counts
+}

@@ -1,0 +1,330 @@
+package emit
+
+import (
+	"math/rand"
+	"testing"
+
+	"gsim/internal/bitvec"
+)
+
+// fusionCase is one exemplar instruction pair for a fusion pattern.
+type fusionCase struct {
+	name string
+	pat  FusePattern
+	a, b Instr
+}
+
+// fusionExemplars maps every fusion pattern to at least one concrete
+// instruction pair. TestFusionPatternCoverage sweeps the FusePattern
+// enumeration against this table, so adding a pattern without an exemplar
+// fails the suite — the enum sentinel (NumFusePatterns) is the checklist.
+//
+// Slot layout: words 0-9 hold operands, 10 is the first instruction's
+// destination, 11 the second's.
+func fusionExemplars() []fusionCase {
+	cmp := func(op OpCode) fusionCase {
+		return fusionCase{"cmp-mux", FuseCmpMux,
+			Instr{Op: op, D: 10, DW: 1, A: 0, AW: 14, B: 1, BW: 11},
+			Instr{Op: CMux, D: 11, DW: 24, A: 10, AW: 1, B: 2, BW: 24, C: 3}}
+	}
+	cases := []fusionCase{
+		{"copy-into-mux-arm-c", FuseCopyMux,
+			Instr{Op: CCopy, D: 10, DW: 16, A: 0, AW: 20},
+			Instr{Op: CMux, D: 11, DW: 16, A: 1, AW: 1, B: 2, BW: 16, C: 10}},
+		{"copy-into-mux-arm-b", FuseCopyMux,
+			Instr{Op: CCopy, D: 10, DW: 16, A: 0, AW: 20},
+			Instr{Op: CMux, D: 11, DW: 16, A: 1, AW: 1, B: 10, BW: 16, C: 2}},
+		{"copy-into-mux-sel", FuseCopyMux,
+			Instr{Op: CCopy, D: 10, DW: 1, A: 0, AW: 1},
+			Instr{Op: CMux, D: 11, DW: 16, A: 10, AW: 1, B: 2, BW: 16, C: 3}},
+		{"add-then-mask-bits", FuseAddMask,
+			Instr{Op: CAdd, D: 10, DW: 17, A: 0, AW: 16, B: 1, BW: 16},
+			Instr{Op: CBits, D: 11, DW: 16, A: 10, AW: 17, Hi: 15, Lo: 0}},
+		{"add-then-mask-copy", FuseAddMask,
+			Instr{Op: CAdd, D: 10, DW: 33, A: 0, AW: 32, B: 1, BW: 32},
+			Instr{Op: CCopy, D: 11, DW: 32, A: 10, AW: 33}},
+		{"sub-then-mask-bits", FuseSubMask,
+			Instr{Op: CSub, D: 10, DW: 16, A: 0, AW: 16, B: 1, BW: 16},
+			Instr{Op: CBits, D: 11, DW: 8, A: 10, AW: 16, Hi: 7, Lo: 0}},
+		{"and-then-eq", FuseAndEqz,
+			Instr{Op: CAnd, D: 10, DW: 16, A: 0, AW: 16, B: 1, BW: 16},
+			Instr{Op: CEq, D: 11, DW: 1, A: 10, AW: 16, B: 2, BW: 16}},
+		{"and-then-eq-swapped", FuseAndEqz,
+			Instr{Op: CAnd, D: 10, DW: 16, A: 0, AW: 16, B: 1, BW: 16},
+			Instr{Op: CEq, D: 11, DW: 1, A: 2, AW: 16, B: 10, BW: 16}},
+		{"and-then-neq", FuseAndEqz,
+			Instr{Op: CAnd, D: 10, DW: 16, A: 0, AW: 16, B: 1, BW: 16},
+			Instr{Op: CNeq, D: 11, DW: 1, A: 10, AW: 16, B: 2, BW: 16}},
+		{"and-then-orr", FuseAndEqz,
+			Instr{Op: CAnd, D: 10, DW: 16, A: 0, AW: 16, B: 1, BW: 16},
+			Instr{Op: COrR, D: 11, DW: 1, A: 10, AW: 16}},
+		{"copy-into-mux-both-arms", FuseCopyMux, // aliasing corner: t feeds both arms
+			Instr{Op: CCopy, D: 10, DW: 16, A: 0, AW: 20},
+			Instr{Op: CMux, D: 11, DW: 16, A: 1, AW: 1, B: 10, BW: 16, C: 10}},
+		{"and-then-eq-both-sides", FuseAndEqz, // aliasing corner: t == t
+			Instr{Op: CAnd, D: 10, DW: 16, A: 0, AW: 16, B: 1, BW: 16},
+			Instr{Op: CEq, D: 11, DW: 1, A: 10, AW: 16, B: 10, BW: 16}},
+		{"mux-into-mux", FuseMuxMux,
+			Instr{Op: CMux, D: 10, DW: 16, A: 0, AW: 1, B: 1, BW: 16, C: 2},
+			Instr{Op: CMux, D: 11, DW: 16, A: 3, AW: 1, B: 4, BW: 16, C: 10}},
+		{"add-then-carry-slice", FuseAddMask, // bits at a non-zero offset
+			Instr{Op: CAdd, D: 10, DW: 17, A: 0, AW: 16, B: 1, BW: 16},
+			Instr{Op: CBits, D: 11, DW: 1, A: 10, AW: 17, Hi: 16, Lo: 16}},
+		{"bits-into-bits", FuseAluMask,
+			Instr{Op: CBits, D: 10, DW: 12, A: 0, AW: 20, Hi: 15, Lo: 4},
+			Instr{Op: CBits, D: 11, DW: 4, A: 10, AW: 12, Hi: 5, Lo: 2}},
+		{"shl-into-copy", FuseAluMask,
+			Instr{Op: CShl, D: 10, DW: 20, A: 0, AW: 16, Lo: 4},
+			Instr{Op: CCopy, D: 11, DW: 18, A: 10, AW: 20}},
+		{"bits-into-mux-arm", FuseAluMux,
+			Instr{Op: CBits, D: 10, DW: 8, A: 0, AW: 20, Hi: 7, Lo: 2},
+			Instr{Op: CMux, D: 11, DW: 8, A: 1, AW: 1, B: 10, BW: 8, C: 2}},
+		{"xor-into-mux-sel", FuseAluMux,
+			Instr{Op: CXor, D: 10, DW: 1, A: 0, AW: 1, B: 1, BW: 1},
+			Instr{Op: CMux, D: 11, DW: 16, A: 10, AW: 1, B: 2, BW: 16, C: 3}},
+		{"bits-into-cat-hi", FuseAluCat,
+			Instr{Op: CBits, D: 10, DW: 8, A: 0, AW: 20, Hi: 9, Lo: 2},
+			Instr{Op: CCat, D: 11, DW: 24, A: 10, AW: 8, B: 1, BW: 16}},
+		{"cat-into-cat-lo", FuseAluCat,
+			Instr{Op: CCat, D: 10, DW: 20, A: 0, AW: 4, B: 1, BW: 16},
+			Instr{Op: CCat, D: 11, DW: 28, A: 2, AW: 8, B: 10, BW: 20}},
+		{"eq-into-or", FuseAluLogic,
+			Instr{Op: CEq, D: 10, DW: 1, A: 0, AW: 16, B: 1, BW: 16},
+			Instr{Op: COr, D: 11, DW: 1, A: 10, AW: 1, B: 2, BW: 1}},
+		{"not-into-and", FuseAluLogic,
+			Instr{Op: CNot, D: 10, DW: 16, A: 0, AW: 16},
+			Instr{Op: CAnd, D: 11, DW: 16, A: 1, AW: 16, B: 10, BW: 16}},
+		{"slt-into-xor", FuseAluLogic,
+			Instr{Op: CSLt, D: 10, DW: 1, A: 0, AW: 12, B: 1, BW: 9},
+			Instr{Op: CXor, D: 11, DW: 1, A: 10, AW: 1, B: 2, BW: 1}},
+		{"bits-into-eq", FuseAluEq,
+			Instr{Op: CBits, D: 10, DW: 8, A: 0, AW: 20, Hi: 7, Lo: 0},
+			Instr{Op: CEq, D: 11, DW: 1, A: 10, AW: 8, B: 1, BW: 8}},
+		{"xor-into-neq", FuseAluEq,
+			Instr{Op: CXor, D: 10, DW: 16, A: 0, AW: 16, B: 1, BW: 16},
+			Instr{Op: CNeq, D: 11, DW: 1, A: 2, AW: 16, B: 10, BW: 16}},
+		{"bits-into-memread", FuseAluMemRead, // DW 2 keeps the address in range
+			Instr{Op: CBits, D: 10, DW: 2, A: 0, AW: 16, Hi: 4, Lo: 3},
+			Instr{Op: CMemRead, D: 11, DW: 8, A: 10, AW: 2, Lo: 0}},
+	}
+	for _, op := range []OpCode{CEq, CNeq, CLt, CLeq, CGt, CGeq, CSLt, CSLeq, CSGt, CSGeq} {
+		cases = append(cases, cmp(op))
+	}
+	return cases
+}
+
+// maskOperands canonicalizes every operand slot an instruction pair reads,
+// as the compiler's invariants guarantee for real programs (every writer
+// masks its result). Zero-width (unset) operands are skipped — unary
+// instructions never read their B slot.
+func maskOperands(st []uint64, ins ...Instr) {
+	for _, in := range ins {
+		if in.AW > 0 {
+			st[in.A] &= mask(in.AW)
+		}
+		if in.BW > 0 {
+			st[in.B] &= mask(in.BW)
+		}
+		if in.Op == CMux {
+			st[in.C] &= mask(in.BW)
+		}
+	}
+}
+
+// TestFusionPatternCoverage sweeps the full FusePattern enumeration: every
+// pattern must have at least one exemplar pair, the matcher must classify
+// each exemplar as its pattern, and the fused closure must leave the state
+// image bit-identical to executing the two instructions back to back — over
+// randomized operand values, including the aliasing corners the store-first
+// design must survive.
+func TestFusionPatternCoverage(t *testing.T) {
+	cases := fusionExemplars()
+	seen := make(map[FusePattern]bool)
+	for _, c := range cases {
+		seen[c.pat] = true
+	}
+	for pat := FuseNone + 1; pat < NumFusePatterns; pat++ {
+		if !seen[pat] {
+			t.Fatalf("fusion pattern %d (%s) has no exemplar — extend fusionExemplars", pat, pat)
+		}
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	for _, c := range cases {
+		if got := MatchFusion(c.a, c.b); got != c.pat {
+			t.Fatalf("%s: MatchFusion = %s, want %s", c.name, got, c.pat)
+		}
+		p := &Program{NumWords: 12, Instrs: []Instr{c.a, c.b},
+			Mems: []MemSpec{{Depth: 4, Width: 8, WordsPer: 1, Init: []uint64{0x5a, 9, 0xab, 3}}}}
+		bnd := NewMachine(p)
+		bfns := p.CompileChainBound(bnd, p.Instrs)
+		if len(bfns) != 1 {
+			t.Fatalf("%s: CompileChainBound produced %d closures, want 1 fused", c.name, len(bfns))
+		}
+		for trial := 0; trial < 200; trial++ {
+			ref := NewMachine(p)
+			for w := range ref.State {
+				ref.State[w] = rng.Uint64()
+			}
+			maskOperands(ref.State, c.a, c.b)
+			copy(bnd.State, ref.State)
+			ref.Exec(0, 2)
+			bfns[0]()
+			for w := range ref.State {
+				if ref.State[w] != bnd.State[w] {
+					t.Fatalf("%s trial %d: state word %d: sequential %#x vs bound fused %#x",
+						c.name, trial, w, ref.State[w], bnd.State[w])
+				}
+			}
+		}
+	}
+}
+
+// TestMatchFusionRejects pins the negative space: pairs that look close to a
+// pattern but must not fuse.
+func TestMatchFusionRejects(t *testing.T) {
+	add := Instr{Op: CAdd, D: 10, DW: 17, A: 0, AW: 16, B: 1, BW: 16}
+	cases := []struct {
+		name string
+		a, b Instr
+	}{
+		{"no-dataflow", // copy dest feeds nothing in the mux
+			Instr{Op: CCopy, D: 10, DW: 16, A: 0, AW: 16},
+			Instr{Op: CMux, D: 11, DW: 16, A: 1, AW: 1, B: 2, BW: 16, C: 3}},
+		{"wide-first",
+			Instr{Op: CCopy, D: 10, DW: 80, A: 0, AW: 80},
+			Instr{Op: CMux, D: 11, DW: 16, A: 1, AW: 1, B: 10, BW: 16, C: 2}},
+		{"wide-second", add,
+			Instr{Op: CCopy, D: 11, DW: 80, A: 10, AW: 80}},
+		{"memread-producer", // not a pure value producer
+			Instr{Op: CMemRead, D: 10, DW: 8, A: 0, AW: 4, Lo: 0},
+			Instr{Op: CCopy, D: 11, DW: 8, A: 10, AW: 8}},
+		{"orr-after-or", // the orr tail is only defined for the and producer
+			Instr{Op: COr, D: 10, DW: 16, A: 0, AW: 16, B: 1, BW: 16},
+			Instr{Op: COrR, D: 11, DW: 1, A: 10, AW: 16}},
+	}
+	for _, c := range cases {
+		if got := MatchFusion(c.a, c.b); got != FuseNone {
+			t.Fatalf("%s: MatchFusion = %s, want none", c.name, got)
+		}
+	}
+}
+
+// widthClassExpectation is the per-opcode classification at a representative
+// 2-word shape. TestWidthClassCoverage sweeps the full opcode enumeration
+// against it, so a new opcode cannot land without declaring (and, for
+// WC2Word, exercising) its width class.
+var widthClassExpectation = map[OpCode]WidthClass{
+	CCopy: WC2Word, CAdd: WC2Word, CSub: WC2Word, CAnd: WC2Word, COr: WC2Word,
+	CXor: WC2Word, CNot: WC2Word, CMux: WC2Word, CEq: WC2Word, CNeq: WC2Word,
+	CMul: WCWide, CDiv: WCWide, CRem: WCWide, CNeg: WCWide,
+	CAndR: WCWide, COrR: WCWide, CXorR: WCWide,
+	CLt: WCWide, CLeq: WCWide, CGt: WCWide, CGeq: WCWide,
+	CSLt: WCWide, CSLeq: WCWide, CSGt: WCWide, CSGeq: WCWide,
+	CShl: WCWide, CShr: WCWide, CDshl: WCWide, CDshr: WCWide,
+	CCat: WCWide, CBits: WCWide, CSExt: WCWide, CMemRead: WCWide,
+}
+
+// instr2W builds the representative 2-word-shape instruction for an opcode.
+func instr2W(op OpCode, dw, aw, bw int32) Instr {
+	in := Instr{Op: op, D: 12, DW: dw, A: 0, AW: aw, B: 4, BW: bw}
+	if op == CMux {
+		in.A, in.AW = 8, 1 // one-word selector
+		in.B, in.BW = 0, aw
+		in.C = 4
+	}
+	if op == CEq || op == CNeq {
+		in.DW = 1
+	}
+	return in
+}
+
+// TestWidthClassCoverage sweeps every opcode through the width classifier at
+// a 96-bit shape and pins the expected class; narrow shapes must classify
+// WCNarrow for every opcode. A missing map entry is a failure, so the opcode
+// and width-class enumerations stay covered together.
+func TestWidthClassCoverage(t *testing.T) {
+	for op := CCopy; op < OpCode(numOpCodes); op++ {
+		want, ok := widthClassExpectation[op]
+		if !ok {
+			t.Fatalf("opcode %d has no width-class expectation — extend widthClassExpectation", op)
+		}
+		if got := classOf(instr2W(op, 96, 96, 96)); got != want {
+			t.Fatalf("opcode %d at 96 bits: class %s, want %s", op, got, want)
+		}
+		narrow := Instr{Op: op, DW: 8, AW: 8, BW: 8}
+		if got := classOf(narrow); got != WCNarrow {
+			t.Fatalf("opcode %d at 8 bits: class %s, want narrow", op, got)
+		}
+	}
+}
+
+// TestWidthClass2WordMatchesWide executes every 2-word kernel against the
+// execWide reference over randomized canonical state, across width shapes
+// that exercise zero extension (one-word operands into two-word results),
+// truncation (wider-than-class operands), and the top-word mask.
+func TestWidthClass2WordMatchesWide(t *testing.T) {
+	shapes := []struct{ dw, aw, bw int32 }{
+		{96, 96, 96}, {128, 128, 128}, {65, 65, 65},
+		{96, 40, 96}, {96, 96, 40}, {70, 64, 70}, {128, 1, 128},
+	}
+	eqShapes := []struct{ dw, aw, bw int32 }{
+		{1, 96, 96}, {1, 65, 128}, {1, 96, 20}, {1, 20, 96}, {1, 128, 128},
+	}
+	rng := rand.New(rand.NewSource(11))
+	for op, class := range widthClassExpectation {
+		if class != WC2Word {
+			continue
+		}
+		sh := shapes
+		if op == CEq || op == CNeq {
+			sh = eqShapes
+		}
+		for _, s := range sh {
+			in := instr2W(op, s.dw, s.aw, s.bw)
+			if classOf(in) != WC2Word {
+				t.Fatalf("op %d shape %+v: expected 2-word class", op, s)
+			}
+			for trial := 0; trial < 100; trial++ {
+				p := &Program{NumWords: 16}
+				ref := NewMachine(p)
+				bnd := NewMachine(p)
+				bfn := compile2WBound(bnd, in)
+				if bfn == nil {
+					t.Fatalf("op %d shape %+v: no bound 2-word kernel", op, s)
+				}
+				for w := range ref.State {
+					ref.State[w] = rng.Uint64()
+				}
+				// Canonicalize the operand slots to their widths.
+				operands := []struct {
+					off int32
+					w   int32
+				}{{in.A, in.AW}, {in.B, in.BW}}
+				if in.Op == CMux {
+					operands = append(operands, struct {
+						off int32
+						w   int32
+					}{in.C, in.BW})
+				}
+				for _, o := range operands {
+					words := wordsFor32(o.w)
+					if words == 0 {
+						continue
+					}
+					ref.State[o.off+words-1] &= bitvec.TopMask(int(o.w))
+				}
+				copy(bnd.State, ref.State)
+				wide := in
+				ref.execWide(&wide)
+				bfn()
+				for w := range ref.State {
+					if ref.State[w] != bnd.State[w] {
+						t.Fatalf("op %d shape %+v trial %d: state word %d: execWide %#x vs bound 2-word kernel %#x",
+							op, s, trial, w, ref.State[w], bnd.State[w])
+					}
+				}
+			}
+		}
+	}
+}

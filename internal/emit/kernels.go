@@ -20,47 +20,54 @@ type KernelFn func(st []uint64, m *Machine)
 // lands without a kernel or an explicit interpreter fallback.
 const numOpCodes = int(cOpCount)
 
-// BuildKernels populates p.Kernels with one closure per instruction. It is
-// idempotent; engines that select kernel evaluation call it at construction
-// time, so programs driven only by the interpreter never pay for the table.
-func (p *Program) BuildKernels() {
-	if p.Kernels != nil {
+// BuildKernelsBase populates p.KernelsBase: the pre-fusion, pre-width-class
+// kernel table (specialized narrow closures, execWide for everything wider).
+// It exists as the measurable baseline the fused pipeline is benchmarked
+// against (-eval kernel-nofuse) and is built only when an engine asks for it.
+func (p *Program) BuildKernelsBase() {
+	if p.KernelsBase != nil {
 		return
 	}
 	fns := make([]KernelFn, len(p.Instrs))
 	for i := range p.Instrs {
-		fns[i] = compileKernel(p, p.Instrs[i])
+		fns[i] = compileKernelBase(p, p.Instrs[i])
 	}
-	p.Kernels = fns
+	p.KernelsBase = fns
 }
 
-// ExecKernel runs instructions [start, end) through the kernel table.
-// BuildKernels must have been called on the program first.
-func (m *Machine) ExecKernel(start, end int32) {
+// ExecKernelBase runs instructions [start, end) through the baseline kernel
+// table (BuildKernelsBase must have been called).
+func (m *Machine) ExecKernelBase(start, end int32) {
 	st := m.State
-	for _, f := range m.Prog.Kernels[start:end] {
+	for _, f := range m.Prog.KernelsBase[start:end] {
 		f(st, m)
 	}
 }
 
-// ExecKernelRange runs a node's compiled range through the kernel table.
-func (m *Machine) ExecKernelRange(r Range) { m.ExecKernel(r.Start, r.End) }
-
 // ResetCounters clears the machine's retired-instruction counter.
 func (m *Machine) ResetCounters() { m.Executed = 0 }
 
-// compileKernel translates one instruction into its pre-bound closure.
-// Instructions touching any value wider than 64 bits fall back to the
-// interpreter's multi-word path (execWide); every narrow opcode gets a
-// specialized closure with masks and shift amounts baked in, mirroring
-// execNarrow exactly — the lockstep tests pin the two bit-identical.
-func compileKernel(p *Program, in Instr) KernelFn {
+// compileKernelBase is the PR-2 baseline compiler behind -eval kernel-nofuse:
+// narrow specialization only, no width classes, and callers apply no fusion —
+// the measurable floor the fused bound-chain pipeline (CompileChainBound) is
+// benchmarked against.
+func compileKernelBase(p *Program, in Instr) KernelFn {
 	if in.DW > 64 || in.AW > 64 || in.BW > 64 {
-		// Explicit interpreter fallback for wide operations: pre-bind a
-		// private copy of the instruction so the sweep never touches Instrs.
-		wide := in
-		return func(_ []uint64, m *Machine) { m.execWide(&wide) }
+		return wideFallback(in)
 	}
+	return compileNarrowKernel(p, in)
+}
+
+// wideFallback pre-binds a private copy of the instruction for the
+// interpreter's multi-word path, so the sweep never touches Instrs.
+func wideFallback(in Instr) KernelFn {
+	wide := in
+	return func(_ []uint64, m *Machine) { m.execWide(&wide) }
+}
+
+// compileNarrowKernel builds the specialized single-word closure: masks and
+// shift amounts baked in, mirroring execNarrow exactly.
+func compileNarrowKernel(p *Program, in Instr) KernelFn {
 	d, a, b, c := int(in.D), int(in.A), int(in.B), int(in.C)
 	aw, bw := in.AW, in.BW
 	dm := mask(in.DW)

@@ -9,7 +9,8 @@ import (
 	"gsim/internal/ir"
 )
 
-// TestKernelMatchesInterp is the kernel-level property test: for random
+// TestKernelMatchesInterp is the kernel-level property test for the
+// baseline table (the -eval kernel-nofuse production path): for random
 // expression trees (narrow and wide), the closure-threaded kernel sweep must
 // leave the machine in the exact state the interpreter leaves it in — every
 // word, including temporaries.
@@ -31,9 +32,9 @@ func TestKernelMatchesInterp(t *testing.T) {
 		}
 		e := randExpr(rng, b, inputs, 5)
 		p, _ := compileExpr(t, inputs, b.G, e)
-		p.BuildKernels()
-		if len(p.Kernels) != len(p.Instrs) {
-			t.Fatalf("seed %d: %d kernels for %d instructions", seed, len(p.Kernels), len(p.Instrs))
+		p.BuildKernelsBase()
+		if len(p.KernelsBase) != len(p.Instrs) {
+			t.Fatalf("seed %d: %d kernels for %d instructions", seed, len(p.KernelsBase), len(p.Instrs))
 		}
 
 		mi := NewMachine(p)
@@ -43,7 +44,7 @@ func TestKernelMatchesInterp(t *testing.T) {
 			mk.Poke(in.ID, vals[in])
 		}
 		mi.Exec(0, int32(len(p.Instrs)))
-		mk.ExecKernel(0, int32(len(p.Instrs)))
+		mk.ExecKernelBase(0, int32(len(p.Instrs)))
 		for w := range mi.State {
 			if mi.State[w] != mk.State[w] {
 				t.Fatalf("seed %d: state word %d: interp %#x vs kernel %#x\nexpr: %s",
@@ -54,44 +55,108 @@ func TestKernelMatchesInterp(t *testing.T) {
 }
 
 // TestKernelOpcodeCoverage pins the contract the engines rely on: every
-// opcode in the enumeration compiles to a kernel — a specialized narrow
-// closure when all operands fit one word, and the explicit interpreter
-// fallback (execWide) otherwise. A new opcode added without a kernel makes
-// compileKernel panic, which this sweep turns into a test failure.
+// opcode in the enumeration compiles in both production compilers — the
+// baseline table (compileKernelBase: specialized narrow closure, execWide
+// fallback) and the bound-chain compiler (compileKernelBound) — so a new
+// opcode added without kernels fails the sweep instead of panicking at
+// engine construction.
 func TestKernelOpcodeCoverage(t *testing.T) {
-	p := &Program{Mems: []MemSpec{{Depth: 2, Width: 8, WordsPer: 1, Init: make([]uint64, 2)}}}
+	p := &Program{NumWords: 8, Mems: []MemSpec{{Depth: 2, Width: 8, WordsPer: 1, Init: make([]uint64, 2)}}}
+	mach := NewMachine(p)
+	// The bound compiler adapted to the shared sweep signature.
+	bound := func(_ *Program, in Instr) KernelFn {
+		bf := compileKernelBound(mach, in)
+		if bf == nil {
+			return nil
+		}
+		return func(_ []uint64, _ *Machine) { bf() }
+	}
+	compilers := []struct {
+		name    string
+		compile func(*Program, Instr) KernelFn
+	}{{"base", compileKernelBase}, {"bound", bound}}
 	for op := int(CCopy); op < numOpCodes; op++ {
 		narrow := Instr{Op: OpCode(op), DW: 8, AW: 8, BW: 8}
-		if fn := mustCompile(t, p, narrow); fn == nil {
-			t.Fatalf("opcode %d: no narrow kernel", op)
-		}
 		wide := Instr{Op: OpCode(op), DW: 128, AW: 128, BW: 128}
-		if fn := mustCompile(t, p, wide); fn == nil {
-			t.Fatalf("opcode %d: no wide fallback", op)
+		for _, c := range compilers {
+			if fn := mustCompile(t, p, narrow, c.compile); fn == nil {
+				t.Fatalf("opcode %d: no %s narrow kernel", op, c.name)
+			}
+			if fn := mustCompile(t, p, wide, c.compile); fn == nil {
+				t.Fatalf("opcode %d: no %s wide fallback", op, c.name)
+			}
 		}
 	}
 }
 
-func mustCompile(t *testing.T, p *Program, in Instr) (fn KernelFn) {
+func mustCompile(t *testing.T, p *Program, in Instr, compile func(*Program, Instr) KernelFn) (fn KernelFn) {
 	t.Helper()
 	defer func() {
 		if r := recover(); r != nil {
-			t.Fatalf("opcode %d (widths %d/%d/%d): compileKernel panicked: %v", in.Op, in.DW, in.AW, in.BW, r)
+			t.Fatalf("opcode %d (widths %d/%d/%d): compile panicked: %v", in.Op, in.DW, in.AW, in.BW, r)
 		}
 	}()
-	return compileKernel(p, in)
+	return compile(p, in)
 }
 
 // TestBuildKernelsIdempotent: building twice must not reallocate the table
-// (engines sharing a program may all request kernels).
+// (engines sharing a program may all request kernels). Same contract for the
+// baseline table.
 func TestBuildKernelsIdempotent(t *testing.T) {
 	b := ir.NewBuilder("idem")
 	in := b.Input("i", 8)
 	p, _ := compileExpr(t, []*ir.Node{in}, b.G, b.Add(ir.Ref(in), ir.Ref(in)))
-	p.BuildKernels()
-	first := &p.Kernels[0]
-	p.BuildKernels()
-	if first != &p.Kernels[0] {
-		t.Fatal("BuildKernels rebuilt the table")
+	p.BuildKernelsBase()
+	first := &p.KernelsBase[0]
+	p.BuildKernelsBase()
+	if first != &p.KernelsBase[0] {
+		t.Fatal("BuildKernelsBase rebuilt the table")
+	}
+}
+
+// TestChainMatchesInterp is the chain-level property test: for random
+// expression trees (narrow and wide), the fused chain — superinstructions,
+// width classes, and all — must leave the machine in the exact state the
+// interpreter leaves it in, every word including temporaries. It also pins
+// that fusion only ever shrinks the closure count, never the semantics.
+func TestChainMatchesInterp(t *testing.T) {
+	for seed := int64(300); seed < 360; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		b := ir.NewBuilder(fmt.Sprintf("c%d", seed))
+		var inputs []*ir.Node
+		vals := map[*ir.Node]bitvec.BV{}
+		for i := 0; i < 4; i++ {
+			w := 1 + rng.Intn(130)
+			in := b.Input(fmt.Sprintf("i%d", i), w)
+			inputs = append(inputs, in)
+			v := bitvec.New(w)
+			for j := range v.W {
+				v.W[j] = rng.Uint64()
+			}
+			vals[in] = bitvec.FromWords(w, v.W)
+		}
+		e := randExpr(rng, b, inputs, 6)
+		p, _ := compileExpr(t, inputs, b.G, e)
+
+		mi := NewMachine(p)
+		mb := NewMachine(p)
+		bfns := p.CompileChainBound(mb, p.Instrs)
+		if len(bfns) > len(p.Instrs) {
+			t.Fatalf("seed %d: chain grew: %d closures for %d instructions", seed, len(bfns), len(p.Instrs))
+		}
+		for _, in := range inputs {
+			mi.Poke(in.ID, vals[in])
+			mb.Poke(in.ID, vals[in])
+		}
+		mi.Exec(0, int32(len(p.Instrs)))
+		for _, f := range bfns {
+			f()
+		}
+		for w := range mi.State {
+			if mi.State[w] != mb.State[w] {
+				t.Fatalf("seed %d: state word %d: interp %#x vs bound chain %#x\nexpr: %s",
+					seed, w, mi.State[w], mb.State[w], e)
+			}
+		}
 	}
 }

@@ -114,10 +114,12 @@ type Program struct {
 	Init     []uint64 // initial state image: const pool + register init values
 	Instrs   []Instr
 
-	// Kernels is the closure-threaded form of Instrs: one pre-bound closure
-	// per instruction, built on demand by BuildKernels. nil until an engine
-	// selects kernel evaluation.
-	Kernels []KernelFn
+	// KernelsBase is the pre-fusion, pre-width-class kernel table — the
+	// benchmarking baseline behind -eval kernel-nofuse (engines on the
+	// default kernel path compile machine-bound chains instead, see
+	// CompileChainBound). Built on demand by BuildKernelsBase; nil
+	// otherwise.
+	KernelsBase []KernelFn
 
 	// Per node-ID tables (indexed by ir.Node.ID).
 	Code    []Range // instruction range evaluating the node

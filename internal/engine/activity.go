@@ -197,9 +197,9 @@ func NewActivity(p *emit.Program, part *partition.Result, cfg ActivityConfig, mo
 	a.activationPlan = buildActivationPlan(p, part, cfg, a.resets)
 	a.active = make([]uint64, (part.Count()+63)/64)
 	scratchWords := a.maxWords
-	if mode == EvalKernel {
+	if mode != EvalInterp {
 		var kw int32
-		a.supKerns, kw = buildSupKernels(p, a.activationPlan)
+		a.supKerns, kw = buildSupKernels(p, a.m, a.activationPlan, mode)
 		if kw > scratchWords {
 			scratchWords = kw
 		}
@@ -325,9 +325,7 @@ func (a *Activity) evalSupernodeKernel(s int32) {
 	for _, t := range sk.track {
 		copy(scr[t.scr:t.scr+t.w], st[t.off:t.off+t.w])
 	}
-	for _, f := range sk.fns {
-		f(st, m)
-	}
+	sk.sweep(st, m)
 	a.stats.NodeEvals += sk.nodes
 	a.countInstrs(sk.instrs)
 	for _, t := range sk.track {

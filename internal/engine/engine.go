@@ -68,7 +68,7 @@ func (s *Stats) ActivityFactor() float64 {
 type base struct {
 	g      *ir.Graph
 	m      *emit.Machine
-	exec   func(start, end int32) // bound to Machine.ExecKernel or Machine.Exec
+	exec   func(start, end int32) // bound to Machine.Exec or Machine.ExecKernelBase
 	regs   []int32                // register node IDs
 	writes []int32                // memory write-port node IDs
 	coded  []int32                // all node IDs with evaluation work, in ID (== topo) order
@@ -88,11 +88,19 @@ type resetGroup struct {
 
 func newBase(p *emit.Program, mode EvalMode) base {
 	b := base{g: p.Graph, m: emit.NewMachine(p)}
-	if mode == EvalInterp {
+	switch mode {
+	case EvalInterp:
 		b.exec = b.m.Exec
-	} else {
-		p.BuildKernels()
-		b.exec = b.m.ExecKernel
+	case EvalKernelNoFuse:
+		p.BuildKernelsBase()
+		b.exec = b.m.ExecKernelBase
+	default:
+		// EvalKernel engines execute bound chains compiled against their own
+		// machine (FullCycle's whole-stream chain, Parallel's per-chunk
+		// chains, the activity engines' supernode chains); exec stays bound
+		// to the interpreter as the semantically identical fallback for any
+		// cold range-execution path.
+		b.exec = b.m.Exec
 	}
 	bySig := map[int32]int{}
 	for _, n := range p.Graph.Nodes {

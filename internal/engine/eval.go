@@ -12,21 +12,32 @@ import (
 type EvalMode uint8
 
 const (
-	// EvalKernel (the default) runs pre-bound closure kernels — one closure
-	// per instruction with opcode dispatch, operand offsets, widths, and
-	// masks resolved at build time, fused per supernode so a supernode is a
-	// single closure sweep with no range lookups.
+	// EvalKernel (the default) runs the full kernel-compiling pipeline:
+	// pre-bound closures with opcode dispatch, operand offsets, widths, and
+	// masks resolved at build time, superinstruction fusion over adjacent
+	// two-instruction idioms, width-class-specialized 2-word kernels for the
+	// 65-128-bit range, and chains fused per supernode (and per chunk, where
+	// the engine sweeps chunks) so a sweep has no range lookups.
 	EvalKernel EvalMode = iota
 	// EvalInterp runs the reference switch-dispatch interpreter
 	// (emit.Machine.Exec). It is the semantic baseline the kernel path is
 	// pinned against, and the fallback to reach for when debugging.
 	EvalInterp
+	// EvalKernelNoFuse runs the PR-2 kernel path: one closure per
+	// instruction, no superinstruction fusion, no width classes, no chunk
+	// batching. It exists as the measurable baseline for the fused pipeline
+	// (BenchmarkKernelVsInterp's kernel vs kernel-nofuse rows) and stays in
+	// the conformance matrix so the baseline keeps working.
+	EvalKernelNoFuse
 )
 
 // String returns the flag spelling of the mode.
 func (m EvalMode) String() string {
-	if m == EvalInterp {
+	switch m {
+	case EvalInterp:
 		return "interp"
+	case EvalKernelNoFuse:
+		return "kernel-nofuse"
 	}
 	return "kernel"
 }
@@ -38,8 +49,10 @@ func ParseEvalMode(s string) (EvalMode, error) {
 		return EvalKernel, nil
 	case "interp":
 		return EvalInterp, nil
+	case "kernel-nofuse":
+		return EvalKernelNoFuse, nil
 	}
-	return 0, fmt.Errorf("unknown eval mode %q (want kernel or interp)", s)
+	return 0, fmt.Errorf("unknown eval mode %q (want kernel, kernel-nofuse, or interp)", s)
 }
 
 // supKernel is one supernode compiled to closure-threaded form: the members'
@@ -47,9 +60,13 @@ func ParseEvalMode(s string) (EvalMode, error) {
 // the essential-signal sweep needs (old-value parking for change detection,
 // register pending checks). Executing a supernode is then one scratch copy
 // pass, one closure sweep, and one diff/activate pass — no per-member range
-// lookups and no per-instruction dispatch.
+// lookups and no per-instruction dispatch. Under EvalKernel the chain is the
+// bound form (superinstructions, width classes, operand pointers resolved
+// into the engine's machine); under EvalKernelNoFuse it is the
+// per-instruction baseline table.
 type supKernel struct {
-	fns    []emit.KernelFn
+	fns    []emit.BoundFn  // EvalKernel: fused bound chain
+	kfns   []emit.KernelFn // EvalKernelNoFuse: baseline closures
 	instrs uint64
 	nodes  uint64
 	track  []trackSlot
@@ -66,27 +83,43 @@ type trackSlot struct {
 }
 
 // buildSupKernels fuses every supernode of the activation plan into its
-// kernel form. The returned scratch size (in words) is the widest per-
-// supernode old-value parking area; callers size their scratch buffers to
-// max(plan.maxWords, scratchWords) so both evaluation paths fit.
+// kernel form. Under EvalKernel each supernode's concatenated member
+// instructions are compiled as one bound chain with superinstruction fusion
+// and width-class specialization (emit.Program.CompileChainBound); under
+// EvalKernelNoFuse the per-instruction baseline table is concatenated
+// unchanged (the PR-2 shape). The returned scratch size (in words) is the
+// widest per-supernode old-value parking area; callers size their scratch
+// buffers to max(plan.maxWords, scratchWords) so both evaluation paths fit.
 //
 // Correctness of the "park all old values up front" shape: a member's value
 // slot is written only by that member's own instructions, so earlier members
 // of the supernode cannot clobber a later member's pre-sweep value — parking
 // everything before the fused sweep observes exactly the values the
-// interpreter's interleaved copy-eval-diff loop observes.
-func buildSupKernels(p *emit.Program, pl *activationPlan) ([]supKernel, int32) {
-	p.BuildKernels()
+// interpreter's interleaved copy-eval-diff loop observes. Fusion across
+// member boundaries inside the chain is safe for the same reason: a fused
+// closure performs exactly the stores of its two source instructions in
+// order.
+func buildSupKernels(p *emit.Program, m *emit.Machine, pl *activationPlan, mode EvalMode) ([]supKernel, int32) {
+	fuse := mode != EvalKernelNoFuse
+	if !fuse {
+		p.BuildKernelsBase()
+	}
 	nSups := len(pl.supStart) - 1
 	sups := make([]supKernel, nSups)
 	scratchWords := int32(1)
+	var chain []emit.Instr
 	for s := 0; s < nSups; s++ {
 		sk := &sups[s]
 		var scr int32
+		chain = chain[:0]
 		for k := pl.supStart[s]; k < pl.supStart[s+1]; k++ {
 			id := pl.members[k]
 			code := p.Code[id]
-			sk.fns = append(sk.fns, p.Kernels[code.Start:code.End]...)
+			if fuse {
+				chain = append(chain, p.Instrs[code.Start:code.End]...)
+			} else {
+				sk.kfns = append(sk.kfns, p.KernelsBase[code.Start:code.End]...)
+			}
 			sk.instrs += uint64(code.Len())
 			sk.nodes++
 			switch pl.kind[id] {
@@ -101,9 +134,25 @@ func buildSupKernels(p *emit.Program, pl *activationPlan) ([]supKernel, int32) {
 				scr += w
 			}
 		}
+		if fuse {
+			sk.fns = p.CompileChainBound(m, chain)
+		}
 		if scr > scratchWords {
 			scratchWords = scr
 		}
 	}
 	return sups, scratchWords
+}
+
+// sweep runs the supernode's compiled chain, whichever form it was built in.
+func (sk *supKernel) sweep(st []uint64, m *emit.Machine) {
+	if sk.fns != nil {
+		for _, f := range sk.fns {
+			f()
+		}
+		return
+	}
+	for _, f := range sk.kfns {
+		f(st, m)
+	}
 }

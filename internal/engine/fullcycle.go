@@ -12,6 +12,11 @@ import (
 // memory commit.
 type FullCycle struct {
 	base
+	// chain is the whole instruction stream compiled as one fused bound
+	// chain (superinstructions, width classes, operand pointers resolved
+	// into this engine's machine). nil unless mode is EvalKernel; the other
+	// modes sweep through base.exec.
+	chain      []emit.BoundFn
 	memScratch []int32
 }
 
@@ -19,9 +24,13 @@ type FullCycle struct {
 // program's graph must have been compacted in topological order (core.Build
 // guarantees this). In kernel mode (the default) the whole instruction
 // stream is one fused closure sweep; EvalInterp selects the reference
-// interpreter.
+// interpreter and EvalKernelNoFuse the per-instruction baseline table.
 func NewFullCycle(p *emit.Program, mode EvalMode) *FullCycle {
-	return &FullCycle{base: newBase(p, mode)}
+	f := &FullCycle{base: newBase(p, mode)}
+	if mode == EvalKernel {
+		f.chain = p.CompileChainBound(f.m, p.Instrs)
+	}
+	return f
 }
 
 // Reset restores initial state.
@@ -32,7 +41,13 @@ func (f *FullCycle) Reset() {
 // Step simulates one cycle.
 func (f *FullCycle) Step() {
 	f.stats.Cycles++
-	f.exec(0, int32(len(f.m.Prog.Instrs)))
+	if f.chain != nil {
+		for _, fn := range f.chain {
+			fn()
+		}
+	} else {
+		f.exec(0, int32(len(f.m.Prog.Instrs)))
+	}
 	f.stats.NodeEvals += uint64(len(f.coded))
 	f.countInstrs(uint64(len(f.m.Prog.Instrs)))
 	f.commitRegs()

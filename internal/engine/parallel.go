@@ -12,14 +12,17 @@ import (
 // thing, the fixed per-level synchronization cost means small designs slow
 // down while large designs speed up — the shape Fig. 6 reports.
 //
-// In kernel mode every (level, worker) chunk is fused into one closure
-// slice, so a worker's share of a level is a single sweep with no per-node
-// range lookups and no per-instruction dispatch.
+// In kernel mode every (level, worker) chunk is fused into one bound closure
+// chain (superinstructions, width classes, operand pointers pre-resolved),
+// so a worker's share of a level is a single sweep with no per-node range
+// lookups and no per-instruction dispatch; kernel-nofuse keeps the PR-2
+// per-instruction closure concatenation.
 type Parallel struct {
 	base
 	threads    int
 	chunks     [][][]int32         // level -> worker -> node IDs
-	fused      [][][]emit.KernelFn // kernel mode: level -> worker -> fused closures
+	fusedB     [][][]emit.BoundFn  // EvalKernel: level -> worker -> bound chain
+	fused      [][][]emit.KernelFn // EvalKernelNoFuse: baseline closures
 	pool       *workerPool
 	memScratch []int32
 }
@@ -57,7 +60,27 @@ func NewParallel(p *emit.Program, byLevel [][]int32, threads int, mode EvalMode)
 		}
 		e.chunks = append(e.chunks, chunk)
 	}
-	if mode == EvalKernel {
+	switch mode {
+	case EvalKernel:
+		// Each (level, worker) chunk's concatenated member instructions
+		// compile into one bound chain: superinstruction fusion, width
+		// classes, operand pointers resolved into this engine's machine.
+		e.fusedB = make([][][]emit.BoundFn, len(e.chunks))
+		var chain []emit.Instr
+		for lv, chunk := range e.chunks {
+			e.fusedB[lv] = make([][]emit.BoundFn, threads)
+			for w, ids := range chunk {
+				chain = chain[:0]
+				for _, id := range ids {
+					r := p.Code[id]
+					chain = append(chain, p.Instrs[r.Start:r.End]...)
+				}
+				e.fusedB[lv][w] = p.CompileChainBound(e.m, chain)
+			}
+		}
+	case EvalKernelNoFuse:
+		// The PR-2 shape: the per-instruction baseline table concatenated
+		// per chunk.
 		e.fused = make([][][]emit.KernelFn, len(e.chunks))
 		for lv, chunk := range e.chunks {
 			e.fused[lv] = make([][]emit.KernelFn, threads)
@@ -65,7 +88,7 @@ func NewParallel(p *emit.Program, byLevel [][]int32, threads int, mode EvalMode)
 				var fns []emit.KernelFn
 				for _, id := range ids {
 					r := p.Code[id]
-					fns = append(fns, p.Kernels[r.Start:r.End]...)
+					fns = append(fns, p.KernelsBase[r.Start:r.End]...)
 				}
 				e.fused[lv][w] = fns
 			}
@@ -77,6 +100,12 @@ func NewParallel(p *emit.Program, byLevel [][]int32, threads int, mode EvalMode)
 
 // runLevel executes worker w's chunk of level lv.
 func (e *Parallel) runLevel(w, lv int) {
+	if e.fusedB != nil {
+		for _, f := range e.fusedB[lv][w] {
+			f()
+		}
+		return
+	}
 	if e.fused != nil {
 		st := e.m.State
 		for _, f := range e.fused[lv][w] {

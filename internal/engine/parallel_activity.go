@@ -60,6 +60,12 @@ type ParallelActivity struct {
 	// Kernel mode: per-supernode fused closure chains. nil under EvalInterp.
 	supKerns []supKernel
 
+	// batches is the per-shard kernel batching fast path (EvalKernel with
+	// MultiBitCheck only): for each active word whose supernodes all need no
+	// change tracking, their chains pre-concatenated into one sweep. nil
+	// when batching is off; a zero full mask marks a non-batchable word.
+	batches []wordBatch
+
 	pendingFlag  []bool
 	memReadSlots [][]slotMask
 	memScratch   []int32
@@ -72,6 +78,22 @@ type ParallelActivity struct {
 type slotMask struct {
 	word int32
 	mask uint64
+}
+
+// wordBatch is one active word's supernodes concatenated into a single
+// closure sweep — the per-shard kernel batching of a (shard, level) chunk.
+// A word qualifies when none of its supernodes has change-tracked members
+// (no comb or memory-read nodes, so the sweep produces no activations); the
+// fast path fires when the word is fully active, replacing per-bit dispatch
+// with one chain sweep plus bulk stat accounting, exactly equivalent to
+// evaluating the supernodes bit by bit.
+type wordBatch struct {
+	full   uint64 // mask of populated slots; 0 = word not batchable
+	count  uint64 // populated slot count (popcount of full)
+	fns    []emit.BoundFn
+	nodes  uint64
+	instrs uint64
+	regs   []int32
 }
 
 // paWorker is one worker's private state: scratch buffer, pending-register
@@ -182,11 +204,14 @@ func NewParallelActivity(p *emit.Program, part *partition.Result, cfg ActivityCo
 	}
 
 	scratchWords := e.maxWords
-	if mode == EvalKernel {
+	if mode != EvalInterp {
 		var kw int32
-		e.supKerns, kw = buildSupKernels(p, e.activationPlan)
+		e.supKerns, kw = buildSupKernels(p, e.m, e.activationPlan, mode)
 		if kw > scratchWords {
 			scratchWords = kw
+		}
+		if mode == EvalKernel && cfg.MultiBitCheck {
+			e.batches = e.buildWordBatches()
 		}
 	}
 	e.ws = make([]*paWorker, threads)
@@ -197,6 +222,44 @@ func NewParallelActivity(p *emit.Program, part *partition.Result, cfg ActivityCo
 
 	e.activateAll()
 	return e
+}
+
+// buildWordBatches derives the per-shard batching table: one entry per
+// active word, populated when every supernode in the word is free of
+// change-tracked members. Chunk padding guarantees a word never spans two
+// (shard, level) chunks, so a batch is always a slice of one chunk and the
+// sweep order (ascending slot) matches per-bit dispatch exactly.
+func (e *ParallelActivity) buildWordBatches() []wordBatch {
+	batches := make([]wordBatch, len(e.active))
+	for wi := range batches {
+		ba := &batches[wi]
+		var sups []int32
+		ok := true
+		for b := 0; b < 64; b++ {
+			s := e.slotSup[wi<<6+b]
+			if s < 0 {
+				continue // padding tail
+			}
+			sups = append(sups, s)
+			ba.full |= uint64(1) << uint(b)
+			if len(e.supKerns[s].track) != 0 {
+				ok = false
+			}
+		}
+		if !ok || len(sups) == 0 {
+			*ba = wordBatch{}
+			continue
+		}
+		ba.count = uint64(len(sups))
+		for _, s := range sups {
+			sk := &e.supKerns[s]
+			ba.fns = append(ba.fns, sk.fns...)
+			ba.nodes += sk.nodes
+			ba.instrs += sk.instrs
+			ba.regs = append(ba.regs, sk.regs...)
+		}
+	}
+	return batches
 }
 
 func (e *ParallelActivity) slotOf(sup int32) slotMask {
@@ -283,6 +346,12 @@ func (e *ParallelActivity) runLevel(w, lv int) {
 	for wi := lo; wi < hi; wi++ {
 		word := e.active[wi]
 		e.active[wi] = 0
+		if e.batches != nil {
+			if ba := &e.batches[wi]; ba.full != 0 && word == ba.full {
+				ws.runBatch(ba)
+				continue
+			}
+		}
 		if e.cfg.MultiBitCheck {
 			// Listing 4 applied per shard: one test clears 64 bits.
 			ws.examinations++
@@ -303,6 +372,30 @@ func (e *ParallelActivity) runLevel(w, lv int) {
 					ws.evalSupernode(s)
 				}
 			}
+		}
+	}
+}
+
+// runBatch sweeps a fully-active word's concatenated supernode chains in one
+// pass. Stat accounting mirrors the per-bit path exactly: one examination
+// for the word test plus one per set bit, then the pre-summed node and
+// instruction counts; the supernodes have no tracked members, so the only
+// per-member bookkeeping left is the register pending check.
+func (ws *paWorker) runBatch(ba *wordBatch) {
+	e := ws.e
+	ws.examinations += 1 + ba.count
+	m := e.m
+	st := m.State
+	for _, f := range ba.fns {
+		f()
+	}
+	ws.nodeEvals += ba.nodes
+	ws.instrs += ba.instrs
+	p := m.Prog
+	for _, id := range ba.regs {
+		if !e.pendingFlag[id] && !wordsEqual(st, p.Off[id], p.NextOff[id], p.WordsOf[id]) {
+			e.pendingFlag[id] = true
+			ws.pending = append(ws.pending, id)
 		}
 	}
 }
@@ -358,9 +451,7 @@ func (ws *paWorker) evalSupernodeKernel(s int32) {
 	for _, t := range sk.track {
 		copy(scr[t.scr:t.scr+t.w], st[t.off:t.off+t.w])
 	}
-	for _, f := range sk.fns {
-		f(st, m)
-	}
+	sk.sweep(st, m)
 	ws.nodeEvals += sk.nodes
 	ws.instrs += sk.instrs
 	for _, t := range sk.track {
@@ -442,3 +533,18 @@ func (e *ParallelActivity) commit() {
 // exited. It must not be called concurrently with Step; calling it more than
 // once is safe.
 func (e *ParallelActivity) Close() { e.pool.Close() }
+
+// Shard exposes the engine's thread-shard view (chunk membership and weight
+// metadata) for diagnostics.
+func (e *ParallelActivity) Shard() *partition.ShardView { return e.shard }
+
+// BatchedWords reports how many active words qualified for per-shard kernel
+// batching (0 when batching is off: interp/nofuse mode or no MultiBitCheck).
+func (e *ParallelActivity) BatchedWords() (batched, total int) {
+	for i := range e.batches {
+		if e.batches[i].full != 0 {
+			batched++
+		}
+	}
+	return batched, len(e.active)
+}

@@ -18,9 +18,10 @@ type Budget struct {
 	WarmupCycles int
 	TimedCycles  int
 
-	// Eval is applied to every configuration the experiments build: kernel
-	// (zero value, default) or the reference interpreter (cmd/gsim-bench
-	// -eval interp).
+	// Eval is applied to every configuration the experiments build: the
+	// fused kernel pipeline (zero value, default), the pre-fusion kernel
+	// baseline (cmd/gsim-bench -eval kernel-nofuse), or the reference
+	// interpreter (-eval interp).
 	Eval engine.EvalMode
 }
 

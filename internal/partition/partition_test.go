@@ -228,6 +228,29 @@ func checkShardInvariants(t *testing.T, g *ir.Graph, r *Result, v *ShardView) {
 	if len(seen) != r.Count() {
 		t.Fatalf("shard view covers %d supernodes, want %d", len(seen), r.Count())
 	}
+	// Chunk metadata: one weight row per level, one entry per shard; an
+	// empty chunk weighs zero and a populated chunk weighs at least its
+	// supernode count under the default (per-node) weighting, at least zero
+	// under any custom weighting.
+	if len(v.ChunkWeight) != v.Levels {
+		t.Fatalf("ChunkWeight has %d levels, want %d", len(v.ChunkWeight), v.Levels)
+	}
+	for lv, ws := range v.ChunkWeight {
+		if len(ws) != v.Threads {
+			t.Fatalf("ChunkWeight level %d has %d entries, want %d", lv, len(ws), v.Threads)
+		}
+		for w, weight := range ws {
+			if len(v.Chunks[lv][w]) == 0 && weight != 0 {
+				t.Fatalf("empty chunk (%d,%d) has weight %d", lv, w, weight)
+			}
+			if weight < 0 {
+				t.Fatalf("chunk (%d,%d) has negative weight %d", lv, w, weight)
+			}
+		}
+	}
+	if im := v.Imbalance(); im < 1.0 {
+		t.Fatalf("Imbalance() = %v, must be >= 1", im)
+	}
 	for _, n := range g.Nodes {
 		if n == nil || !n.HasCode() {
 			continue

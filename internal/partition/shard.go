@@ -20,6 +20,36 @@ type ShardView struct {
 	LevelOf []int32     // supernode -> level
 	ShardOf []int32     // supernode -> shard
 	Chunks  [][][]int32 // level -> shard -> supernode IDs, ascending
+
+	// ChunkWeight is the per-chunk metadata the assignment balanced:
+	// ChunkWeight[level][shard] is the summed evaluation weight of that
+	// chunk's supernodes. Engines use it to size batched kernel chains and
+	// diagnostics use it to report shard imbalance (Imbalance).
+	ChunkWeight [][]int64
+}
+
+// Imbalance reports the worst per-level load ratio: max over levels of
+// (heaviest chunk / mean chunk weight), weighted toward the levels that
+// carry work. 1.0 is a perfect split; levels with no weight are skipped.
+func (v *ShardView) Imbalance() float64 {
+	worst := 1.0
+	for _, ws := range v.ChunkWeight {
+		var total, max int64
+		for _, w := range ws {
+			total += w
+			if w > max {
+				max = w
+			}
+		}
+		if total == 0 {
+			continue
+		}
+		mean := float64(total) / float64(len(ws))
+		if r := float64(max) / mean; r > worst {
+			worst = r
+		}
+	}
+	return worst
 }
 
 // Shard builds the thread-shard view of the partition. nodeWeight gives the
@@ -88,6 +118,7 @@ func (r *Result) Shard(g *ir.Graph, threads int, nodeWeight func(id int32) int64
 		byLevel[v.LevelOf[s]] = append(byLevel[v.LevelOf[s]], s)
 	}
 	v.Chunks = make([][][]int32, v.Levels)
+	v.ChunkWeight = make([][]int64, v.Levels)
 	load := make([]int64, threads)
 	for lv, sups := range byLevel {
 		ordered := make([]int32, len(sups))
@@ -111,6 +142,7 @@ func (r *Result) Shard(g *ir.Graph, threads int, nodeWeight func(id int32) int64
 		for w := 0; w < threads; w++ {
 			sortInt32(v.Chunks[lv][w])
 		}
+		v.ChunkWeight[lv] = append([]int64(nil), load...)
 	}
 	return v
 }
