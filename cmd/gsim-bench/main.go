@@ -2,9 +2,10 @@
 //
 // Usage:
 //
-//	gsim-bench -exp table1|fig6|gsimmt|fig7|fig8|fig9|table3|table4|all [-quick] [-cycles N]
-//	           [-threads 1,2,4,8]   thread counts for the gsimmt sweep
+//	gsim-bench -exp table1|fig6|gsimmt|coarsen|fig7|fig8|fig9|table3|table4|all [-quick] [-cycles N]
+//	           [-threads 1,2,4,8]   thread counts for the gsimmt and coarsen sweeps
 //	           [-eval kernel|kernel-nofuse|interp] evaluation mode for every measured config
+//	           [-coarsen]           adaptive level coarsening for every measured config
 //
 // Results print as text tables in the paper's layout; EXPERIMENTS.md records
 // a full run with commentary.
@@ -23,12 +24,13 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, fig6, gsimmt, fig7, fig8, fig9, table3, table4, all")
+	exp := flag.String("exp", "all", "experiment: table1, fig6, gsimmt, coarsen, fig7, fig8, fig9, table3, table4, all")
 	quick := flag.Bool("quick", false, "small designs and short measurements (smoke run)")
 	medium := flag.Bool("medium", false, "stucore + rocket-scale designs, full budget (the EXPERIMENTS.md tier)")
 	cycles := flag.Int("cycles", 0, "override timed cycles per measurement")
-	threadList := flag.String("threads", "1,2,4,8", "comma-separated thread counts for the gsimmt sweep")
+	threadList := flag.String("threads", "1,2,4,8", "comma-separated thread counts for the gsimmt and coarsen sweeps")
 	evalName := flag.String("eval", "kernel", "instruction evaluation for every measured config: kernel, kernel-nofuse, or interp")
+	coarsen := flag.Bool("coarsen", false, "adaptive level coarsening for every measured config")
 	flag.Parse()
 
 	threadCounts, err := parseThreads(*threadList)
@@ -63,6 +65,7 @@ func main() {
 		budget.TimedCycles = *cycles
 	}
 	budget.Eval = evalMode
+	budget.Coarsen = *coarsen
 
 	run := func(name string, f func() error) {
 		if *exp != "all" && *exp != name {
@@ -98,6 +101,14 @@ func main() {
 			return err
 		}
 		harness.RenderGSIMMT(os.Stdout, rows)
+		return nil
+	})
+	run("coarsen", func() error {
+		rows, err := harness.CoarsenSweep(designs, threadCounts, budget)
+		if err != nil {
+			return err
+		}
+		harness.RenderCoarsen(os.Stdout, rows)
 		return nil
 	})
 	run("fig7", func() error {

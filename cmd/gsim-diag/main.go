@@ -9,6 +9,7 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -18,6 +19,7 @@ import (
 	"gsim/internal/gen"
 	"gsim/internal/harness"
 	"gsim/internal/partition"
+	"gsim/internal/trace"
 )
 
 func main() {
@@ -44,8 +46,14 @@ func main() {
 	gnf.Name = "gsim-nofuse"
 	gnf.Eval = engine.EvalKernelNoFuse
 	cfgs = append(cfgs, gi, gnf)
-	// The multi-threaded engine, to report shard balance and batching reach.
+	// The multi-threaded engine, to report shard balance and batching reach,
+	// and its coarsened twin, to report the schedule delta (levels before ->
+	// after merging; one barrier per scheduled level per cycle).
 	cfgs = append(cfgs, core.GSIMMT(2))
+	gco := core.GSIMMT(2)
+	gco.Name = "gsim-2T-coarsen"
+	gco.Activity.Coarsen = true
+	cfgs = append(cfgs, gco)
 	// add gsim variants
 	g2 := core.GSIM()
 	g2.Name = "gsim-mffc"
@@ -85,7 +93,6 @@ func main() {
 		if sys.Part != nil {
 			nsup = sys.Part.Count()
 		}
-		_ = nsup
 		// instr/cyc reads the machine's retired counter, which must agree
 		// with the engine stats in every evaluation mode.
 		if ex := sys.Sim.Machine().Executed; ex != st.InstrsExecuted {
@@ -94,11 +101,47 @@ func main() {
 		extra := ""
 		if pa, ok := sys.Sim.(*engine.ParallelActivity); ok {
 			batched, total := pa.BatchedWords()
-			extra = fmt.Sprintf(" imbalance=%.2f batchwords=%d/%d", pa.Shard().Imbalance(), batched, total)
+			sv := pa.Shard()
+			extra = fmt.Sprintf(" imbalance=%.2f batchwords=%d/%d levels=%d->%d barriers/cyc=%d",
+				sv.Imbalance(), batched, total, sv.OrigLevels, sv.Levels, sv.Levels)
 		}
 		fmt.Printf("%-16s nodes=%-6d sups=%-6d af=%.4f evals/cyc=%-7d exam/cyc=%-7d act/cyc=%-6d instr/cyc=%-8d speed=%.1fkHz%s\n",
 			cfg.Name, gstats.Nodes, nsup, st.ActivityFactor(),
 			st.NodeEvals/st.Cycles, st.Examinations/st.Cycles, st.Activations/st.Cycles, sys.Sim.Machine().Executed/st.Cycles, hz/1000, extra)
+		sys.Close()
+	}
+
+	// Traced throughput: the same engine with waveform capture through the
+	// synchronous coordinator-side writer vs the async pipeline (both to a
+	// discarding sink, so the comparison isolates where the formatting work
+	// runs, not disk speed). The async number must not trail the sync one.
+	for _, mode := range []struct {
+		name string
+		opt  trace.Options
+	}{
+		{"sync", trace.Options{Sync: true}},
+		{"async", trace.Options{}},
+	} {
+		sys, drive, err := harness.BuildSystemForDiag(d, "coremark", core.GSIM())
+		if err != nil {
+			panic(err)
+		}
+		tr, err := trace.NewVCD(io.Discard, sys.Prog, nil, mode.opt)
+		if err != nil {
+			panic(err)
+		}
+		sys.Sim.(interface{ AttachTracer(engine.Tracer) }).AttachTracer(tr)
+		start := time.Now()
+		n := 400
+		for c := 0; c < n; c++ {
+			drive(sys.Sim, c)
+			sys.Sim.Step()
+		}
+		hz := float64(n) / time.Since(start).Seconds()
+		if err := tr.Close(); err != nil {
+			panic(err)
+		}
+		fmt.Printf("traced-%-10s speed=%.1fkHz\n", mode.name, hz/1000)
 		sys.Close()
 	}
 

@@ -14,9 +14,14 @@
 //	                                          (parallel essential-signal), verilator
 //	                                          -> Verilator-MT (parallel full-cycle)
 //	-cycles N                                 cycles to simulate
+//	-coarsen                                  merge sparse schedule levels (GSIMMT):
+//	                                          fewer barriers per cycle on deep designs
 //	-max-supernode N                          supernode size cap (paper Fig. 9)
 //	-poke name=value                          set an input before simulation (repeatable)
 //	-watch name                               print a node's value every cycle (repeatable)
+//	-vcd file.vcd                             dump a waveform through the async pipeline
+//	-vcd-sync                                 format the waveform on the coordinator
+//	                                          instead (the pre-pipeline behavior)
 //	-stats                                    print engine counters and build info
 //
 // Example:
@@ -34,6 +39,7 @@ import (
 	"gsim/internal/core"
 	"gsim/internal/engine"
 	"gsim/internal/firrtl"
+	"gsim/internal/trace"
 )
 
 type repeated []string
@@ -46,9 +52,11 @@ func main() {
 	evalName := flag.String("eval", "kernel", "instruction evaluation: kernel (fused pipeline, default), kernel-nofuse (pre-fusion baseline), or interp (reference interpreter)")
 	threads := flag.Int("threads", 0, "worker count: gsim -> parallel essential-signal (GSIMMT), verilator -> parallel full-cycle")
 	cycles := flag.Int("cycles", 10, "cycles to simulate")
+	coarsen := flag.Bool("coarsen", false, "adaptive level coarsening: merge sparse schedule levels (parallel essential-signal engine)")
 	maxSup := flag.Int("max-supernode", 0, "maximum supernode size (0 = default)")
 	showStats := flag.Bool("stats", false, "print engine counters and build info")
 	vcdPath := flag.String("vcd", "", "dump a VCD waveform of inputs/outputs/registers to this file")
+	vcdSync := flag.Bool("vcd-sync", false, "format the waveform synchronously on the coordinator instead of the async pipeline")
 	var pokes, watches repeated
 	flag.Var(&pokes, "poke", "input assignment name=value (repeatable)")
 	flag.Var(&watches, "watch", "node to print every cycle (repeatable)")
@@ -96,6 +104,7 @@ func main() {
 		fatal(err)
 	}
 	cfg.Eval = evalMode
+	cfg.Activity.Coarsen = *coarsen
 	if *maxSup > 0 {
 		cfg.MaxSupernode = *maxSup
 	}
@@ -108,6 +117,11 @@ func main() {
 	if sys.Part != nil {
 		fmt.Printf("partition: %d supernodes (avg %.1f nodes, cut %d)\n",
 			sys.Part.Count(), sys.Part.AvgSize(), sys.Part.CutEdges)
+	}
+	if pa, ok := sys.Sim.(*engine.ParallelActivity); ok {
+		sv := pa.Shard()
+		fmt.Printf("schedule: %d levels (%d before coarsening), %d barriers/cycle\n",
+			sv.Levels, sv.OrigLevels, sv.Levels)
 	}
 
 	for _, p := range pokes {
@@ -126,18 +140,22 @@ func main() {
 		sys.Sim.Poke(n.ID, bv)
 	}
 
-	var vcd *engine.VCD
+	// Waveform capture routes through the async pipeline by default: the
+	// engine snapshots state at the end of each Step and a writer goroutine
+	// formats behind it, so tracing no longer serializes the (parallel)
+	// sweep. -vcd-sync restores coordinator-side formatting.
+	var tracer *trace.VCD
 	if *vcdPath != "" {
 		f, err := os.Create(*vcdPath)
 		if err != nil {
 			fatal(err)
 		}
 		defer f.Close()
-		vcd, err = engine.NewVCD(f, sys.Sim, sys.Graph, nil)
+		tracer, err = trace.NewVCD(f, sys.Prog, nil, trace.Options{Sync: *vcdSync})
 		if err != nil {
 			fatal(err)
 		}
-		defer vcd.Close()
+		sys.Sim.(interface{ AttachTracer(engine.Tracer) }).AttachTracer(tracer)
 	}
 
 	watchIDs := map[string]int{}
@@ -151,8 +169,12 @@ func main() {
 
 	for c := 0; c < *cycles; c++ {
 		sys.Sim.Step()
-		if vcd != nil {
-			vcd.Sample()
+		if tracer != nil {
+			select {
+			case err := <-tracer.Err():
+				fatal(fmt.Errorf("vcd: %v", err))
+			default:
+			}
 		}
 		if len(watchIDs) > 0 {
 			fmt.Printf("cycle %4d:", c)
@@ -160,6 +182,12 @@ func main() {
 				fmt.Printf(" %s=%s", wname, sys.Sim.Peek(watchIDs[wname]))
 			}
 			fmt.Println()
+		}
+	}
+
+	if tracer != nil {
+		if err := tracer.Close(); err != nil {
+			fatal(fmt.Errorf("vcd: %v", err))
 		}
 	}
 

@@ -120,6 +120,13 @@ func FuzzKernelLockstep(f *testing.F) {
 		defer sysK.Close()
 		simNF := engine.NewActivity(sysK.Prog, sysK.Part, sysK.Config.Activity, engine.EvalKernelNoFuse)
 		simI := engine.NewActivity(sysK.Prog, sysK.Part, sysK.Config.Activity, engine.EvalInterp)
+		// The coarsening axis: the merged-level schedule at its most
+		// aggressive grain, two workers, must track the same trajectory.
+		coarseCfg := sysK.Config.Activity
+		coarseCfg.Coarsen = true
+		coarseCfg.CoarsenGrain = 1 << 30
+		simC := engine.NewParallelActivity(sysK.Prog, sysK.Part, coarseCfg, 2, engine.EvalKernel)
+		defer simC.Close()
 		ref, err := engine.NewReference(sysK.Graph)
 		if err != nil {
 			t.Fatal(err)
@@ -146,15 +153,18 @@ func FuzzKernelLockstep(f *testing.F) {
 				sysK.Sim.Poke(in.ID, v)
 				simNF.Poke(in.ID, v)
 				simI.Poke(in.ID, v)
+				simC.Poke(in.ID, v)
 			}
 			ref.Step()
 			sysK.Sim.Step()
 			simNF.Step()
 			simI.Step()
+			simC.Step()
 			stK := sysK.Sim.Machine().State
 			for name, st := range map[string][]uint64{
 				"kernel-nofuse": simNF.Machine().State,
 				"interp":        simI.Machine().State,
+				"coarsen-2T":    simC.Machine().State,
 			} {
 				for w := range stK {
 					if stK[w] != st[w] {

@@ -18,12 +18,18 @@ type matrixSim struct {
 	sim  engine.Sim
 }
 
-// matrixEngines instantiates the full engine × eval-mode × thread-count
-// matrix over ONE compiled program and partition, so every cell shares node
-// IDs and state layout and the state images can be compared word for word:
+// matrixEngines instantiates the full engine × eval-mode × thread-count ×
+// coarsening matrix over ONE compiled program and partition, so every cell
+// shares node IDs and state layout and the state images can be compared word
+// for word:
 //
 //	fullcycle, activity                   × {kernel, kernel-nofuse, interp}
 //	parallel, parallel-activity           × {kernel, kernel-nofuse, interp} × {1, 2, 4} threads
+//	parallel-activity (coarsened)         × {kernel, kernel-nofuse, interp} × {1, 2, 4} threads
+//
+// The coarsened cells run the merged-level schedule with an aggressive grain
+// (so merging actually happens on small designs) and must stay bit-identical
+// to every other cell — the adaptive-coarsening correctness pin.
 //
 // All engines must produce identical state trajectories (the package
 // contract in internal/engine); before this test only kernel-vs-interp pairs
@@ -35,6 +41,10 @@ func matrixEngines(t *testing.T, sys *System) []matrixSim {
 		order[i] = int32(i)
 	}
 	_, byLevel := sys.Graph.Levelize(order)
+
+	coarse := sys.Config.Activity
+	coarse.Coarsen = true
+	coarse.CoarsenGrain = 1 << 30 // merge everything mergeable: worst case for ordering bugs
 
 	modes := []engine.EvalMode{engine.EvalKernel, engine.EvalKernelNoFuse, engine.EvalInterp}
 	var sims []matrixSim
@@ -49,6 +59,8 @@ func matrixEngines(t *testing.T, sys *System) []matrixSim {
 					engine.NewParallel(sys.Prog, byLevel, threads, mode)},
 				matrixSim{fmt.Sprintf("parallel-activity-%dT/%s", threads, mode),
 					engine.NewParallelActivity(sys.Prog, sys.Part, sys.Config.Activity, threads, mode)},
+				matrixSim{fmt.Sprintf("parallel-activity-coarsen-%dT/%s", threads, mode),
+					engine.NewParallelActivity(sys.Prog, sys.Part, coarse, threads, mode)},
 			)
 		}
 	}

@@ -15,6 +15,7 @@ import (
 	"gsim/internal/engine"
 	"gsim/internal/firrtl"
 	"gsim/internal/ir"
+	"gsim/internal/trace"
 )
 
 // updateGolden regenerates the committed reference waveforms:
@@ -122,6 +123,127 @@ func TestGoldenVCD(t *testing.T) {
 			if !bytes.Equal(out, want) {
 				t.Fatalf("%s/%s: VCD diverges from golden (%d vs %d bytes): %s",
 					name, m.label, len(out), len(want), firstDiff(out, want))
+			}
+		}
+	}
+}
+
+// asyncGoldenVCD renders the same golden protocol through the pipelined
+// tracer (internal/trace) attached to the engine, instead of the external
+// synchronous writer: the engine samples at the end of every Step and the
+// writer goroutine formats behind it.
+func asyncGoldenVCD(t *testing.T, g *ir.Graph, name string, cfg Config, ring int, sync bool) []byte {
+	t.Helper()
+	sys, err := Build(g, cfg)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	defer sys.Close()
+	var buf bytes.Buffer
+	tr, err := trace.NewVCD(&buf, sys.Prog, nil, trace.Options{Ring: ring, Sync: sync})
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	sys.Sim.(interface{ AttachTracer(engine.Tracer) }).AttachTracer(tr)
+	var inputs []*ir.Node
+	for _, n := range sys.Graph.Nodes {
+		if n.Kind == ir.KindInput {
+			inputs = append(inputs, n)
+		}
+	}
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	rng := rand.New(rand.NewSource(int64(h.Sum64())))
+	for c := 0; c < goldenCycles; c++ {
+		for _, in := range inputs {
+			v := bitvec.FromUint64(in.Width, rng.Uint64())
+			if in.Name == "reset" {
+				v = bitvec.FromUint64(1, b2u(c < 2))
+			}
+			sys.Sim.Poke(in.ID, v)
+		}
+		sys.Sim.Step()
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	return buf.Bytes()
+}
+
+// TestGoldenVCDAsync pins the committed reference waveforms through the
+// asynchronous pipeline for every engine × eval mode × thread count (plus the
+// coarsened schedule and the tracer's own sync mode), byte for byte. Same
+// optimization pipeline as the goldens (GSIM passes + enhanced partition);
+// only the execution engine and tracer vary — so waveform capture moving off
+// the coordinator can never change what lands in the file.
+func TestGoldenVCDAsync(t *testing.T) {
+	files, err := filepath.Glob("../../testdata/*.fir")
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no testdata designs found: %v", err)
+	}
+	type cell struct {
+		label string
+		cfg   func() Config
+		ring  int
+		sync  bool
+	}
+	var cells []cell
+	engines := []struct {
+		label  string
+		engine EngineKind
+		thr    int
+		coarse bool
+	}{
+		{"fullcycle", EngineFullCycle, 0, false},
+		{"activity", EngineActivity, 0, false},
+		{"parallel-1T", EngineParallel, 1, false},
+		{"parallel-2T", EngineParallel, 2, false},
+		{"parallel-4T", EngineParallel, 4, false},
+		{"parallel-activity-1T", EngineParallelActivity, 1, false},
+		{"parallel-activity-2T", EngineParallelActivity, 2, false},
+		{"parallel-activity-4T", EngineParallelActivity, 4, false},
+		{"parallel-activity-coarsen-2T", EngineParallelActivity, 2, true},
+	}
+	for _, e := range engines {
+		for _, m := range []engine.EvalMode{engine.EvalKernel, engine.EvalKernelNoFuse, engine.EvalInterp} {
+			e, m := e, m
+			cells = append(cells, cell{
+				label: fmt.Sprintf("%s/%s", e.label, m),
+				cfg: func() Config {
+					cfg := GSIM()
+					cfg.Engine = e.engine
+					cfg.Threads = e.thr
+					cfg.Eval = m
+					cfg.Activity.Coarsen = e.coarse
+					if e.coarse {
+						cfg.Activity.CoarsenGrain = 1 << 30
+					}
+					return cfg
+				},
+			})
+		}
+	}
+	// Tracer-shape variants on the default engine: tiny ring (live
+	// backpressure in the golden path) and the synchronous fallback.
+	cells = append(cells,
+		cell{label: "gsim/ring1", cfg: GSIM, ring: 1},
+		cell{label: "gsim/sync", cfg: GSIM, sync: true},
+	)
+	for _, f := range files {
+		name := strings.TrimSuffix(filepath.Base(f), ".fir")
+		g, err := firrtl.LoadFile(f)
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		want, err := os.ReadFile(filepath.Join("../../testdata/golden", name+".vcd"))
+		if err != nil {
+			t.Fatalf("%s: missing golden waveform (run TestGoldenVCD with -update-golden): %v", name, err)
+		}
+		for _, c := range cells {
+			out := asyncGoldenVCD(t, g, name, c.cfg(), c.ring, c.sync)
+			if !bytes.Equal(out, want) {
+				t.Fatalf("%s/%s: async VCD diverges from golden (%d vs %d bytes): %s",
+					name, c.label, len(out), len(want), firstDiff(out, want))
 			}
 		}
 	}

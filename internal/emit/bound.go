@@ -25,6 +25,23 @@ import (
 // pre-resolved state pointers.
 type BoundFn func()
 
+// CompileNodesBound compiles the given nodes' code ranges, concatenated in
+// the order given, into one bound chain. The order is the execution order of
+// the chain and must be a dependence order of the nodes — engines pass chunk
+// member lists in ascending node/supernode ID, which the partition package
+// guarantees is topological, including inside coarsened (level-merged)
+// chunks. Fusion applies across node boundaries: adjacent instructions of
+// different nodes fuse exactly like intra-node pairs, which is bit-identical
+// by the same argument (a fused closure performs both stores in order).
+func (p *Program) CompileNodesBound(m *Machine, ids []int32) []BoundFn {
+	var chain []Instr
+	for _, id := range ids {
+		r := p.Code[id]
+		chain = append(chain, p.Instrs[r.Start:r.End]...)
+	}
+	return p.CompileChainBound(m, chain)
+}
+
 // CompileChainBound compiles an instruction chain into its bound form for
 // machine m: superinstruction fusion over adjacent pairs, width-class
 // specialization, operand pointers resolved into m's state image. The chain
@@ -263,7 +280,6 @@ func compile2WBound(m *Machine, in Instr) BoundFn {
 	}
 	return nil
 }
-
 
 // narrowValueBound compiles a pure narrow instruction into a no-argument
 // value closure over pre-resolved pointers — the producer half of the bound

@@ -177,9 +177,9 @@ func MatchFusion(a, b Instr) FusePattern {
 type cmpKind uint8
 
 const (
-	cmpEqK  cmpKind = iota // x == y
-	cmpLtU                 // x < y, unsigned
-	cmpLtS                 // x < y, signed
+	cmpEqK cmpKind = iota // x == y
+	cmpLtU                // x < y, unsigned
+	cmpLtS                // x < y, signed
 )
 
 // cmpParts normalizes a comparison instruction: the ten opcodes reduce to

@@ -37,6 +37,16 @@ type ActivityConfig struct {
 	// BranchlessMax is the cost-model threshold for ActCostModel: nodes with
 	// more successor supernodes than this use the branching strategy.
 	BranchlessMax int
+	// Coarsen enables adaptive level coarsening in the parallel engine
+	// (ParallelActivity): consecutive sparse levels of the shard schedule
+	// merge into one barrier span wherever the cross-level edges permit,
+	// cutting barriers per cycle on deep, narrow designs. The serial engine
+	// has no barriers and ignores it.
+	Coarsen bool
+	// CoarsenGrain overrides the coarsening grain (target minimum evaluation
+	// weight per merged level); zero selects the adaptive default (mean
+	// original level weight). See partition.CoarsenOptions.
+	CoarsenGrain int64
 }
 
 // DefaultBranchlessMax is the activation cost-model threshold used when the
@@ -273,6 +283,7 @@ func (a *Activity) Step() {
 		}
 	}
 	a.commit()
+	a.sampleTrace()
 }
 
 // evalSupernode dispatches to the fused kernel chain or the interpreter

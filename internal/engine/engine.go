@@ -64,6 +64,16 @@ func (s *Stats) ActivityFactor() float64 {
 	return float64(s.NodeEvals) / float64(s.Cycles) / float64(s.EvaluableNodes)
 }
 
+// Tracer consumes one end-of-cycle state snapshot per Step. The engine hands
+// it the live state image; the tracer must copy what it needs before
+// returning (internal/trace packs traced words into a ring slot). Attach one
+// with AttachTracer on any engine; every engine samples at the very end of
+// Step, after commits and resets — the same values an external caller would
+// observe by Peeking between Steps.
+type Tracer interface {
+	Snapshot(st []uint64)
+}
+
 // base carries the plumbing shared by every engine.
 type base struct {
 	g      *ir.Graph
@@ -73,6 +83,7 @@ type base struct {
 	writes []int32                // memory write-port node IDs
 	coded  []int32                // all node IDs with evaluation work, in ID (== topo) order
 	resets []resetGroup
+	tracer Tracer
 	stats  Stats
 }
 
@@ -165,6 +176,20 @@ func (b *base) applyResets(onChange func(id int32)) {
 func (b *base) countInstrs(n uint64) {
 	b.stats.InstrsExecuted += n
 	b.m.Executed += n
+}
+
+// AttachTracer routes waveform capture through t: every subsequent Step ends
+// with one t.Snapshot call over the machine state. Attach nil to detach.
+// Because every engine embeds base, the async pipeline (internal/trace) plugs
+// into all four the same way.
+func (b *base) AttachTracer(t Tracer) { b.tracer = t }
+
+// sampleTrace feeds the attached tracer, if any. Engines call it as the last
+// action of Step, from serial coordinator context.
+func (b *base) sampleTrace() {
+	if b.tracer != nil {
+		b.tracer.Snapshot(b.m.State)
+	}
 }
 
 func (b *base) Peek(nodeID int) bitvec.BV            { return b.m.Peek(nodeID) }

@@ -53,6 +53,7 @@ func (f *FullCycle) Step() {
 	f.commitRegs()
 	f.memScratch = f.commitWrites(f.memScratch[:0])
 	f.applyResets(nil)
+	f.sampleTrace()
 }
 
 // Poke sets an input value.

@@ -66,16 +66,10 @@ func NewParallel(p *emit.Program, byLevel [][]int32, threads int, mode EvalMode)
 		// compile into one bound chain: superinstruction fusion, width
 		// classes, operand pointers resolved into this engine's machine.
 		e.fusedB = make([][][]emit.BoundFn, len(e.chunks))
-		var chain []emit.Instr
 		for lv, chunk := range e.chunks {
 			e.fusedB[lv] = make([][]emit.BoundFn, threads)
 			for w, ids := range chunk {
-				chain = chain[:0]
-				for _, id := range ids {
-					r := p.Code[id]
-					chain = append(chain, p.Instrs[r.Start:r.End]...)
-				}
-				e.fusedB[lv][w] = p.CompileChainBound(e.m, chain)
+				e.fusedB[lv][w] = p.CompileNodesBound(e.m, ids)
 			}
 		}
 	case EvalKernelNoFuse:
@@ -130,6 +124,7 @@ func (e *Parallel) Step() {
 	e.commitRegs()
 	e.memScratch = e.commitWrites(e.memScratch[:0])
 	e.applyResets(nil)
+	e.sampleTrace()
 }
 
 // Close shuts down the worker goroutines and blocks until every one has

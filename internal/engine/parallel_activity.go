@@ -27,6 +27,17 @@ import (
 // and memory commits, external pokes, and the reset slow path run serially
 // between cycles, exactly as in Activity.
 //
+// With ActivityConfig.Coarsen the schedule is the coarsened shard view
+// (partition.ShardOpts): consecutive sparse levels merge into one barrier
+// span, with every dependence edge inside a merged span co-assigned to one
+// shard and ordered inside that shard's chunk. Activations can then target
+// the worker's *own current chunk* — a strictly later slot, because chunks
+// are sorted in supernode (== topological) order — so activate writes those
+// bits straight into the active words (the worker owns them for the whole
+// span) and the scan loop re-reads each word until it drains, the same way
+// the serial Activity engine picks up same-word activations. Cross-chunk
+// targets still go through the outbox and merge at the next barrier.
+//
 // The engine produces the same state trajectory as Activity and Reference in
 // both evaluation modes; the equivalence tests enforce this at several
 // thread counts.
@@ -101,6 +112,7 @@ type wordBatch struct {
 type paWorker struct {
 	e       *ParallelActivity
 	id      int
+	chunk   int32 // chunk index currently being swept (w*levels + lv)
 	scratch []uint64
 	pending []int32
 
@@ -129,7 +141,9 @@ func NewParallelActivity(p *emit.Program, part *partition.Result, cfg ActivityCo
 	}
 	g := p.Graph
 
-	e.shard = part.Shard(g, threads, func(id int32) int64 { return int64(p.Code[id].Len()) })
+	e.shard = part.ShardOpts(g, threads,
+		func(id int32) int64 { return int64(p.Code[id].Len()) },
+		partition.CoarsenOptions{Enable: cfg.Coarsen, Grain: cfg.CoarsenGrain})
 	e.levels = e.shard.Levels
 	e.activationPlan = buildActivationPlan(p, part, cfg, e.resets)
 
@@ -228,7 +242,11 @@ func NewParallelActivity(p *emit.Program, part *partition.Result, cfg ActivityCo
 // active word, populated when every supernode in the word is free of
 // change-tracked members. Chunk padding guarantees a word never spans two
 // (shard, level) chunks, so a batch is always a slice of one chunk and the
-// sweep order (ascending slot) matches per-bit dispatch exactly.
+// sweep order (ascending slot == ascending supernode, a dependence order
+// even inside coarsened chunks) matches per-bit dispatch exactly. The
+// batch's chain is compiled whole from the member nodes rather than stitched
+// from the per-supernode chains, so superinstruction fusion reaches across
+// supernode boundaries inside the word.
 func (e *ParallelActivity) buildWordBatches() []wordBatch {
 	batches := make([]wordBatch, len(e.active))
 	for wi := range batches {
@@ -251,13 +269,15 @@ func (e *ParallelActivity) buildWordBatches() []wordBatch {
 			continue
 		}
 		ba.count = uint64(len(sups))
+		var ids []int32
 		for _, s := range sups {
 			sk := &e.supKerns[s]
-			ba.fns = append(ba.fns, sk.fns...)
+			ids = append(ids, e.members[e.supStart[s]:e.supStart[s+1]]...)
 			ba.nodes += sk.nodes
 			ba.instrs += sk.instrs
 			ba.regs = append(ba.regs, sk.regs...)
 		}
+		ba.fns = e.m.Prog.CompileNodesBound(e.m, ids)
 	}
 	return batches
 }
@@ -317,6 +337,7 @@ func (e *ParallelActivity) Step() {
 		ws.nodeEvals, ws.activations, ws.examinations, ws.instrs = 0, 0, 0, 0
 	}
 	e.commit()
+	e.sampleTrace()
 }
 
 // runLevel sweeps worker w's chunk of level lv. The worker first drains
@@ -324,6 +345,15 @@ func (e *ParallelActivity) Step() {
 // earlier levels, so the merge is race-free), then applies the multi-bit
 // check to the merged words. Clean outboxes — the common case on idle
 // designs — are skipped entirely.
+//
+// The scan re-reads each active word until it drains rather than working on
+// a snapshot: under coarsening a supernode can activate a later slot of the
+// chunk currently being swept — including a later bit of the same word —
+// and the re-read picks it up, exactly like the serial Activity loop.
+// Activation targets never precede their source in slot order (chunks are
+// sorted in topological supernode order), so the forward scan misses
+// nothing. Without coarsening no one writes a word mid-scan and the loop
+// degenerates to the old snapshot behavior, examinations included.
 func (e *ParallelActivity) runLevel(w, lv int) {
 	ws := e.ws[w]
 	lo, hi := e.wordLo[w][lv], e.wordLo[w][lv+1]
@@ -331,6 +361,7 @@ func (e *ParallelActivity) runLevel(w, lv int) {
 		return
 	}
 	chunk := int32(w*e.levels + lv)
+	ws.chunk = chunk
 	for u := range e.out {
 		du := e.dirty[u]
 		if !du[chunk] {
@@ -344,10 +375,11 @@ func (e *ParallelActivity) runLevel(w, lv int) {
 		}
 	}
 	for wi := lo; wi < hi; wi++ {
-		word := e.active[wi]
-		e.active[wi] = 0
 		if e.batches != nil {
-			if ba := &e.batches[wi]; ba.full != 0 && word == ba.full {
+			// Batch supernodes are track-free: the sweep publishes no
+			// activations, so the word cannot refill mid-batch.
+			if ba := &e.batches[wi]; ba.full != 0 && e.active[wi] == ba.full {
+				e.active[wi] = 0
 				ws.runBatch(ba)
 				continue
 			}
@@ -355,9 +387,13 @@ func (e *ParallelActivity) runLevel(w, lv int) {
 		if e.cfg.MultiBitCheck {
 			// Listing 4 applied per shard: one test clears 64 bits.
 			ws.examinations++
-			for word != 0 {
+			for {
+				word := e.active[wi]
+				if word == 0 {
+					break
+				}
 				b := bits.TrailingZeros64(word)
-				word &^= uint64(1) << uint(b)
+				e.active[wi] &^= uint64(1) << uint(b)
 				ws.examinations++
 				ws.evalSupernode(e.slotSup[int(wi)<<6+b])
 			}
@@ -368,7 +404,8 @@ func (e *ParallelActivity) runLevel(w, lv int) {
 					break // padding tail; real slots are packed low
 				}
 				ws.examinations++
-				if word&(uint64(1)<<uint(b)) != 0 {
+				if mask := uint64(1) << uint(b); e.active[wi]&mask != 0 {
+					e.active[wi] &^= mask
 					ws.evalSupernode(s)
 				}
 			}
@@ -473,9 +510,15 @@ func (ws *paWorker) evalSupernodeKernel(s int32) {
 // activate publishes successor activations into the worker's outbox and
 // marks the target chunks dirty. Targets always sit in strictly later
 // levels, so the owning shard will merge them before examining the
-// corresponding words. The branchless path marks dirty even for a zero mask
-// (by design: it exists to avoid the data-dependent branch); a spurious
-// dirty flag only costs the owner one clean-range scan, never correctness.
+// corresponding words — except, under coarsening, targets inside the
+// worker's *own current chunk* (a dependence edge folded into the merged
+// span): those bits go straight into the active words, which the worker owns
+// for the whole span and re-reads as it scans forward. No other worker can
+// hold that chunk, so the write is race-free; without coarsening the
+// same-chunk case never fires. The branchless path marks dirty even for a
+// zero mask (by design: it exists to avoid the data-dependent branch); a
+// spurious dirty flag only costs the owner one clean-range scan, never
+// correctness.
 func (ws *paWorker) activate(id int32, diff uint64) {
 	e := ws.e
 	start, end := e.succStart[id], e.succStart[id+1]
@@ -487,6 +530,10 @@ func (ws *paWorker) activate(id int32, diff uint64) {
 	if e.useBranch[id] {
 		if diff != 0 {
 			for k := start; k < end; k++ {
+				if e.succChunk[k] == ws.chunk {
+					e.active[e.succWord[k]] |= e.succMask[k]
+					continue
+				}
 				out[e.succWord[k]] |= e.succMask[k]
 				dirty[e.succChunk[k]] = true
 			}
@@ -497,6 +544,10 @@ func (ws *paWorker) activate(id int32, diff uint64) {
 	// Branchless: mask is all-ones iff diff != 0.
 	m := uint64(0) - ((diff | -diff) >> 63)
 	for k := start; k < end; k++ {
+		if e.succChunk[k] == ws.chunk {
+			e.active[e.succWord[k]] |= e.succMask[k] & m
+			continue
+		}
 		out[e.succWord[k]] |= e.succMask[k] & m
 		dirty[e.succChunk[k]] = true
 	}

@@ -23,6 +23,11 @@ type Budget struct {
 	// baseline (cmd/gsim-bench -eval kernel-nofuse), or the reference
 	// interpreter (-eval interp).
 	Eval engine.EvalMode
+
+	// Coarsen applies adaptive level coarsening to every measured
+	// configuration that schedules with barriers (the parallel
+	// essential-signal engine); cmd/gsim-bench -coarsen sets it.
+	Coarsen bool
 }
 
 // DefaultBudget is sized so every experiment completes in minutes.
@@ -52,6 +57,9 @@ func measure(sys *core.System, drive Driver, b Budget) float64 {
 // runConfig builds and measures one (design, workload, config) cell.
 func runConfig(d Design, workload string, cfg core.Config, b Budget) (float64, *core.System, error) {
 	cfg.Eval = b.Eval
+	if b.Coarsen {
+		cfg.Activity.Coarsen = true
+	}
 	sys, drive, err := buildSystem(d, workload, cfg)
 	if err != nil {
 		return 0, nil, err
@@ -188,6 +196,67 @@ func GSIMMTSweep(designs []Design, threadCounts []int, b Budget) ([]GSIMMTRow, e
 				rows = append(rows, GSIMMTRow{
 					Design: d.Name, Workload: wl, Threads: th, SpeedHz: hz, Speedup: sp,
 				})
+			}
+		}
+	}
+	return rows, nil
+}
+
+// --- Coarsening: schedule delta and throughput, barriers on vs merged ---
+
+// CoarsenRow is one (design, workload, threads) comparison of the GSIMMT
+// schedule with and without adaptive level coarsening: the schedule delta
+// (levels == barriers per cycle, before and after merging) plus the measured
+// throughput of both.
+type CoarsenRow struct {
+	Design     string
+	Workload   string
+	Threads    int
+	LevelsOff  int // barrier levels without coarsening (== OrigLevels)
+	LevelsOn   int // barrier levels of the coarsened schedule
+	SpeedOffHz float64
+	SpeedOnHz  float64
+	Speedup    float64 // coarsened / uncoarsened
+}
+
+// CoarsenSweep measures adaptive level coarsening across thread counts: for
+// every (design, workload, threads) cell it builds the parallel
+// essential-signal engine twice — barriers at every dependence level, and the
+// merged schedule — and reports the schedule delta with both throughputs.
+func CoarsenSweep(designs []Design, threadCounts []int, b Budget) ([]CoarsenRow, error) {
+	var rows []CoarsenRow
+	for _, d := range designs {
+		for _, wl := range []string{WorkloadLinux, WorkloadCoreMark} {
+			for _, th := range threadCounts {
+				row := CoarsenRow{Design: d.Name, Workload: wl, Threads: th}
+				for _, on := range []bool{false, true} {
+					cfg := core.GSIMMT(th)
+					cfg.Eval = b.Eval
+					cfg.Activity.Coarsen = on
+					sys, drive, err := buildSystem(d, wl, cfg)
+					if err != nil {
+						return nil, fmt.Errorf("%s/%s/%dT: %v", d.Name, wl, th, err)
+					}
+					hz := measure(sys, drive, b)
+					pa, ok := sys.Sim.(*engine.ParallelActivity)
+					if !ok {
+						sys.Close()
+						return nil, fmt.Errorf("%s/%s/%dT: engine is not ParallelActivity", d.Name, wl, th)
+					}
+					sv := pa.Shard()
+					if on {
+						row.LevelsOn = sv.Levels
+						row.SpeedOnHz = hz
+					} else {
+						row.LevelsOff = sv.Levels
+						row.SpeedOffHz = hz
+					}
+					sys.Close()
+				}
+				if row.SpeedOffHz > 0 {
+					row.Speedup = row.SpeedOnHz / row.SpeedOffHz
+				}
+				rows = append(rows, row)
 			}
 		}
 	}

@@ -78,6 +78,19 @@ func RenderGSIMMT(w io.Writer, rows []GSIMMTRow) {
 	}
 }
 
+// RenderCoarsen prints the level-coarsening study: the schedule delta and
+// both throughputs per cell.
+func RenderCoarsen(w io.Writer, rows []CoarsenRow) {
+	fmt.Fprintf(w, "Coarsening: GSIMMT barrier schedule, per-level vs adaptively merged\n")
+	fmt.Fprintf(w, "%-16s %-9s %-8s %16s %12s %12s %9s\n",
+		"Design", "Workload", "Threads", "levels (off->on)", "speed off", "speed on", "speedup")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-16s %-9s %-8d %11d->%-4d %12s %12s %8.2fx\n",
+			r.Design, r.Workload, r.Threads, r.LevelsOff, r.LevelsOn,
+			hz(r.SpeedOffHz), hz(r.SpeedOnHz), r.Speedup)
+	}
+}
+
 // RenderFig7 prints the checkpoint study.
 func RenderFig7(w io.Writer, rows []Fig7Row) {
 	fmt.Fprintf(w, "Figure 7: SPEC CPU2006 checkpoints on the largest design (speedup vs 1T Verilator)\n")

@@ -14,12 +14,28 @@ import (
 // engine.ParallelActivity executes: workers sweep level by level with a
 // barrier between levels, so intra-cycle activations — which always target
 // strictly later levels — are visible before their targets are examined.
+//
+// With coarsening (CoarsenOptions.Enable) consecutive sparse levels are
+// merged into one scheduled level wherever the cross-level edges permit:
+// supernodes connected by an intra-merged-range dependence edge are
+// co-assigned to one shard, and each shard's chunk keeps its members in
+// ascending supernode order — a topological order of the dependence
+// condensation (the package invariant) — so the chunk executes as an ordered
+// chain and the dependence is honored without a barrier. Deep, narrow designs
+// pay one barrier per scheduled level; coarsening cuts Levels (and with it
+// barriers per cycle) from OrigLevels down to roughly total-weight/grain.
 type ShardView struct {
 	Threads int
-	Levels  int
-	LevelOf []int32     // supernode -> level
+	Levels  int         // scheduled levels (== OrigLevels when coarsening is off)
+	LevelOf []int32     // supernode -> scheduled level
 	ShardOf []int32     // supernode -> shard
 	Chunks  [][][]int32 // level -> shard -> supernode IDs, ascending
+
+	// OrigLevels is the dependence levelization depth before coarsening —
+	// the barrier count the schedule would have paid without merging. The
+	// schedule delta (OrigLevels -> Levels) is what gsim-diag and the
+	// harness report.
+	OrigLevels int
 
 	// ChunkWeight is the per-chunk metadata the assignment balanced:
 	// ChunkWeight[level][shard] is the summed evaluation weight of that
@@ -27,6 +43,28 @@ type ShardView struct {
 	// diagnostics use it to report shard imbalance (Imbalance).
 	ChunkWeight [][]int64
 }
+
+// CoarsenOptions configures adaptive level coarsening.
+type CoarsenOptions struct {
+	// Enable turns coarsening on.
+	Enable bool
+	// Grain is the target minimum evaluation weight per merged level:
+	// consecutive levels merge until the run reaches it, so barriers are only
+	// paid where at least Grain work amortizes them. Zero or negative selects
+	// the adaptive default: threads x DefaultGrainPerShard — the work a
+	// barrier must buy each worker — floored at the mean original level
+	// weight, so bulky schedules (whose levels already dwarf the barrier)
+	// are left alone however many threads run.
+	Grain int64
+}
+
+// DefaultGrainPerShard is the per-worker evaluation weight (in nodeWeight
+// units — compiled instructions, when the engine supplies its weighting) a
+// scheduled level should reach before a barrier is worth paying. Sized
+// against the level-barrier cost: workers hand off through one atomic
+// countdown plus a spin-yield, which costs on the order of dozens of
+// instruction evaluations per worker.
+const DefaultGrainPerShard = 64
 
 // Imbalance reports the worst per-level load ratio: max over levels of
 // (heaviest chunk / mean chunk weight), weighted toward the levels that
@@ -52,14 +90,30 @@ func (v *ShardView) Imbalance() float64 {
 	return worst
 }
 
-// Shard builds the thread-shard view of the partition. nodeWeight gives the
-// evaluation cost of one node (typically its compiled instruction count);
-// nil weighs every node equally. threads < 1 is treated as 1.
-//
-// Levelization relies on the package's correctness invariant: the supernode
-// sequence is a topological order of the value-dependence condensation, so a
-// supernode's dependence predecessors always carry smaller indices.
+// Shard builds the thread-shard view of the partition with coarsening off.
+// nodeWeight gives the evaluation cost of one node (typically its compiled
+// instruction count); nil weighs every node equally. threads < 1 is treated
+// as 1.
 func (r *Result) Shard(g *ir.Graph, threads int, nodeWeight func(id int32) int64) *ShardView {
+	return r.ShardOpts(g, threads, nodeWeight, CoarsenOptions{})
+}
+
+// ShardOpts builds the thread-shard view, optionally coarsening the level
+// schedule. The assignment is one algorithm for both modes: original levels
+// are grouped into runs (every run a single level when coarsening is off),
+// supernodes connected by an intra-run dependence edge are fused into
+// components (always singletons when runs are single levels, because
+// dependence edges strictly increase the level), and each run's components
+// are spread across shards longest-processing-time first.
+//
+// Correctness of a merged run: every dependence edge whose endpoints both
+// land in the run connects supernodes of one component, hence one shard; the
+// shard's chunk is sorted by ascending supernode index, which the package
+// invariant guarantees is a topological order of the dependence
+// condensation, so the chunk's ordered chain evaluates the edge's source
+// before its target. Edges entering the run from earlier runs are sequenced
+// by the barrier, exactly as before.
+func (r *Result) ShardOpts(g *ir.Graph, threads int, nodeWeight func(id int32) int64, co CoarsenOptions) *ShardView {
 	if threads < 1 {
 		threads = 1
 	}
@@ -76,7 +130,9 @@ func (r *Result) Shard(g *ir.Graph, threads int, nodeWeight func(id int32) int64
 	// Supernode level: 1 + max level over dependence-predecessor supernodes.
 	// Register and input reads see last cycle's value and are excluded, the
 	// same dependence relation the partitioners order by.
+	origLevel := make([]int32, n)
 	weights := make([]int64, n)
+	origLevels := 0
 	for s := 0; s < n; s++ {
 		lv := int32(0)
 		for _, id := range r.Members[s] {
@@ -99,61 +155,166 @@ func (r *Result) Shard(g *ir.Graph, threads int, nodeWeight func(id int32) int64
 					if us < 0 || us == int32(s) {
 						return
 					}
-					if l := v.LevelOf[us] + 1; l > lv {
+					if l := origLevel[us] + 1; l > lv {
 						lv = l
 					}
 				})
 			})
 		}
-		v.LevelOf[s] = lv
-		if int(lv)+1 > v.Levels {
-			v.Levels = int(lv) + 1
+		origLevel[s] = lv
+		if int(lv)+1 > origLevels {
+			origLevels = int(lv) + 1
+		}
+	}
+	v.OrigLevels = origLevels
+
+	// Group original levels into runs. Without coarsening every level is its
+	// own run; with it, consecutive levels accumulate until the run carries
+	// at least Grain weight (a level that alone reaches the grain always
+	// starts fresh, so heavy levels never serialize behind a sparse prefix).
+	runOf := make([]int32, origLevels)
+	coarsened := false
+	if co.Enable {
+		levelWeight := make([]int64, origLevels)
+		var total int64
+		for s := 0; s < n; s++ {
+			levelWeight[origLevel[s]] += weights[s]
+			total += weights[s]
+		}
+		grain := co.Grain
+		if grain <= 0 {
+			grain = int64(threads) * DefaultGrainPerShard
+			if mean := total / int64(origLevels); mean > grain {
+				grain = mean
+			}
+		}
+		run, acc := int32(0), int64(0)
+		open := false
+		for lv := 0; lv < origLevels; lv++ {
+			if open && levelWeight[lv] >= grain {
+				run++
+				acc = 0
+			}
+			runOf[lv] = run
+			open = true
+			acc += levelWeight[lv]
+			if acc >= grain {
+				run++
+				acc = 0
+				open = false
+			}
+		}
+		if open {
+			run++
+		}
+		v.Levels = int(run)
+		coarsened = v.Levels < origLevels
+	} else {
+		for lv := range runOf {
+			runOf[lv] = int32(lv)
+		}
+		v.Levels = origLevels
+	}
+
+	// Component fusion: supernodes joined by a dependence edge that stays
+	// inside one run must share a shard. Dependence edges strictly increase
+	// the original level, so with single-level runs no edge qualifies and
+	// every component is a singleton — the classic per-supernode LPT.
+	root := make([]int32, n)
+	for s := range root {
+		root[s] = int32(s)
+	}
+	if coarsened {
+		for _, node := range g.Nodes {
+			sv := r.SupOf[node.ID]
+			if sv < 0 {
+				continue
+			}
+			node.EachExpr(func(slot **ir.Expr) {
+				(*slot).Walk(func(e *ir.Expr) {
+					if e.Op != ir.OpRef {
+						return
+					}
+					u := e.Node
+					if u.Kind == ir.KindReg || u.Kind == ir.KindInput {
+						return
+					}
+					su := r.SupOf[u.ID]
+					if su < 0 || su == sv {
+						return
+					}
+					if runOf[origLevel[su]] != runOf[origLevel[sv]] {
+						return
+					}
+					ra, rb := find(root, su), find(root, sv)
+					if ra != rb {
+						root[rb] = ra
+					}
+				})
+			})
 		}
 	}
 
-	// Per level, longest-processing-time assignment: heaviest supernode first
-	// onto the least-loaded shard (lowest index on ties, for determinism).
-	byLevel := make([][]int32, v.Levels)
-	for s := int32(0); s < int32(n); s++ {
-		byLevel[v.LevelOf[s]] = append(byLevel[v.LevelOf[s]], s)
+	// Collect components per run: member lists (ascending supernode ID, so
+	// min ID is first), summed weight.
+	type component struct {
+		sups   []int32
+		weight int64
 	}
+	compIdx := make(map[int32]int32, n)
+	byRun := make([][]int32, v.Levels) // run -> component indices
+	var comps []component
+	for s := int32(0); s < int32(n); s++ {
+		rt := find(root, s)
+		ci, ok := compIdx[rt]
+		if !ok {
+			ci = int32(len(comps))
+			compIdx[rt] = ci
+			comps = append(comps, component{})
+			byRun[runOf[origLevel[s]]] = append(byRun[runOf[origLevel[s]]], ci)
+		}
+		comps[ci].sups = append(comps[ci].sups, s)
+		comps[ci].weight += weights[s]
+	}
+
+	// Per run, longest-processing-time assignment: heaviest component first
+	// onto the least-loaded shard (ties broken toward the lower shard index
+	// and the component with the smallest leading supernode, for
+	// determinism).
 	v.Chunks = make([][][]int32, v.Levels)
 	v.ChunkWeight = make([][]int64, v.Levels)
 	load := make([]int64, threads)
-	for lv, sups := range byLevel {
-		ordered := make([]int32, len(sups))
-		copy(ordered, sups)
-		sortByWeightDesc(ordered, weights)
+	for run, cis := range byRun {
+		sort.Slice(cis, func(i, j int) bool {
+			a, b := &comps[cis[i]], &comps[cis[j]]
+			if a.weight != b.weight {
+				return a.weight > b.weight
+			}
+			return a.sups[0] < b.sups[0]
+		})
 		for i := range load {
 			load[i] = 0
 		}
-		v.Chunks[lv] = make([][]int32, threads)
-		for _, s := range ordered {
+		v.Chunks[run] = make([][]int32, threads)
+		for _, ci := range cis {
+			c := &comps[ci]
 			w := 0
 			for t := 1; t < threads; t++ {
 				if load[t] < load[w] {
 					w = t
 				}
 			}
-			load[w] += weights[s]
-			v.ShardOf[s] = int32(w)
-			v.Chunks[lv][w] = append(v.Chunks[lv][w], s)
+			load[w] += c.weight
+			for _, s := range c.sups {
+				v.ShardOf[s] = int32(w)
+				v.LevelOf[s] = int32(run)
+			}
+			v.Chunks[run][w] = append(v.Chunks[run][w], c.sups...)
 		}
 		for w := 0; w < threads; w++ {
-			sortInt32(v.Chunks[lv][w])
+			sortInt32(v.Chunks[run][w])
 		}
-		v.ChunkWeight[lv] = append([]int64(nil), load...)
+		v.ChunkWeight[run] = append([]int64(nil), load...)
 	}
 	return v
-}
-
-// sortByWeightDesc orders supernode IDs by descending weight, breaking ties
-// by ascending ID so the assignment is deterministic.
-func sortByWeightDesc(s []int32, weights []int64) {
-	sort.Slice(s, func(i, j int) bool {
-		if weights[s[i]] != weights[s[j]] {
-			return weights[s[i]] > weights[s[j]]
-		}
-		return s[i] < s[j]
-	})
 }
