@@ -12,6 +12,7 @@ import (
 	"math/rand"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 
 	"gsim/internal/bitvec"
@@ -23,6 +24,7 @@ import (
 	"gsim/internal/ir"
 	"gsim/internal/partition"
 	"gsim/internal/rv"
+	"gsim/internal/server"
 )
 
 // benchDesigns: the real RV32 core plus the rocket-scale synthetic profile.
@@ -300,4 +302,74 @@ func BenchmarkInterpreter(b *testing.B) {
 	b.StopTimer()
 	st := sys.Sim.Stats()
 	b.ReportMetric(float64(st.InstrsExecuted)/b.Elapsed().Seconds()/1e6, "Minstr/s")
+}
+
+// BenchmarkServerSessions measures the simulation service: warm-cache
+// session creation rate (the compiled-design cache makes a create a map hit
+// plus one engine instantiation) and cache-hit step throughput with several
+// concurrent sessions multiplexed over one shared compile. The stucore
+// profile keeps the numbers on the same design family as the engine rows.
+func BenchmarkServerSessions(b *testing.B) {
+	d := harness.Synthetic(gen.StuCoreLike())
+	g, _, err := d.Build(harness.WorkloadCoreMark)
+	if err != nil {
+		b.Fatal(err)
+	}
+	key := d.Name + "/bench"
+	spec := server.SessionSpec{}
+
+	b.Run("create", func(b *testing.B) {
+		mgr := server.NewManager()
+		defer mgr.Drain()
+		// Pay the one cold compile outside the timer; every timed create
+		// shares it.
+		s, err := mgr.CreateSessionGraph(g, key, spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s, err := mgr.CreateSessionGraph(g, key, spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			s.Close()
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "sessions/s")
+	})
+
+	for _, n := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("step/%dsessions", n), func(b *testing.B) {
+			mgr := server.NewManager()
+			defer mgr.Drain()
+			sessions := make([]*server.Session, n)
+			for i := range sessions {
+				s, err := mgr.CreateSessionGraph(g, key, spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sessions[i] = s
+			}
+			per := b.N/n + 1
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for _, s := range sessions {
+				wg.Add(1)
+				go func(s *server.Session) {
+					defer wg.Done()
+					for c := 0; c < per; c += 10 {
+						if _, err := s.Apply([]server.Op{{Op: "step", N: 10}}); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}(s)
+			}
+			wg.Wait()
+			b.StopTimer()
+			b.ReportMetric(float64(n*per)/b.Elapsed().Seconds()/1000, "simkHz")
+		})
+	}
 }

@@ -2,8 +2,9 @@
 //
 // Usage:
 //
-//	gsim-bench -exp table1|fig6|gsimmt|coarsen|fig7|fig8|fig9|table3|table4|all [-quick] [-cycles N]
+//	gsim-bench -exp table1|fig6|gsimmt|coarsen|sessions|fig7|fig8|fig9|table3|table4|all [-quick] [-cycles N]
 //	           [-threads 1,2,4,8]   thread counts for the gsimmt and coarsen sweeps
+//	                                (doubles as the session counts for -exp sessions)
 //	           [-eval kernel|kernel-nofuse|interp] evaluation mode for every measured config
 //	           [-coarsen]           adaptive level coarsening for every measured config
 //
@@ -24,7 +25,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, fig6, gsimmt, coarsen, fig7, fig8, fig9, table3, table4, all")
+	exp := flag.String("exp", "all", "experiment: table1, fig6, gsimmt, coarsen, sessions, fig7, fig8, fig9, table3, table4, all")
 	quick := flag.Bool("quick", false, "small designs and short measurements (smoke run)")
 	medium := flag.Bool("medium", false, "stucore + rocket-scale designs, full budget (the EXPERIMENTS.md tier)")
 	cycles := flag.Int("cycles", 0, "override timed cycles per measurement")
@@ -109,6 +110,14 @@ func main() {
 			return err
 		}
 		harness.RenderCoarsen(os.Stdout, rows)
+		return nil
+	})
+	run("sessions", func() error {
+		rows, err := harness.SessionsSweep(designs, threadCounts, budget)
+		if err != nil {
+			return err
+		}
+		harness.RenderSessions(os.Stdout, rows)
 		return nil
 	})
 	run("fig7", func() error {

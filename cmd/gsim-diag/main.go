@@ -19,6 +19,8 @@ import (
 	"gsim/internal/gen"
 	"gsim/internal/harness"
 	"gsim/internal/partition"
+	"gsim/internal/server"
+	"gsim/internal/snapshot"
 	"gsim/internal/trace"
 )
 
@@ -143,6 +145,75 @@ func main() {
 		}
 		fmt.Printf("traced-%-10s speed=%.1fkHz\n", mode.name, hz/1000)
 		sys.Close()
+	}
+
+	// Service-layer diagnostics. Compile cache: two sessions of the same
+	// design and config must share one compile (hit rate 50% over two
+	// lookups); per-session step throughput shows what each concurrent
+	// session of the shared design sustains through the batched-op path.
+	{
+		gd, _, err := harness.BuildSystemForDiag(d, "coremark", core.GSIM())
+		if err != nil {
+			panic(err)
+		}
+		graph := gd.Graph
+		gd.Close()
+		mgr := server.NewManager()
+		var sess []*server.Session
+		for i := 0; i < 2; i++ {
+			s, err := mgr.CreateSessionGraph(graph, "diag", server.SessionSpec{})
+			if err != nil {
+				panic(err)
+			}
+			sess = append(sess, s)
+		}
+		hits, misses, designs := mgr.CacheStats()
+		fmt.Printf("compile-cache    sessions=%d designs=%d hits=%d misses=%d hitrate=%.1f%% compile=%v\n",
+			mgr.SessionCount(), designs, hits, misses,
+			100*float64(hits)/float64(hits+misses), sess[0].Design.CompileTime.Round(1000))
+		n := 400
+		for _, s := range sess {
+			if _, err := s.Apply([]server.Op{{Op: "step", N: n}}); err != nil {
+				panic(err)
+			}
+		}
+		for i, s := range sess {
+			fmt.Printf("session-step     session=%s cycles=%d speed=%.1fkHz/session%d\n",
+				s.ID, n, s.Throughput(), i)
+		}
+		mgr.Drain()
+	}
+
+	// Snapshot cost on this profile: blob size and encode/decode time for a
+	// mid-run checkpoint (the quantities a checkpointing service budgets).
+	{
+		sys2, drive2, err := harness.BuildSystemForDiag(d, "coremark", core.GSIM())
+		if err != nil {
+			panic(err)
+		}
+		for c := 0; c < 200; c++ {
+			drive2(sys2.Sim, c)
+			sys2.Sim.Step()
+		}
+		start := time.Now()
+		blob, err := snapshot.Save(sys2.Sim)
+		if err != nil {
+			panic(err)
+		}
+		encodeT := time.Since(start)
+		sys3, _, err := harness.BuildSystemForDiag(d, "coremark", core.GSIM())
+		if err != nil {
+			panic(err)
+		}
+		start = time.Now()
+		if err := snapshot.Restore(sys3.Sim, blob); err != nil {
+			panic(err)
+		}
+		decodeT := time.Since(start)
+		fmt.Printf("snapshot         size=%dKB encode=%v decode=%v cycles=%d\n",
+			len(blob)/1024, encodeT.Round(1000), decodeT.Round(1000), sys2.Sim.Stats().Cycles)
+		sys2.Close()
+		sys3.Close()
 	}
 
 	// Fusion reach on this profile, measured over the same chains the GSIM

@@ -22,6 +22,11 @@
 //	-vcd file.vcd                             dump a waveform through the async pipeline
 //	-vcd-sync                                 format the waveform on the coordinator
 //	                                          instead (the pre-pipeline behavior)
+//	-save file.snap                           write a snapshot of complete simulator
+//	                                          state after the run (internal/snapshot)
+//	-restore file.snap                        resume from a snapshot before simulating;
+//	                                          the snapshot's design hash must match this
+//	                                          build (same design, same -engine options)
 //	-stats                                    print engine counters and build info
 //
 // Example:
@@ -39,6 +44,7 @@ import (
 	"gsim/internal/core"
 	"gsim/internal/engine"
 	"gsim/internal/firrtl"
+	"gsim/internal/snapshot"
 	"gsim/internal/trace"
 )
 
@@ -57,6 +63,8 @@ func main() {
 	showStats := flag.Bool("stats", false, "print engine counters and build info")
 	vcdPath := flag.String("vcd", "", "dump a VCD waveform of inputs/outputs/registers to this file")
 	vcdSync := flag.Bool("vcd-sync", false, "format the waveform synchronously on the coordinator instead of the async pipeline")
+	savePath := flag.String("save", "", "write a snapshot of complete simulator state to this file after the run")
+	restorePath := flag.String("restore", "", "resume from a snapshot file before simulating (design hash must match)")
 	var pokes, watches repeated
 	flag.Var(&pokes, "poke", "input assignment name=value (repeatable)")
 	flag.Var(&watches, "watch", "node to print every cycle (repeatable)")
@@ -124,6 +132,24 @@ func main() {
 			sv.Levels, sv.OrigLevels, sv.Levels)
 	}
 
+	// Checkpoint restore happens before pokes and tracing: pokes override
+	// restored input values, and the waveform resumes from the restored
+	// cycle. The resume diff base is captured here — before the pokes —
+	// so a -poke that changes a restored input still appears as a value
+	// change in the resumed waveform.
+	var resumeState []uint64
+	if *restorePath != "" {
+		data, err := os.ReadFile(*restorePath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := snapshot.Restore(sys.Sim, data); err != nil {
+			fatal(err)
+		}
+		resumeState = append([]uint64{}, sys.Sim.Machine().State...)
+		fmt.Printf("restored %s: resuming at cycle %d\n", *restorePath, sys.Sim.Stats().Cycles)
+	}
+
 	for _, p := range pokes {
 		name, val, ok := strings.Cut(p, "=")
 		if !ok {
@@ -151,7 +177,14 @@ func main() {
 			fatal(err)
 		}
 		defer f.Close()
-		tracer, err = trace.NewVCD(f, sys.Prog, nil, trace.Options{Sync: *vcdSync})
+		opts := trace.Options{Sync: *vcdSync}
+		if resumeState != nil {
+			// Continue the waveform where the checkpointed run left off:
+			// appending this stream to the pre-snapshot VCD reproduces an
+			// uninterrupted run's bytes.
+			opts.Resume = &trace.Resume{Time: sys.Sim.Stats().Cycles, State: resumeState}
+		}
+		tracer, err = trace.NewVCD(f, sys.Prog, nil, opts)
 		if err != nil {
 			fatal(err)
 		}
@@ -189,6 +222,17 @@ func main() {
 		if err := tracer.Close(); err != nil {
 			fatal(fmt.Errorf("vcd: %v", err))
 		}
+	}
+
+	if *savePath != "" {
+		data, err := snapshot.Save(sys.Sim)
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*savePath, data, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("saved %s: %d bytes at cycle %d\n", *savePath, len(data), sys.Sim.Stats().Cycles)
 	}
 
 	if *showStats {

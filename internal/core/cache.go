@@ -1,0 +1,201 @@
+// Compiled-design caching: the compile-once/simulate-many split behind
+// simulation-as-a-service. GSIM's whole premise is that an expensive build
+// (graph passes, supernode partitioning, kernel-pipeline compilation) buys
+// fast cycles; this file makes the expensive half a durable, shareable
+// artifact. CompileDesign produces an immutable CompiledDesign; NewSim stamps
+// out per-session engines over it (each engine owns only its mutable machine
+// state); CompileCache deduplicates concurrent compiles under singleflight so
+// N sessions of one design pay for one build.
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"gsim/internal/emit"
+	"gsim/internal/engine"
+	"gsim/internal/ir"
+	"gsim/internal/partition"
+	"gsim/internal/passes"
+)
+
+// CompiledDesign is the immutable output of the expensive build half:
+// optimized graph, compiled program, supernode partition, and (for the
+// level-scheduled engine) the levelization. Safe to share across concurrent
+// sessions — nothing here is written after CompileDesign returns, and engine
+// construction over it is serialized internally (some build-time helpers
+// memoize into shared tables).
+type CompiledDesign struct {
+	Config  Config // the normalized configuration it was compiled under
+	Graph   *ir.Graph
+	Prog    *emit.Program
+	Part    *partition.Result // nil for full-cycle engines
+	ByLevel [][]int32         // nil unless Config.Engine == EngineParallel
+
+	PassResult  passes.Result
+	PassTime    time.Duration
+	CompileTime time.Duration // passes + sort + emit + partition
+
+	simMu sync.Mutex
+}
+
+// CompileDesign runs the compile half of Build: clone, normalize, optimize,
+// topo-sort, emit, partition. The result is immutable and reusable by any
+// number of NewSim calls.
+func CompileDesign(g *ir.Graph, cfg Config) (*CompiledDesign, error) {
+	start := time.Now()
+	if cfg.MaxSupernode <= 0 {
+		cfg.MaxSupernode = DefaultMaxSupernode
+	}
+	work := g.Clone()
+
+	passStart := time.Now()
+	// Canonicalize to one operation per node (the paper's input form) so
+	// every configuration optimizes the same fine-grained graph.
+	passes.Normalize(work)
+	passRes := passes.Run(work, cfg.Opt)
+	passTime := time.Since(passStart)
+
+	if err := work.SortTopological(); err != nil {
+		return nil, fmt.Errorf("core: %v", err)
+	}
+	if err := work.Validate(); err != nil {
+		return nil, fmt.Errorf("core: optimized graph invalid: %v", err)
+	}
+	prog, err := emit.Compile(work)
+	if err != nil {
+		return nil, err
+	}
+
+	d := &CompiledDesign{
+		Config:     cfg,
+		Graph:      work,
+		Prog:       prog,
+		PassResult: passRes,
+		PassTime:   passTime,
+	}
+	switch cfg.Engine {
+	case EngineFullCycle:
+		// no schedule artifacts
+	case EngineParallel:
+		order := make([]int32, len(work.Nodes))
+		for i := range order {
+			order[i] = int32(i)
+		}
+		_, d.ByLevel = work.Levelize(order)
+	case EngineActivity, EngineParallelActivity:
+		d.Part = partition.Build(work, cfg.Partition, cfg.MaxSupernode)
+	default:
+		return nil, fmt.Errorf("core: unknown engine %d", cfg.Engine)
+	}
+	d.CompileTime = time.Since(start)
+	return d, nil
+}
+
+// DesignHash returns the compiled program's identity hash (hex) — the
+// snapshot compatibility key.
+func (d *CompiledDesign) DesignHash() string { return d.Prog.DesignHashString() }
+
+// NewSim instantiates one engine over the shared artifacts. cfg selects the
+// cheap per-session knobs (engine kind, eval mode, threads, activity config);
+// it must request the same engine family the design was compiled for (the
+// partition and levelization are engine-specific). Construction is
+// serialized: building an engine compiles machine-bound closure chains and
+// may memoize shared per-program tables, and serializing here keeps that
+// invisible to concurrent sessions. Once constructed, engines step fully
+// concurrently — each owns its machine state; the Program is read-only.
+func (d *CompiledDesign) NewSim(cfg Config) (engine.Sim, error) {
+	if cfg.Engine != d.Config.Engine {
+		return nil, fmt.Errorf("core: design compiled for engine %s, session asks for %s", d.Config.Engine, cfg.Engine)
+	}
+	d.simMu.Lock()
+	defer d.simMu.Unlock()
+	switch cfg.Engine {
+	case EngineFullCycle:
+		return engine.NewFullCycle(d.Prog, cfg.Eval), nil
+	case EngineParallel:
+		return engine.NewParallel(d.Prog, d.ByLevel, cfg.Threads, cfg.Eval), nil
+	case EngineActivity:
+		return engine.NewActivity(d.Prog, d.Part, cfg.Activity, cfg.Eval), nil
+	case EngineParallelActivity:
+		return engine.NewParallelActivity(d.Prog, d.Part, cfg.Activity, cfg.Threads, cfg.Eval), nil
+	}
+	return nil, fmt.Errorf("core: unknown engine %d", cfg.Engine)
+}
+
+// CacheKey derives the compile-cache key for a design source identity (the
+// caller supplies a content hash of the elaborated input, e.g. a FIRRTL text
+// hash) under a configuration. Every knob that can change the compiled
+// artifact or the per-session engine shape is folded in — optimization
+// options, engine, eval mode, threads, coarsening, partitioner, supernode
+// cap — so sessions share a cache entry exactly when their builds would be
+// interchangeable.
+func CacheKey(sourceHash string, cfg Config) string {
+	if cfg.MaxSupernode <= 0 {
+		cfg.MaxSupernode = DefaultMaxSupernode
+	}
+	return fmt.Sprintf("%s|opt=%+v|engine=%s|eval=%s|threads=%d|coarsen=%v/%d|part=%d|maxsup=%d|act=%d/%d/%v",
+		sourceHash, cfg.Opt, cfg.Engine, cfg.Eval, cfg.Threads,
+		cfg.Activity.Coarsen, cfg.Activity.CoarsenGrain,
+		cfg.Partition, cfg.MaxSupernode,
+		cfg.Activity.Activation, cfg.Activity.BranchlessMax, cfg.Activity.MultiBitCheck)
+}
+
+// CompileCache deduplicates design compilation: one entry per CacheKey,
+// compiled exactly once under singleflight (concurrent requests for the same
+// key block on the first compile instead of repeating it). Entries live for
+// the cache's lifetime — compiled designs are the product the service exists
+// to amortize; eviction policy can layer on later.
+type CompileCache struct {
+	mu      sync.Mutex
+	entries map[string]*cacheEntry
+	hits    uint64
+	misses  uint64
+}
+
+type cacheEntry struct {
+	once   sync.Once
+	design *CompiledDesign
+	err    error
+}
+
+// NewCompileCache returns an empty cache.
+func NewCompileCache() *CompileCache {
+	return &CompileCache{entries: map[string]*cacheEntry{}}
+}
+
+// Get returns the design for key, invoking compile at most once per key
+// across all concurrent callers. The bool reports whether the entry already
+// existed (a cache hit — the caller shares a previous compile). Failed
+// compiles are cached too: compilation is deterministic, so retrying the
+// same key cannot succeed.
+func (c *CompileCache) Get(key string, compile func() (*CompiledDesign, error)) (*CompiledDesign, bool, error) {
+	c.mu.Lock()
+	e, hit := c.entries[key]
+	if !hit {
+		e = &cacheEntry{}
+		c.entries[key] = e
+		c.misses++
+	} else {
+		c.hits++
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.design, e.err = compile() })
+	return e.design, hit, e.err
+}
+
+// Stats reports cumulative lookups: hits (entry existed) and misses (this
+// lookup created the entry and ran the compile).
+func (c *CompileCache) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Len returns the number of cached designs (including failed compiles).
+func (c *CompileCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

@@ -80,68 +80,34 @@ type System struct {
 
 // Build compiles a fresh simulator from the input graph. The input graph is
 // cloned first and never mutated, so one elaborated design can be built many
-// ways (as the experiments do).
+// ways (as the experiments do). Build is CompileDesign + NewSim in one call;
+// long-lived services that amortize the compile across many sessions use
+// those two halves directly (with a CompileCache between them).
 func Build(g *ir.Graph, cfg Config) (*System, error) {
 	start := time.Now()
-	if cfg.MaxSupernode <= 0 {
-		cfg.MaxSupernode = DefaultMaxSupernode
-	}
-	work := g.Clone()
-
-	passStart := time.Now()
-	// Canonicalize to one operation per node (the paper's input form) so
-	// every configuration optimizes the same fine-grained graph.
-	passes.Normalize(work)
-	passRes := passes.Run(work, cfg.Opt)
-	passTime := time.Since(passStart)
-
-	if err := work.SortTopological(); err != nil {
-		return nil, fmt.Errorf("core: %v", err)
-	}
-	if err := work.Validate(); err != nil {
-		return nil, fmt.Errorf("core: optimized graph invalid: %v", err)
-	}
-	prog, err := emit.Compile(work)
+	d, err := CompileDesign(g, cfg)
 	if err != nil {
 		return nil, err
 	}
-
+	sim, err := d.NewSim(cfg)
+	if err != nil {
+		return nil, err
+	}
 	sys := &System{
-		Config:     cfg,
-		Graph:      work,
-		Prog:       prog,
-		PassResult: passRes,
-		PassTime:   passTime,
+		Config:     d.Config,
+		Graph:      d.Graph,
+		Prog:       d.Prog,
+		Part:       d.Part,
+		Sim:        sim,
+		PassResult: d.PassResult,
+		PassTime:   d.PassTime,
+		BuildTime:  time.Since(start),
 	}
-	switch cfg.Engine {
-	case EngineFullCycle:
-		sys.Sim = engine.NewFullCycle(prog, cfg.Eval)
-	case EngineParallel:
-		order := make([]int32, len(work.Nodes))
-		for i := range order {
-			order[i] = int32(i)
-		}
-		_, byLevel := work.Levelize(order)
-		sys.Sim = engine.NewParallel(prog, byLevel, cfg.Threads, cfg.Eval)
-	case EngineActivity:
-		sys.Part = partition.Build(work, cfg.Partition, cfg.MaxSupernode)
-		sys.Sim = engine.NewActivity(prog, sys.Part, cfg.Activity, cfg.Eval)
-	case EngineParallelActivity:
-		sys.Part = partition.Build(work, cfg.Partition, cfg.MaxSupernode)
-		sys.Sim = engine.NewParallelActivity(prog, sys.Part, cfg.Activity, cfg.Threads, cfg.Eval)
-	default:
-		return nil, fmt.Errorf("core: unknown engine %d", cfg.Engine)
-	}
-	sys.BuildTime = time.Since(start)
 	return sys, nil
 }
 
 // Close releases engine resources (parallel workers).
-func (s *System) Close() {
-	if c, ok := s.Sim.(interface{ Close() }); ok {
-		c.Close()
-	}
-}
+func (s *System) Close() { s.Sim.Close() }
 
 // Node returns the optimized graph's node with the given name, or nil. Note
 // that optimization may remove or rename internal nodes; inputs and outputs

@@ -11,6 +11,7 @@ import (
 	"gsim/internal/firrtl"
 	"gsim/internal/gen"
 	"gsim/internal/ir"
+	"gsim/internal/snapshot"
 
 	"math/rand"
 )
@@ -127,6 +128,10 @@ func FuzzKernelLockstep(f *testing.F) {
 		coarseCfg.CoarsenGrain = 1 << 30
 		simC := engine.NewParallelActivity(sysK.Prog, sysK.Part, coarseCfg, 2, engine.EvalKernel)
 		defer simC.Close()
+		// The snapshot axis: this engine is serialized through the versioned
+		// snapshot format and restored into a fresh engine mid-run; its
+		// trajectory and stats must never diverge from the uninterrupted one.
+		var simS engine.Sim = engine.NewActivity(sysK.Prog, sysK.Part, sysK.Config.Activity, engine.EvalKernel)
 		ref, err := engine.NewReference(sysK.Graph)
 		if err != nil {
 			t.Fatal(err)
@@ -144,6 +149,19 @@ func FuzzKernelLockstep(f *testing.F) {
 		rng := rand.New(rand.NewSource(int64(len(data))*31 + 5))
 		const cycles = 24
 		for c := 0; c < cycles; c++ {
+			if c == cycles/2 {
+				// Snapshot boundary between Steps: save, restore into a
+				// brand-new engine, and continue on the replacement.
+				blob, err := snapshot.Save(simS)
+				if err != nil {
+					t.Fatal(err)
+				}
+				fresh := engine.NewActivity(sysK.Prog, sysK.Part, sysK.Config.Activity, engine.EvalKernel)
+				if err := snapshot.Restore(fresh, blob); err != nil {
+					t.Fatal(err)
+				}
+				simS = fresh
+			}
 			for _, in := range inputs {
 				v := bitvec.FromUint64(in.Width, rng.Uint64())
 				if in.Name == "reset" {
@@ -154,17 +172,20 @@ func FuzzKernelLockstep(f *testing.F) {
 				simNF.Poke(in.ID, v)
 				simI.Poke(in.ID, v)
 				simC.Poke(in.ID, v)
+				simS.Poke(in.ID, v)
 			}
 			ref.Step()
 			sysK.Sim.Step()
 			simNF.Step()
 			simI.Step()
 			simC.Step()
+			simS.Step()
 			stK := sysK.Sim.Machine().State
 			for name, st := range map[string][]uint64{
-				"kernel-nofuse": simNF.Machine().State,
-				"interp":        simI.Machine().State,
-				"coarsen-2T":    simC.Machine().State,
+				"kernel-nofuse":      simNF.Machine().State,
+				"interp":             simI.Machine().State,
+				"coarsen-2T":         simC.Machine().State,
+				"snapshot-roundtrip": simS.Machine().State,
 			} {
 				for w := range stK {
 					if stK[w] != st[w] {
@@ -180,8 +201,12 @@ func FuzzKernelLockstep(f *testing.F) {
 			}
 		}
 
-		// Stats must not depend on the evaluation mode.
+		// Stats must not depend on the evaluation mode — nor on a snapshot
+		// round-trip through a fresh engine mid-run.
 		a, b, nf := sysK.Sim.Stats(), simI.Stats(), simNF.Stats()
+		if s := simS.Stats(); *a != *s {
+			t.Fatalf("stats diverge kernel vs snapshot-roundtrip:\nkernel   %+v\nsnapshot %+v", *a, *s)
+		}
 		for name, other := range map[string]*engine.Stats{"interp": b, "kernel-nofuse": nf} {
 			if a.NodeEvals != other.NodeEvals || a.Activations != other.Activations ||
 				a.Examinations != other.Examinations || a.InstrsExecuted != other.InstrsExecuted ||

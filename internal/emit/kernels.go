@@ -24,15 +24,17 @@ const numOpCodes = int(cOpCount)
 // kernel table (specialized narrow closures, execWide for everything wider).
 // It exists as the measurable baseline the fused pipeline is benchmarked
 // against (-eval kernel-nofuse) and is built only when an engine asks for it.
+// The build is once-guarded: a Program shared by concurrently constructed
+// engines (server sessions over one cached compile) builds the table exactly
+// once.
 func (p *Program) BuildKernelsBase() {
-	if p.KernelsBase != nil {
-		return
-	}
-	fns := make([]KernelFn, len(p.Instrs))
-	for i := range p.Instrs {
-		fns[i] = compileKernelBase(p, p.Instrs[i])
-	}
-	p.KernelsBase = fns
+	p.kernOnce.Do(func() {
+		fns := make([]KernelFn, len(p.Instrs))
+		for i := range p.Instrs {
+			fns[i] = compileKernelBase(p, p.Instrs[i])
+		}
+		p.KernelsBase = fns
+	})
 }
 
 // ExecKernelBase runs instructions [start, end) through the baseline kernel

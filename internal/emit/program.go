@@ -15,6 +15,7 @@ package emit
 
 import (
 	"fmt"
+	"sync"
 	"time"
 	"unsafe"
 
@@ -133,6 +134,14 @@ type Program struct {
 	Mems []MemSpec
 
 	EmitTime time.Duration
+
+	// Memoized design hash (see hash.go) and the once guarding the lazy
+	// KernelsBase build — both keep a Program safely shareable across
+	// concurrently constructed engines (the server's compiled-design cache
+	// hands one Program to many sessions).
+	hashOnce sync.Once
+	hash     [32]byte
+	kernOnce sync.Once
 }
 
 // CodeBytes returns the emitted code size in bytes (Table IV "Code Size").

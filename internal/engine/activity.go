@@ -230,15 +230,21 @@ func (a *Activity) activateAll() {
 	}
 }
 
-// Reset restores initial state and re-arms full evaluation.
+// Reset restores complete power-on state (image, memories, counters) and
+// re-arms full evaluation — bit-for-bit the post-construction shape, with no
+// recompilation.
 func (a *Activity) Reset() {
-	a.m.Reset()
+	a.resetBase()
 	a.activateAll()
 	for _, id := range a.pending {
 		a.pendingFlag[id] = false
 	}
 	a.pending = a.pending[:0]
 }
+
+// Close is a no-op: the serial engine owns no goroutines. It exists so every
+// engine satisfies the same lifecycle (session pools Close uniformly).
+func (a *Activity) Close() {}
 
 // Poke sets an input and activates its readers when the value changes.
 func (a *Activity) Poke(nodeID int, v bitvec.BV) {

@@ -24,9 +24,16 @@ import (
 
 // Sim is a cycle-accurate simulator instance.
 type Sim interface {
-	// Reset restores the initial state (register init values, memory images)
-	// and re-arms full evaluation on the next Step.
+	// Reset restores complete power-on state without recompiling: register
+	// init values, memory images, stat counters, and engine bookkeeping all
+	// return to their post-construction values, and full evaluation is
+	// re-armed for the next Step. Session pools rely on Reset being
+	// indistinguishable from a fresh build of the same configuration.
 	Reset()
+	// Close releases engine resources (parallel worker goroutines; a no-op
+	// for serial engines). Idempotent, and safe to interleave with Reset —
+	// but never concurrent with Step. A closed engine must not be stepped.
+	Close()
 	// Step simulates one clock cycle.
 	Step()
 	// Peek returns a node's current value.
@@ -167,6 +174,16 @@ func (b *base) applyResets(onChange func(id int32)) {
 			}
 		}
 	}
+}
+
+// resetBase restores the engine-independent power-on state: the machine's
+// state image, memory arrays, and retired-instruction counter, plus the stat
+// block (EvaluableNodes is structural and survives). Engines layer their own
+// re-arming (active bits, pending lists) on top.
+func (b *base) resetBase() {
+	b.m.Reset()
+	b.m.Executed = 0
+	b.stats = Stats{EvaluableNodes: uint64(len(b.coded))}
 }
 
 // countInstrs retires n instructions into both the engine stats and the

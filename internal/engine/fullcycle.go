@@ -33,10 +33,14 @@ func NewFullCycle(p *emit.Program, mode EvalMode) *FullCycle {
 	return f
 }
 
-// Reset restores initial state.
+// Reset restores complete power-on state (image, memories, counters).
 func (f *FullCycle) Reset() {
-	f.m.Reset()
+	f.resetBase()
 }
+
+// Close is a no-op: the serial engine owns no goroutines. It exists so every
+// engine satisfies the same lifecycle (session pools Close uniformly).
+func (f *FullCycle) Close() {}
 
 // Step simulates one cycle.
 func (f *FullCycle) Step() {

@@ -112,8 +112,10 @@ func (e *Parallel) runLevel(w, lv int) {
 	}
 }
 
-// Reset restores initial state.
-func (e *Parallel) Reset() { e.m.Reset() }
+// Reset restores complete power-on state (image, memories, counters). The
+// worker pool is untouched — workers are stateless between cycles — so Reset
+// never recompiles and composes with Close in either order.
+func (e *Parallel) Reset() { e.resetBase() }
 
 // Step simulates one cycle across all workers.
 func (e *Parallel) Step() {

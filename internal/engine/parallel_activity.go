@@ -293,15 +293,31 @@ func (e *ParallelActivity) activateAll() {
 	}
 }
 
-// Reset restores initial state and re-arms full evaluation.
+// Reset restores complete power-on state (image, memories, counters) and
+// re-arms full evaluation: active bits, outboxes, dirty flags, and pending
+// lists all return to their post-construction shape, with no recompilation.
 func (e *ParallelActivity) Reset() {
-	e.m.Reset()
+	e.resetBase()
+	for i := range e.active {
+		e.active[i] = 0
+	}
 	e.activateAll()
+	for w := range e.out {
+		out := e.out[w]
+		for i := range out {
+			out[i] = 0
+		}
+		dirty := e.dirty[w]
+		for i := range dirty {
+			dirty[i] = false
+		}
+	}
 	for _, ws := range e.ws {
 		for _, id := range ws.pending {
 			e.pendingFlag[id] = false
 		}
 		ws.pending = ws.pending[:0]
+		ws.nodeEvals, ws.activations, ws.examinations, ws.instrs = 0, 0, 0, 0
 	}
 }
 

@@ -159,5 +159,8 @@ func (r *Reference) Stats() *Stats { return &r.stats }
 // Machine returns nil: the reference has no compiled program.
 func (r *Reference) Machine() *emit.Machine { return nil }
 
+// Close is a no-op: the reference interpreter owns no goroutines.
+func (r *Reference) Close() {}
+
 // Graph returns the graph this reference simulates.
 func (r *Reference) Graph() *ir.Graph { return r.g }

@@ -1,0 +1,235 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SimState is the complete mutable state of a Sim between Steps — everything
+// a checkpoint must carry for a resumed run to be bit-identical (state image,
+// waveform, and stat counters) to an uninterrupted one. It lives next to
+// Tracer as the second engine-introspection surface: Tracer streams state out
+// per cycle, Snapshotter moves it in and out at rest.
+//
+// The first four fields are engine-independent (they mirror emit.Machine plus
+// the Stats block every engine keeps). The activity fields carry the
+// essential-signal engines' arming state in partition space — supernode
+// indices, not active-word layouts — so a capture from the serial Activity
+// engine restores into a ParallelActivity at any thread count (and vice
+// versa): each engine re-derives its own word layout from the supernode set.
+type SimState struct {
+	State    []uint64   // machine state image (Program.NumWords words)
+	Mems     [][]uint64 // memory arrays, per MemSpec
+	Executed uint64     // Machine.Executed
+	Stats    Stats
+
+	// SupCount is the supernode count of the capturing engine's partition; 0
+	// when the engine tracks no activity (FullCycle, Parallel). Restoring an
+	// activity engine validates it against its own partition.
+	SupCount int
+	// ActiveSups lists the armed supernodes, ascending. Meaningful only when
+	// SupCount > 0; restoring from a SupCount == 0 capture conservatively
+	// re-arms everything (a full evaluation is always semantically safe).
+	ActiveSups []int32
+	// PendingRegs lists registers with an uncommitted next value. Engines
+	// drain pending registers inside Step, so captures taken between Steps —
+	// the only supported capture point — normally carry none; the field
+	// exists so a restore fully determines the engine's commit bookkeeping.
+	PendingRegs []int32
+}
+
+// Snapshotter is implemented by every engine: CaptureState enumerates the
+// complete mutable state, RestoreState overwrites it. Both must be called
+// between Steps (never concurrently with one). The returned SimState aliases
+// live engine storage — serialize or copy it before stepping again.
+// RestoreState copies out of the argument into the engine's existing buffers
+// (compiled bound chains hold pointers into the machine's state image, so the
+// image is overwritten in place, never reallocated) and fully re-derives the
+// engine's private bookkeeping, so restoring into a used engine is exactly a
+// restore into a fresh one.
+type Snapshotter interface {
+	CaptureState() *SimState
+	RestoreState(*SimState) error
+}
+
+// captureBase fills the engine-independent fields.
+func (b *base) captureBase() *SimState {
+	return &SimState{
+		State:    b.m.State,
+		Mems:     b.m.Mems,
+		Executed: b.m.Executed,
+		Stats:    b.stats,
+	}
+}
+
+// restoreBase validates shapes and copies the machine image and counters in
+// place.
+func (b *base) restoreBase(s *SimState) error {
+	if len(s.State) != len(b.m.State) {
+		return fmt.Errorf("engine: state image is %d words, engine has %d", len(s.State), len(b.m.State))
+	}
+	if len(s.Mems) != len(b.m.Mems) {
+		return fmt.Errorf("engine: snapshot has %d memories, engine has %d", len(s.Mems), len(b.m.Mems))
+	}
+	for i := range s.Mems {
+		if len(s.Mems[i]) != len(b.m.Mems[i]) {
+			return fmt.Errorf("engine: memory %d is %d words, engine has %d", i, len(s.Mems[i]), len(b.m.Mems[i]))
+		}
+	}
+	copy(b.m.State, s.State)
+	for i := range s.Mems {
+		copy(b.m.Mems[i], s.Mems[i])
+	}
+	b.m.Executed = s.Executed
+	b.stats = s.Stats
+	b.stats.EvaluableNodes = uint64(len(b.coded)) // engine-derived, same design => same value
+	return nil
+}
+
+// CaptureState enumerates the full-cycle engine's state: the machine image
+// and counters are everything it has.
+func (f *FullCycle) CaptureState() *SimState { return f.captureBase() }
+
+// RestoreState overwrites the full-cycle engine's state.
+func (f *FullCycle) RestoreState(s *SimState) error { return f.restoreBase(s) }
+
+// CaptureState enumerates the parallel full-cycle engine's state. Workers
+// hold no per-cycle residue between Steps, so the base state is complete.
+func (e *Parallel) CaptureState() *SimState { return e.captureBase() }
+
+// RestoreState overwrites the parallel full-cycle engine's state.
+func (e *Parallel) RestoreState(s *SimState) error { return e.restoreBase(s) }
+
+// CaptureState enumerates the essential-signal engine's state: machine image,
+// counters, the armed supernode set, and any uncommitted registers.
+func (a *Activity) CaptureState() *SimState {
+	s := a.captureBase()
+	s.SupCount = a.part.Count()
+	for sup := int32(0); sup < int32(s.SupCount); sup++ {
+		if a.active[sup>>6]&(uint64(1)<<uint(sup&63)) != 0 {
+			s.ActiveSups = append(s.ActiveSups, sup)
+		}
+	}
+	s.PendingRegs = append(s.PendingRegs, a.pending...)
+	return s
+}
+
+// RestoreState overwrites the essential-signal engine's state and re-derives
+// its activity bookkeeping from the snapshot's supernode set.
+func (a *Activity) RestoreState(s *SimState) error {
+	if err := checkSups(s, a.part.Count(), len(a.pendingFlag)); err != nil {
+		return err
+	}
+	if err := a.restoreBase(s); err != nil {
+		return err
+	}
+	for i := range a.active {
+		a.active[i] = 0
+	}
+	for i := range a.pendingFlag {
+		a.pendingFlag[i] = false
+	}
+	a.pending = a.pending[:0]
+	if s.SupCount == 0 {
+		a.activateAll() // capture carried no activity info: full re-evaluation is safe
+	} else {
+		for _, sup := range s.ActiveSups {
+			a.active[sup>>6] |= uint64(1) << uint(sup&63)
+		}
+	}
+	for _, id := range s.PendingRegs {
+		a.pendingFlag[id] = true
+		a.pending = append(a.pending, id)
+	}
+	return nil
+}
+
+// CaptureState enumerates the multi-threaded essential-signal engine's state.
+// Outboxes and dirty flags are always drained by the end of a Step (every
+// published activation targets a level the sweep still visits, and serial
+// commits write active words directly), so the armed supernode set plus the
+// base state is complete.
+func (e *ParallelActivity) CaptureState() *SimState {
+	s := e.captureBase()
+	s.SupCount = e.part.Count()
+	for sup := range e.supSlot {
+		slot := e.supSlot[sup]
+		if e.active[slot>>6]&(uint64(1)<<uint(slot&63)) != 0 {
+			s.ActiveSups = append(s.ActiveSups, int32(sup))
+		}
+	}
+	sort.Slice(s.ActiveSups, func(i, j int) bool { return s.ActiveSups[i] < s.ActiveSups[j] })
+	for _, ws := range e.ws {
+		s.PendingRegs = append(s.PendingRegs, ws.pending...)
+	}
+	return s
+}
+
+// RestoreState overwrites the multi-threaded essential-signal engine's state,
+// re-deriving its private word layout from the snapshot's supernode set and
+// clearing all worker residue (outboxes, dirty flags, pending lists) — the
+// same shape a fresh engine has.
+func (e *ParallelActivity) RestoreState(s *SimState) error {
+	if err := checkSups(s, e.part.Count(), len(e.pendingFlag)); err != nil {
+		return err
+	}
+	if err := e.restoreBase(s); err != nil {
+		return err
+	}
+	for i := range e.active {
+		e.active[i] = 0
+	}
+	for w := range e.out {
+		out := e.out[w]
+		for i := range out {
+			out[i] = 0
+		}
+		dirty := e.dirty[w]
+		for i := range dirty {
+			dirty[i] = false
+		}
+	}
+	for i := range e.pendingFlag {
+		e.pendingFlag[i] = false
+	}
+	for _, ws := range e.ws {
+		ws.pending = ws.pending[:0]
+	}
+	if s.SupCount == 0 {
+		e.activateAll()
+	} else {
+		for _, sup := range s.ActiveSups {
+			slot := e.supSlot[sup]
+			e.active[slot>>6] |= uint64(1) << uint(slot&63)
+		}
+	}
+	// Pending registers land on worker 0: commit drains every worker's list
+	// serially and register commits commute (distinct registers, OR-ed
+	// activations), so placement does not affect the trajectory.
+	for _, id := range s.PendingRegs {
+		e.pendingFlag[id] = true
+		e.ws[0].pending = append(e.ws[0].pending, id)
+	}
+	return nil
+}
+
+// checkSups validates a snapshot's activity section against the restoring
+// engine's partition — a capture that carried supernode state must come from
+// the same partition shape, every listed index must be in range, and pending
+// register IDs must be valid nodes — before any engine state is mutated.
+func checkSups(s *SimState, count, nodes int) error {
+	if s.SupCount != 0 && s.SupCount != count {
+		return fmt.Errorf("engine: snapshot partition has %d supernodes, engine has %d", s.SupCount, count)
+	}
+	for _, sup := range s.ActiveSups {
+		if sup < 0 || int(sup) >= count {
+			return fmt.Errorf("engine: active supernode %d out of range [0,%d)", sup, count)
+		}
+	}
+	for _, id := range s.PendingRegs {
+		if id < 0 || int(id) >= nodes {
+			return fmt.Errorf("engine: pending register %d out of range [0,%d)", id, nodes)
+		}
+	}
+	return nil
+}

@@ -1,6 +1,7 @@
 package passes
 
 import (
+	"fmt"
 	"sort"
 
 	"gsim/internal/ir"
@@ -142,8 +143,22 @@ func extractCommon(g *ir.Graph, costNode int) int {
 		return 0
 	}
 	// Materialize larger expressions first so smaller chosen subexpressions
-	// can still be referenced inside them.
-	sort.Slice(chosen, func(i, j int) bool { return chosen[i].cost > chosen[j].cost })
+	// can still be referenced inside them. Ties break on the canonical
+	// rendering, never on map-iteration order: extraction order names the
+	// _cse nodes and therefore fixes the compiled program's layout, which
+	// must be bit-identical across builds and processes (design hashing,
+	// snapshot compatibility, the compiled-design cache all depend on it).
+	// Expr.Hash cannot serve here — maphash seeds differ per process.
+	keys := make(map[*vnInfo]string, len(chosen))
+	for _, info := range chosen {
+		keys[info] = fmt.Sprintf("%d:%s", info.expr.Width, info.expr)
+	}
+	sort.Slice(chosen, func(i, j int) bool {
+		if chosen[i].cost != chosen[j].cost {
+			return chosen[i].cost > chosen[j].cost
+		}
+		return keys[chosen[i]] < keys[chosen[j]]
+	})
 
 	newNode := map[uint64]*ir.Node{}
 	replace := func(slot **ir.Expr, self *ir.Node) {

@@ -1,0 +1,239 @@
+// HTTP+JSON transport for the session manager — the cmd/gsim-serve API.
+//
+// Endpoints (all JSON bodies; errors are {"error": "..."} with 4xx/5xx):
+//
+//	POST   /v1/sessions               create a session
+//	GET    /v1/sessions               list live sessions
+//	POST   /v1/sessions/{id}/ops      apply a batched op list atomically
+//	POST   /v1/sessions/{id}/snapshot serialize state (base64 blob)
+//	POST   /v1/sessions/{id}/restore  overwrite state from a blob
+//	DELETE /v1/sessions/{id}          close a session
+//	GET    /v1/stats                  manager + compile-cache counters
+package server
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+
+	"gsim/internal/snapshot"
+)
+
+// CreateRequest is the POST /v1/sessions body: the design source plus the
+// session spec (flattened).
+type CreateRequest struct {
+	FIRRTL string `json:"firrtl"`
+	SessionSpec
+}
+
+// CreateResponse reports the opened session and how its compile was served.
+type CreateResponse struct {
+	Session    string  `json:"session"`
+	DesignHash string  `json:"design_hash"`
+	CacheHit   bool    `json:"cache_hit"`
+	CompileMS  float64 `json:"compile_ms"` // the shared compile's cost (paid once per cache entry)
+	Nodes      int     `json:"nodes"`
+}
+
+// OpsRequest is the POST /v1/sessions/{id}/ops body.
+type OpsRequest struct {
+	Ops []Op `json:"ops"`
+}
+
+// OpsResponse carries one result per completed op.
+type OpsResponse struct {
+	Results []OpResult `json:"results"`
+}
+
+// SnapshotResponse carries a serialized state blob.
+type SnapshotResponse struct {
+	Snapshot string `json:"snapshot"` // base64 of the internal/snapshot format
+	Bytes    int    `json:"bytes"`
+	Cycles   uint64 `json:"cycles"`
+}
+
+// RestoreRequest is the POST /v1/sessions/{id}/restore body.
+type RestoreRequest struct {
+	Snapshot string `json:"snapshot"` // base64 of the internal/snapshot format
+}
+
+// RestoreResponse reports the resumed cycle count.
+type RestoreResponse struct {
+	Cycles uint64 `json:"cycles"`
+}
+
+// SessionInfo is one GET /v1/sessions entry.
+type SessionInfo struct {
+	Session    string `json:"session"`
+	DesignHash string `json:"design_hash"`
+	Cycles     uint64 `json:"cycles"`
+}
+
+// StatsResponse is the GET /v1/stats body.
+type StatsResponse struct {
+	Sessions    int    `json:"sessions"`
+	Designs     int    `json:"designs"`
+	CacheHits   uint64 `json:"cache_hits"`
+	CacheMisses uint64 `json:"cache_misses"`
+}
+
+// Handler returns the manager's HTTP API.
+func (m *Manager) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sessions", m.handleCreate)
+	mux.HandleFunc("GET /v1/sessions", m.handleList)
+	mux.HandleFunc("POST /v1/sessions/{id}/ops", m.withSession(handleOps))
+	mux.HandleFunc("POST /v1/sessions/{id}/snapshot", m.withSession(handleSnapshot))
+	mux.HandleFunc("POST /v1/sessions/{id}/restore", m.withSession(handleRestore))
+	mux.HandleFunc("DELETE /v1/sessions/{id}", m.withSession(handleClose))
+	mux.HandleFunc("GET /v1/stats", m.handleStats)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// errStatus maps a manager error to an HTTP status: validation-shaped errors
+// (bad spec, unknown node, malformed literal, mismatched snapshot) are the
+// client's fault; draining is unavailability.
+func errStatus(err error) int {
+	msg := err.Error()
+	if strings.Contains(msg, "draining") {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusBadRequest
+}
+
+func (m *Manager) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var req CreateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %v", err))
+		return
+	}
+	if req.FIRRTL == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("firrtl source required"))
+		return
+	}
+	s, err := m.CreateSession(req.FIRRTL, req.SessionSpec)
+	if err != nil {
+		writeError(w, errStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, CreateResponse{
+		Session:    s.ID,
+		DesignHash: s.Design.DesignHash(),
+		CacheHit:   s.CacheHit,
+		CompileMS:  float64(s.Design.CompileTime.Microseconds()) / 1000,
+		Nodes:      len(s.Design.Graph.Nodes),
+	})
+}
+
+func (m *Manager) handleList(w http.ResponseWriter, r *http.Request) {
+	ids := m.SessionIDs()
+	sort.Strings(ids)
+	infos := make([]SessionInfo, 0, len(ids))
+	for _, id := range ids {
+		s, err := m.Session(id)
+		if err != nil {
+			continue // closed concurrently
+		}
+		infos = append(infos, SessionInfo{Session: s.ID, DesignHash: s.Design.DesignHash(), Cycles: s.Cycles()})
+	}
+	writeJSON(w, http.StatusOK, infos)
+}
+
+func (m *Manager) handleStats(w http.ResponseWriter, r *http.Request) {
+	hits, misses, designs := m.CacheStats()
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Sessions:    m.SessionCount(),
+		Designs:     designs,
+		CacheHits:   hits,
+		CacheMisses: misses,
+	})
+}
+
+// withSession resolves the {id} path segment before dispatching.
+func (m *Manager) withSession(h func(s *Session, w http.ResponseWriter, r *http.Request)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s, err := m.Session(r.PathValue("id"))
+		if err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		h(s, w, r)
+	}
+}
+
+func handleOps(s *Session, w http.ResponseWriter, r *http.Request) {
+	var req OpsRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %v", err))
+		return
+	}
+	results, err := s.Apply(req.Ops)
+	if err != nil {
+		// A failed batch is not rolled back — ops before the failing one did
+		// run (steps advanced the session). Return their results alongside
+		// the error so the client knows how far the batch applied.
+		writeJSON(w, errStatus(err), struct {
+			Error   string     `json:"error"`
+			Results []OpResult `json:"results"`
+		}{err.Error(), results})
+		return
+	}
+	writeJSON(w, http.StatusOK, OpsResponse{Results: results})
+}
+
+func handleSnapshot(s *Session, w http.ResponseWriter, r *http.Request) {
+	data, err := s.Snapshot()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	// The cycle count comes from the blob's own header, not a second (and
+	// racy) session read: a concurrent step batch could advance the session
+	// between Save and here.
+	h, err := snapshot.ReadHeader(data)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, SnapshotResponse{
+		Snapshot: base64.StdEncoding.EncodeToString(data),
+		Bytes:    len(data),
+		Cycles:   h.Cycles,
+	})
+}
+
+func handleRestore(s *Session, w http.ResponseWriter, r *http.Request) {
+	var req RestoreRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %v", err))
+		return
+	}
+	data, err := base64.StdEncoding.DecodeString(req.Snapshot)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad snapshot encoding: %v", err))
+		return
+	}
+	if err := s.Restore(data); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, RestoreResponse{Cycles: s.Cycles()})
+}
+
+func handleClose(s *Session, w http.ResponseWriter, r *http.Request) {
+	_ = s.Close()
+	writeJSON(w, http.StatusOK, map[string]string{"closed": s.ID})
+}

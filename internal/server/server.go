@@ -1,0 +1,391 @@
+// Package server is the simulation-as-a-service layer: a session manager
+// multiplexing many concurrent simulator sessions over a compiled-design
+// cache. The paper's compile-once/simulate-fast economics only pay off if the
+// compile is amortized; here, N sessions of one (design, configuration) share
+// a single core.CompiledDesign — compiled exactly once under singleflight —
+// and each session owns only its mutable engine (machine state image, active
+// bits). Sessions step fully concurrently; the shared Program and partition
+// are read-only after compilation.
+//
+// The manager is transport-agnostic (harness experiments and benchmarks
+// drive it in-process); http.go exposes it as the HTTP+JSON API behind
+// cmd/gsim-serve.
+package server
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"sync"
+	"time"
+
+	"gsim/internal/bitvec"
+	"gsim/internal/core"
+	"gsim/internal/engine"
+	"gsim/internal/firrtl"
+	"gsim/internal/ir"
+	"gsim/internal/snapshot"
+)
+
+// SessionSpec is a client's session configuration: the same knobs cmd/gsim
+// exposes as flags, with the same defaults (gsim preset, kernel eval).
+type SessionSpec struct {
+	Engine       string `json:"engine,omitempty"`        // gsim | verilator | essent | arcilator (default gsim)
+	Eval         string `json:"eval,omitempty"`          // kernel | kernel-nofuse | interp (default kernel)
+	Threads      int    `json:"threads,omitempty"`       // gsim -> GSIMMT, verilator -> Verilator-MT
+	Coarsen      bool   `json:"coarsen,omitempty"`       // adaptive level coarsening (parallel essential-signal)
+	MaxSupernode int    `json:"max_supernode,omitempty"` // supernode size cap (0 = default)
+}
+
+// coreConfig resolves the spec to a core configuration, mirroring cmd/gsim's
+// flag handling so a server session and a CLI run with the same knobs build
+// the same simulator.
+func (sp SessionSpec) coreConfig() (core.Config, error) {
+	var cfg core.Config
+	engineName := sp.Engine
+	if engineName == "" {
+		engineName = "gsim"
+	}
+	switch engineName {
+	case "gsim":
+		if sp.Threads > 0 {
+			cfg = core.GSIMMT(sp.Threads)
+		} else {
+			cfg = core.GSIM()
+		}
+	case "verilator":
+		if sp.Threads > 0 {
+			cfg = core.VerilatorMT(sp.Threads)
+		} else {
+			cfg = core.Verilator()
+		}
+	case "essent":
+		cfg = core.Essent()
+	case "arcilator":
+		cfg = core.Arcilator()
+	default:
+		return cfg, fmt.Errorf("server: unknown engine %q", engineName)
+	}
+	if sp.Threads > 0 && cfg.Threads == 0 {
+		return cfg, fmt.Errorf("server: threads only valid with engine gsim or verilator")
+	}
+	evalName := sp.Eval
+	if evalName == "" {
+		evalName = "kernel"
+	}
+	mode, err := engine.ParseEvalMode(evalName)
+	if err != nil {
+		return cfg, fmt.Errorf("server: %v", err)
+	}
+	cfg.Eval = mode
+	cfg.Activity.Coarsen = sp.Coarsen
+	if sp.MaxSupernode > 0 {
+		cfg.MaxSupernode = sp.MaxSupernode
+	}
+	return cfg, nil
+}
+
+// Manager multiplexes sessions over a compiled-design cache.
+type Manager struct {
+	cache *core.CompileCache
+
+	mu       sync.Mutex
+	sessions map[string]*Session
+	nextID   uint64
+	draining bool
+}
+
+// NewManager returns a manager with an empty compile cache.
+func NewManager() *Manager {
+	return &Manager{cache: core.NewCompileCache(), sessions: map[string]*Session{}}
+}
+
+// Session is one live simulator instance. All operations serialize on the
+// session's own lock; distinct sessions never contend (beyond the shared
+// read-only design).
+type Session struct {
+	ID       string
+	Design   *core.CompiledDesign
+	CacheHit bool // whether creation shared a previously compiled design
+
+	mgr *Manager
+	cfg core.Config
+
+	mu       sync.Mutex
+	sim      engine.Sim
+	closed   bool
+	steps    uint64        // cycles stepped through this session
+	stepTime time.Duration // wall time inside Step, for sessions/s diagnostics
+}
+
+// CreateSession compiles (or reuses) the design described by FIRRTL source
+// text under the spec's configuration and opens a session over it.
+func (m *Manager) CreateSession(src string, spec SessionSpec) (*Session, error) {
+	sum := sha256.Sum256([]byte(src))
+	return m.create(fmt.Sprintf("firrtl:%x", sum), spec, func() (*ir.Graph, error) {
+		return firrtl.Load(src)
+	})
+}
+
+// CreateSessionGraph opens a session over a pre-elaborated graph. sourceKey
+// must identify the design content (it anchors the compile-cache key the way
+// the FIRRTL content hash does for CreateSession).
+func (m *Manager) CreateSessionGraph(g *ir.Graph, sourceKey string, spec SessionSpec) (*Session, error) {
+	return m.create("graph:"+sourceKey, spec, func() (*ir.Graph, error) { return g, nil })
+}
+
+func (m *Manager) create(sourceKey string, spec SessionSpec, load func() (*ir.Graph, error)) (*Session, error) {
+	cfg, err := spec.coreConfig()
+	if err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	if m.draining {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("server: draining, not accepting sessions")
+	}
+	m.mu.Unlock()
+
+	design, hit, err := m.cache.Get(core.CacheKey(sourceKey, cfg), func() (*core.CompiledDesign, error) {
+		g, err := load()
+		if err != nil {
+			return nil, err
+		}
+		return core.CompileDesign(g, cfg)
+	})
+	if err != nil {
+		return nil, err
+	}
+	sim, err := design.NewSim(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.draining {
+		sim.Close()
+		return nil, fmt.Errorf("server: draining, not accepting sessions")
+	}
+	m.nextID++
+	s := &Session{
+		ID:       fmt.Sprintf("s%d", m.nextID),
+		Design:   design,
+		CacheHit: hit,
+		mgr:      m,
+		cfg:      cfg,
+		sim:      sim,
+	}
+	m.sessions[s.ID] = s
+	return s, nil
+}
+
+// Session returns a live session by ID.
+func (m *Manager) Session(id string) (*Session, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.sessions[id]
+	if !ok {
+		return nil, fmt.Errorf("server: no session %q", id)
+	}
+	return s, nil
+}
+
+// SessionIDs lists live sessions (sorted by creation: IDs are sequential).
+func (m *Manager) SessionIDs() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ids := make([]string, 0, len(m.sessions))
+	for id := range m.sessions {
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+// SessionCount returns the number of live sessions.
+func (m *Manager) SessionCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.sessions)
+}
+
+// CacheStats reports compile-cache hits, misses, and resident designs.
+func (m *Manager) CacheStats() (hits, misses uint64, designs int) {
+	hits, misses = m.cache.Stats()
+	return hits, misses, m.cache.Len()
+}
+
+// Drain stops accepting new sessions and closes every live one. Used by
+// graceful shutdown: in-flight operations finish (each waits its session
+// lock), new work is refused.
+func (m *Manager) Drain() {
+	m.mu.Lock()
+	m.draining = true
+	open := make([]*Session, 0, len(m.sessions))
+	for _, s := range m.sessions {
+		open = append(open, s)
+	}
+	m.mu.Unlock()
+	for _, s := range open {
+		s.Close()
+	}
+}
+
+// Op is one entry of a batched operation list — the unit of the service's
+// request batching. A round-trip per poke would dominate simulation cost;
+// a batch applies many pokes/steps/peeks atomically under one session lock.
+type Op struct {
+	Op    string `json:"op"`              // poke | peek | step | reset
+	Name  string `json:"name,omitempty"`  // poke/peek: node name
+	Value string `json:"value,omitempty"` // poke: FIRRTL-style literal ("h1f", "42", "b101")
+	N     int    `json:"n,omitempty"`     // step: cycle count (default 1)
+}
+
+// OpResult is the outcome of one Op. Peek fills Value (width'hHEX); step
+// fills Cycles with the session's total simulated cycles after the step.
+type OpResult struct {
+	Op     string `json:"op"`
+	Name   string `json:"name,omitempty"`
+	Value  string `json:"value,omitempty"`
+	Cycles uint64 `json:"cycles,omitempty"`
+}
+
+// errClosed is returned for any operation on a closed session.
+func (s *Session) errClosed() error { return fmt.Errorf("server: session %s is closed", s.ID) }
+
+// Apply runs a batch of operations atomically: no other session operation
+// interleaves. The first failing op aborts the batch; results for completed
+// ops are returned alongside the error.
+func (s *Session) Apply(ops []Op) ([]OpResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, s.errClosed()
+	}
+	results := make([]OpResult, 0, len(ops))
+	for i, op := range ops {
+		res := OpResult{Op: op.Op, Name: op.Name}
+		switch op.Op {
+		case "poke":
+			n := s.Design.Graph.FindNode(op.Name)
+			if n == nil {
+				return results, fmt.Errorf("server: op %d: no node %q", i, op.Name)
+			}
+			v, err := bitvec.Parse(n.Width, op.Value)
+			if err != nil {
+				return results, fmt.Errorf("server: op %d: %v", i, err)
+			}
+			s.sim.Poke(n.ID, v)
+		case "peek":
+			n := s.Design.Graph.FindNode(op.Name)
+			if n == nil {
+				return results, fmt.Errorf("server: op %d: no node %q", i, op.Name)
+			}
+			res.Value = s.sim.Peek(n.ID).String()
+		case "step":
+			cycles := op.N
+			if cycles <= 0 {
+				cycles = 1
+			}
+			start := time.Now()
+			for c := 0; c < cycles; c++ {
+				s.sim.Step()
+			}
+			s.stepTime += time.Since(start)
+			s.steps += uint64(cycles)
+			res.Cycles = s.sim.Stats().Cycles
+		case "reset":
+			s.sim.Reset()
+			s.steps, s.stepTime = 0, 0
+			res.Cycles = 0
+		default:
+			return results, fmt.Errorf("server: op %d: unknown op %q (want poke, peek, step, or reset)", i, op.Op)
+		}
+		results = append(results, res)
+	}
+	return results, nil
+}
+
+// Poke sets an input by name from a FIRRTL-style literal.
+func (s *Session) Poke(name, literal string) error {
+	_, err := s.Apply([]Op{{Op: "poke", Name: name, Value: literal}})
+	return err
+}
+
+// Peek reads a node by name, rendered as width'hHEX.
+func (s *Session) Peek(name string) (string, error) {
+	res, err := s.Apply([]Op{{Op: "peek", Name: name}})
+	if err != nil {
+		return "", err
+	}
+	return res[0].Value, nil
+}
+
+// Step simulates n cycles (n <= 0 steps one) and returns total cycles.
+func (s *Session) Step(n int) (uint64, error) {
+	res, err := s.Apply([]Op{{Op: "step", N: n}})
+	if err != nil {
+		return 0, err
+	}
+	return res[0].Cycles, nil
+}
+
+// Snapshot serializes the session's complete simulator state.
+func (s *Session) Snapshot() ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, s.errClosed()
+	}
+	return snapshot.Save(s.sim)
+}
+
+// Restore overwrites the session's state from a snapshot blob. The blob must
+// carry this session's design hash (see internal/snapshot); a snapshot taken
+// in any session of the same compiled design — or by cmd/gsim -save on the
+// same design and options — restores cleanly.
+func (s *Session) Restore(data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return s.errClosed()
+	}
+	// steps/stepTime keep counting only cycles this session stepped itself —
+	// a restored snapshot's history was simulated elsewhere, and folding it
+	// in would corrupt Throughput.
+	return snapshot.Restore(s.sim, data)
+}
+
+// Cycles returns the session's simulated cycle count.
+func (s *Session) Cycles() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sim.Stats().Cycles
+}
+
+// Throughput reports the session's cumulative step throughput in kHz (0 when
+// it has not stepped).
+func (s *Session) Throughput() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stepTime <= 0 {
+		return 0
+	}
+	return float64(s.steps) / s.stepTime.Seconds() / 1000
+}
+
+// Close releases the session's engine and unregisters it. Idempotent.
+func (s *Session) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.sim.Close()
+	s.mu.Unlock()
+
+	s.mgr.mu.Lock()
+	delete(s.mgr.sessions, s.ID)
+	s.mgr.mu.Unlock()
+	return nil
+}

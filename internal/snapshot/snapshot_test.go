@@ -1,0 +1,547 @@
+package snapshot_test
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"testing"
+
+	"gsim/internal/bitvec"
+	"gsim/internal/core"
+	"gsim/internal/engine"
+	"gsim/internal/firrtl"
+	"gsim/internal/gen"
+	"gsim/internal/harness"
+	"gsim/internal/ir"
+	"gsim/internal/snapshot"
+	"gsim/internal/trace"
+)
+
+// loadDesign elaborates one committed testdata design.
+func loadDesign(t testing.TB, name string) *ir.Graph {
+	t.Helper()
+	g, err := firrtl.LoadFile("../../testdata/" + name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// stim returns a deterministic, stateless input value for (cycle, input):
+// every run of the same design replays the identical stimulus regardless of
+// how it is segmented around a snapshot.
+func stim(width int, cycle, idx int) bitvec.BV {
+	v := uint64(cycle+1)*2654435761 ^ uint64(idx)*0x9e3779b97f4a7c15
+	return bitvec.FromUint64(width, v)
+}
+
+// inputsOf collects a graph's input nodes in ID order, treating "reset"
+// specially is the driver's business (stim keeps reset mostly deasserted by
+// masking to 1 bit naturally; dedicated reset toggles come from the cycle
+// pattern below).
+func inputsOf(g *ir.Graph) []*ir.Node {
+	var ins []*ir.Node
+	for _, n := range g.Nodes {
+		if n.Kind == ir.KindInput {
+			ins = append(ins, n)
+		}
+	}
+	return ins
+}
+
+// drive pokes every input for one cycle. Reset-named inputs pulse on a fixed
+// sparse pattern so the reset slow path is exercised on both sides of the
+// snapshot boundary.
+func drive(sim engine.Sim, ins []*ir.Node, cycle int) {
+	for i, n := range ins {
+		if n.Name == "reset" {
+			v := uint64(0)
+			if cycle%11 == 7 {
+				v = 1
+			}
+			sim.Poke(n.ID, bitvec.FromUint64(1, v))
+			continue
+		}
+		sim.Poke(n.ID, stim(n.Width, cycle, i))
+	}
+}
+
+// matrixConfigs enumerates the acceptance matrix: 4 engines x 3 eval modes x
+// {1,2,4} threads x {coarsen off,on}. Thread count and coarsening are inert
+// for the serial engines and thread count shapes the parallel ones; every
+// cell still runs, pinning that the inert axes really are inert.
+func matrixConfigs() []core.Config {
+	var cfgs []core.Config
+	for _, kind := range []core.EngineKind{core.EngineFullCycle, core.EngineParallel, core.EngineActivity, core.EngineParallelActivity} {
+		for _, eval := range []engine.EvalMode{engine.EvalKernel, engine.EvalInterp, engine.EvalKernelNoFuse} {
+			for _, threads := range []int{1, 2, 4} {
+				for _, coarsen := range []bool{false, true} {
+					var cfg core.Config
+					switch kind {
+					case core.EngineFullCycle:
+						cfg = core.Verilator()
+					case core.EngineParallel:
+						cfg = core.VerilatorMT(threads)
+					case core.EngineActivity:
+						cfg = core.GSIM()
+					case core.EngineParallelActivity:
+						cfg = core.GSIMMT(threads)
+					}
+					cfg.Eval = eval
+					cfg.Activity.Coarsen = coarsen
+					cfg.Name = fmt.Sprintf("%s-%s-%dT-co%v", kind, eval, threads, coarsen)
+					cfgs = append(cfgs, cfg)
+				}
+			}
+		}
+	}
+	return cfgs
+}
+
+// runTraced builds a simulator, optionally restores a snapshot into it,
+// drives cycles [from, to) with the shared stimulus, captures the VCD bytes
+// produced, and returns the system still open.
+func runTraced(t *testing.T, g *ir.Graph, cfg core.Config, blob []byte, from, to int, vcd *bytes.Buffer) *core.System {
+	t.Helper()
+	sys, err := core.Build(g, cfg)
+	if err != nil {
+		t.Fatalf("%s: build: %v", cfg.Name, err)
+	}
+	opts := trace.Options{}
+	if blob != nil {
+		if err := snapshot.Restore(sys.Sim, blob); err != nil {
+			t.Fatalf("%s: restore: %v", cfg.Name, err)
+		}
+		opts.Resume = &trace.Resume{Time: sys.Sim.Stats().Cycles, State: sys.Sim.Machine().State}
+	}
+	tr, err := trace.NewVCD(vcd, sys.Prog, nil, opts)
+	if err != nil {
+		t.Fatalf("%s: vcd: %v", cfg.Name, err)
+	}
+	sys.Sim.(interface{ AttachTracer(engine.Tracer) }).AttachTracer(tr)
+	ins := inputsOf(sys.Graph)
+	for c := from; c < to; c++ {
+		drive(sys.Sim, ins, c)
+		sys.Sim.Step()
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatalf("%s: vcd close: %v", cfg.Name, err)
+	}
+	return sys
+}
+
+// TestRoundTripMatrix is the snapshot determinism acceptance test: for every
+// engine x eval mode x thread count x coarsen cell, a run of K cycles,
+// snapshot, restore into a fresh engine, then M more cycles must be
+// bit-identical — final state image, memory arrays, stat counters, and VCD
+// bytes — to an uninterrupted K+M-cycle run.
+func TestRoundTripMatrix(t *testing.T) {
+	const K, M = 16, 16
+	for _, designName := range []string{"fifo.fir", "lfsr.fir"} {
+		g := loadDesign(t, designName)
+		for _, cfg := range matrixConfigs() {
+			cfg := cfg
+			t.Run(designName+"/"+cfg.Name, func(t *testing.T) {
+				// Uninterrupted K+M-cycle run.
+				var goldVCD bytes.Buffer
+				gold := runTraced(t, g, cfg, nil, 0, K+M, &goldVCD)
+				defer gold.Close()
+
+				// Segment 1: K cycles, then snapshot.
+				var vcd1 bytes.Buffer
+				seg1 := runTraced(t, g, cfg, nil, 0, K, &vcd1)
+				blob, err := snapshot.Save(seg1.Sim)
+				if err != nil {
+					t.Fatal(err)
+				}
+				seg1.Close()
+
+				// Segment 2: fresh build, restore, M more cycles.
+				var vcd2 bytes.Buffer
+				seg2 := runTraced(t, g, cfg, blob, K, K+M, &vcd2)
+				defer seg2.Close()
+
+				a, b := gold.Sim.Machine(), seg2.Sim.Machine()
+				for w := range a.State {
+					if a.State[w] != b.State[w] {
+						t.Fatalf("state word %d: uninterrupted %#x vs resumed %#x", w, a.State[w], b.State[w])
+					}
+				}
+				for mi := range a.Mems {
+					for w := range a.Mems[mi] {
+						if a.Mems[mi][w] != b.Mems[mi][w] {
+							t.Fatalf("mem %d word %d: uninterrupted %#x vs resumed %#x", mi, w, a.Mems[mi][w], b.Mems[mi][w])
+						}
+					}
+				}
+				if ga, gb := *gold.Sim.Stats(), *seg2.Sim.Stats(); ga != gb {
+					t.Fatalf("stats diverge:\nuninterrupted %+v\nresumed       %+v", ga, gb)
+				}
+				if a.Executed != b.Executed {
+					t.Fatalf("Machine.Executed: uninterrupted %d vs resumed %d", a.Executed, b.Executed)
+				}
+				resumed := append(append([]byte{}, vcd1.Bytes()...), vcd2.Bytes()...)
+				if !bytes.Equal(goldVCD.Bytes(), resumed) {
+					t.Fatalf("VCD bytes diverge: uninterrupted %d bytes, resumed %d bytes", goldVCD.Len(), len(resumed))
+				}
+			})
+		}
+	}
+}
+
+// TestCrossEngineRestore pins snapshot portability inside one compiled
+// design: a checkpoint taken by the serial Activity engine restores into
+// ParallelActivity at several thread counts (and back), and the continued
+// runs match the uninterrupted serial trajectory exactly — the activity
+// section travels in partition space, not engine-word space.
+func TestCrossEngineRestore(t *testing.T) {
+	const K, M = 16, 16
+	g := loadDesign(t, "fifo.fir")
+
+	gold, err := core.Build(g, core.GSIM())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gold.Close()
+	ins := inputsOf(gold.Graph)
+	for c := 0; c < K+M; c++ {
+		drive(gold.Sim, ins, c)
+		gold.Sim.Step()
+	}
+
+	src, err := core.Build(g, core.GSIM())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	for c := 0; c < K; c++ {
+		drive(src.Sim, ins, c)
+		src.Sim.Step()
+	}
+	blob, err := snapshot.Save(src.Sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, threads := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("activity-to-%dT", threads), func(t *testing.T) {
+			cfg := core.GSIMMT(threads)
+			dst, err := core.Build(g, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer dst.Close()
+			if err := snapshot.Restore(dst.Sim, blob); err != nil {
+				t.Fatal(err)
+			}
+			dins := inputsOf(dst.Graph)
+			for c := K; c < K+M; c++ {
+				drive(dst.Sim, dins, c)
+				dst.Sim.Step()
+			}
+			ga, gb := gold.Sim.Machine().State, dst.Sim.Machine().State
+			for w := range ga {
+				if ga[w] != gb[w] {
+					t.Fatalf("state word %d: serial %#x vs %dT %#x", w, ga[w], threads, gb[w])
+				}
+			}
+		})
+	}
+}
+
+// TestRestoreIntoUsedEngine pins that restoring does not depend on engine
+// freshness: an engine that already simulated a different trajectory restores
+// to exactly the same continuation as a fresh one.
+func TestRestoreIntoUsedEngine(t *testing.T) {
+	const K, M = 12, 12
+	g := loadDesign(t, "fifo.fir")
+	src, err := core.Build(g, core.GSIM())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	ins := inputsOf(src.Graph)
+	for c := 0; c < K; c++ {
+		drive(src.Sim, ins, c)
+		src.Sim.Step()
+	}
+	blob, err := snapshot.Save(src.Sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fresh, err := core.Build(g, core.GSIM())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fresh.Close()
+	used, err := core.Build(g, core.GSIM())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer used.Close()
+	// Pollute the "used" engine with an unrelated trajectory first.
+	uins := inputsOf(used.Graph)
+	for c := 0; c < 7; c++ {
+		drive(used.Sim, uins, c+1000)
+		used.Sim.Step()
+	}
+
+	for _, sys := range []*core.System{fresh, used} {
+		if err := snapshot.Restore(sys.Sim, blob); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fins := inputsOf(fresh.Graph)
+	for c := K; c < K+M; c++ {
+		drive(fresh.Sim, fins, c)
+		drive(used.Sim, uins, c)
+		fresh.Sim.Step()
+		used.Sim.Step()
+	}
+	fa, fb := fresh.Sim.Machine().State, used.Sim.Machine().State
+	for w := range fa {
+		if fa[w] != fb[w] {
+			t.Fatalf("state word %d: fresh-restore %#x vs used-restore %#x", w, fa[w], fb[w])
+		}
+	}
+	if sa, sb := *fresh.Sim.Stats(), *used.Sim.Stats(); sa != sb {
+		t.Fatalf("stats diverge:\nfresh %+v\nused  %+v", sa, sb)
+	}
+}
+
+// TestResetIsPowerOn pins the session-pooling contract: Reset on a used
+// engine captures bit-identically to a never-stepped engine of the same
+// build, for every engine kind.
+func TestResetIsPowerOn(t *testing.T) {
+	g := loadDesign(t, "fifo.fir")
+	for _, cfg := range []core.Config{core.Verilator(), core.VerilatorMT(2), core.GSIM(), core.GSIMMT(2)} {
+		t.Run(cfg.Name, func(t *testing.T) {
+			fresh, err := core.Build(g, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer fresh.Close()
+			used, err := core.Build(g, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer used.Close()
+			ins := inputsOf(used.Graph)
+			for c := 0; c < 20; c++ {
+				drive(used.Sim, ins, c)
+				used.Sim.Step()
+			}
+			used.Sim.Reset()
+
+			fs, us := fresh.Sim.(engine.Snapshotter).CaptureState(), used.Sim.(engine.Snapshotter).CaptureState()
+			fb, err := snapshot.Encode(fs, fresh.Prog)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ub, err := snapshot.Encode(us, used.Prog)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(fb, ub) {
+				t.Fatalf("Reset is not power-on: fresh capture %d bytes != reset capture %d bytes\nfresh %+v\nreset %+v",
+					len(fb), len(ub), fs.Stats, us.Stats)
+			}
+			// Close composes with Reset in any order, repeatedly.
+			used.Sim.Close()
+			used.Sim.Reset()
+			used.Sim.Close()
+		})
+	}
+}
+
+// TestRestoreValidation exercises every refusal path: wrong design, wrong
+// partition shape, corrupt and truncated blobs, bad version.
+func TestRestoreValidation(t *testing.T) {
+	g := loadDesign(t, "fifo.fir")
+	sys, err := core.Build(g, core.GSIM())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	blob, err := snapshot.Save(sys.Sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("wrong-design", func(t *testing.T) {
+		other, err := core.Build(loadDesign(t, "counter.fir"), core.GSIM())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer other.Close()
+		if err := snapshot.Restore(other.Sim, blob); err == nil {
+			t.Fatal("restore onto a different design succeeded")
+		}
+	})
+	t.Run("wrong-opt-level", func(t *testing.T) {
+		other, err := core.Build(g, core.Essent()) // different passes => different program
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer other.Close()
+		if err := snapshot.Restore(other.Sim, blob); err == nil {
+			t.Fatal("restore onto a different optimization level succeeded")
+		}
+	})
+	t.Run("wrong-partition", func(t *testing.T) {
+		cfg := core.GSIM()
+		cfg.MaxSupernode = 64 // same program, different supernode shape
+		other, err := core.Build(g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer other.Close()
+		if other.Prog.DesignHash() != sys.Prog.DesignHash() {
+			t.Skip("partition cap changed the program; cell not applicable")
+		}
+		if err := snapshot.Restore(other.Sim, blob); err == nil {
+			t.Fatal("restore onto a different partition shape succeeded")
+		}
+	})
+	t.Run("truncated", func(t *testing.T) {
+		for _, n := range []int{0, 7, 43, len(blob) / 2, len(blob) - 1} {
+			if err := snapshot.Restore(sys.Sim, blob[:n]); err == nil {
+				t.Fatalf("restore of %d-byte prefix succeeded", n)
+			}
+		}
+	})
+	t.Run("bad-magic", func(t *testing.T) {
+		bad := append([]byte{}, blob...)
+		bad[0] ^= 0xff
+		if err := snapshot.Restore(sys.Sim, bad); err == nil {
+			t.Fatal("restore with corrupt magic succeeded")
+		}
+	})
+	t.Run("bad-version", func(t *testing.T) {
+		bad := append([]byte{}, blob...)
+		bad[8] = 0xfe
+		if err := snapshot.Restore(sys.Sim, bad); err == nil {
+			t.Fatal("restore with unknown version succeeded")
+		}
+	})
+	t.Run("trailing-garbage", func(t *testing.T) {
+		bad := append(append([]byte{}, blob...), 0xaa)
+		if err := snapshot.Restore(sys.Sim, bad); err == nil {
+			t.Fatal("restore with trailing bytes succeeded")
+		}
+	})
+}
+
+// TestEncodeDeterminism pins that the same state always serializes to the
+// same bytes (the service dedupes and content-addresses snapshots on this).
+func TestEncodeDeterminism(t *testing.T) {
+	g := loadDesign(t, "lfsr.fir")
+	sys, err := core.Build(g, core.GSIM())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	ins := inputsOf(sys.Graph)
+	for c := 0; c < 9; c++ {
+		drive(sys.Sim, ins, c)
+		sys.Sim.Step()
+	}
+	a, err := snapshot.Save(sys.Sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := snapshot.Save(sys.Sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("two saves of the same state differ")
+	}
+	h, err := snapshot.ReadHeader(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Cycles != 9 {
+		t.Fatalf("header cycles = %d, want 9", h.Cycles)
+	}
+	if h.DesignHash != sys.Prog.DesignHash() {
+		t.Fatal("header design hash does not match program")
+	}
+}
+
+// TestCLISnapshotFormat pins the on-disk artifact: what cmd/gsim -save wrote
+// in the smoke example stays readable (guards accidental format drift without
+// a version bump). Generated and checked in-process to avoid committing
+// binary fixtures.
+func TestCLISnapshotFormat(t *testing.T) {
+	g := loadDesign(t, "counter.fir")
+	sys, err := core.Build(g, core.GSIM())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	blob, err := snapshot.Save(sys.Sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(blob[:8]) != snapshot.Magic {
+		t.Fatalf("blob does not start with magic: %q", blob[:8])
+	}
+	f, err := os.CreateTemp(t.TempDir(), "*.snap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(blob); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	data, err := os.ReadFile(f.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := snapshot.Restore(sys.Sim, data); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDesignHashDeterminism pins build determinism on a design large enough
+// for every optimization pass to fire with cost ties: rebuilding the same
+// graph must reproduce the identical program hash, or snapshots could not
+// travel between builds (this caught extraction ordering leaking
+// map-iteration order into node numbering).
+func TestDesignHashDeterminism(t *testing.T) {
+	d := harness.Synthetic(gen.StuCoreLike())
+	g, _, err := d.Build(harness.WorkloadCoreMark)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want string
+	for i := 0; i < 3; i++ {
+		sys, err := core.Build(g, core.GSIM())
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := sys.Prog.DesignHashString()
+		sys.Close()
+		if i == 0 {
+			want = got
+		} else if got != want {
+			t.Fatalf("rebuild %d produced hash %s, first build %s", i, got, want)
+		}
+	}
+	// Regenerating the design from its profile must also agree: snapshots
+	// of synthetic designs travel across processes this way.
+	g2, _, err := d.Build(harness.WorkloadCoreMark)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := core.Build(g2, core.GSIM())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	if got := sys.Prog.DesignHashString(); got != want {
+		t.Fatalf("regenerated design hashed %s, want %s", got, want)
+	}
+}

@@ -49,6 +49,24 @@ type Options struct {
 	// goroutine, exactly like the legacy coordinator-side writer. It exists
 	// as the measurable baseline for the async path (gsim-diag reports both).
 	Sync bool
+	// Resume continues a waveform across a snapshot/restore boundary: no
+	// header is written, the first Snapshot is stamped Resume.Time, and the
+	// diff base is seeded from Resume.State instead of emitting a full dump.
+	// Appending the resumed stream to the bytes written up to the checkpoint
+	// reproduces an uninterrupted run's VCD exactly (the snapshot round-trip
+	// suite pins this).
+	Resume *Resume
+}
+
+// Resume is the waveform continuation point after a snapshot restore.
+type Resume struct {
+	// Time is the VCD timestamp of the first post-restore cycle — the number
+	// of cycles the restored engine has already simulated (Stats.Cycles).
+	Time uint64
+	// State is the restored engine's state image; the traced nodes' current
+	// values seed the change detector, exactly as if the writer had emitted
+	// them last cycle.
+	State []uint64
 }
 
 // field is one traced node: where its value lives in the engine state image,
@@ -133,10 +151,16 @@ func NewVCD(w io.Writer, p *emit.Program, nodes []*ir.Node, opt Options) (*VCD, 
 		pos += words
 	}
 	v.words = pos
-	if err := v.header(nodes); err != nil {
+	v.last = make([]uint64, v.words)
+	if opt.Resume != nil {
+		// Continuation stream: skip the header, seed the diff base from the
+		// restored image, and stamp from the resume time onward.
+		v.pack(opt.Resume.State, v.last)
+		v.opened = true
+		v.time = opt.Resume.Time
+	} else if err := v.header(nodes); err != nil {
 		return nil, err
 	}
-	v.last = make([]uint64, v.words)
 	if v.sync {
 		v.syncBuf = make([]uint64, v.words)
 		return v, nil
