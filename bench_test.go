@@ -145,37 +145,110 @@ func BenchmarkKernelVsInterp(b *testing.B) {
 				cfg := preset()
 				cfg.Eval = mode
 				b.Run(fmt.Sprintf("%s/%s/%s", d.name, cfg.Name, mode), func(b *testing.B) {
-					sys, err := core.Build(g, cfg)
-					if err != nil {
-						b.Fatal(err)
-					}
-					defer sys.Close()
-					var inputs []*ir.Node
-					for _, n := range sys.Graph.Nodes {
-						if n.Kind == ir.KindInput {
-							inputs = append(inputs, n)
-						}
-					}
-					rng := rand.New(rand.NewSource(1))
-					poke := func() {
-						for _, in := range inputs {
-							sys.Sim.Poke(in.ID, bitvec.FromUint64(in.Width, rng.Uint64()))
-						}
-					}
-					for c := 0; c < 20; c++ {
-						poke()
-						sys.Sim.Step()
-					}
-					b.ResetTimer()
-					for i := 0; i < b.N; i++ {
-						poke()
-						sys.Sim.Step()
-					}
-					b.StopTimer()
-					b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N), "ns/cycle")
+					benchCycles(b, g, cfg)
 				})
 			}
 		}
+	}
+}
+
+// benchCycles builds g under cfg and times Step with random stimulus,
+// reporting ns/cycle.
+func benchCycles(b *testing.B, g *ir.Graph, cfg core.Config) {
+	b.Helper()
+	sys, err := core.Build(g, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sys.Close()
+	var inputs []*ir.Node
+	for _, n := range sys.Graph.Nodes {
+		if n.Kind == ir.KindInput {
+			inputs = append(inputs, n)
+		}
+	}
+	rng := rand.New(rand.NewSource(1))
+	poke := func() {
+		for _, in := range inputs {
+			sys.Sim.Poke(in.ID, bitvec.FromUint64(in.Width, rng.Uint64()))
+		}
+	}
+	for c := 0; c < 20; c++ {
+		poke()
+		sys.Sim.Step()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		poke()
+		sys.Sim.Step()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N), "ns/cycle")
+}
+
+// BenchmarkSimplify measures what the generated algebraic rule set buys at
+// runtime: the same design under the essential-signal preset with the rules
+// enabled (the default) and disabled, same stimulus. The delta is the work
+// the rewrites removed before the kernel compiler ever saw the graph.
+func BenchmarkSimplify(b *testing.B) {
+	for _, d := range benchDesigns() {
+		for _, noalg := range []bool{false, true} {
+			cfg := core.GSIM()
+			if noalg {
+				cfg.Name = "gsim-noalg"
+				cfg.Opt.NoAlgebraic = true
+			}
+			b.Run(fmt.Sprintf("%s/%s", d.Name, cfg.Name), func(b *testing.B) {
+				runSim(b, d, harness.WorkloadCoreMark, cfg)
+			})
+		}
+	}
+}
+
+// muxChainFIR builds a FIRRTL design dominated by registered priority-mux
+// cascades: each lane is one compare feeding a deep chain of muxes whose
+// 1-bit selectors are shared bit-extracts, so the compiled chains are wall
+// to wall mux-mux-mux and cmp-mux-mux triple-fusion windows.
+func muxChainFIR(lanes, depth int) string {
+	var sb strings.Builder
+	sb.WriteString("circuit MuxChain :\n  module MuxChain :\n")
+	sb.WriteString("    input clock : Clock\n    input reset : UInt<1>\n")
+	sb.WriteString("    input sel : UInt<8>\n    input x : UInt<16>\n    input y : UInt<16>\n")
+	for l := 0; l < lanes; l++ {
+		fmt.Fprintf(&sb, "    output out%d : UInt<16>\n", l)
+	}
+	for d := 0; d < 8; d++ {
+		fmt.Fprintf(&sb, "    node s%d = bits(sel, %d, %d)\n", d, d, d)
+	}
+	for l := 0; l < lanes; l++ {
+		fmt.Fprintf(&sb, "    reg r%d : UInt<16>, clock with :\n      reset => (reset, UInt<16>(\"h0\"))\n", l)
+		fmt.Fprintf(&sb, "    node c%d = lt(x, UInt<16>(%d))\n", l, 17+l*13)
+		fmt.Fprintf(&sb, "    node m%d_0 = mux(c%d, x, y)\n", l, l)
+		for d := 1; d < depth; d++ {
+			fmt.Fprintf(&sb, "    node m%d_%d = mux(s%d, m%d_%d, r%d)\n", l, d, (l+d)%8, l, d-1, l)
+		}
+		fmt.Fprintf(&sb, "    r%d <= m%d_%d\n", l, l, depth-1)
+		fmt.Fprintf(&sb, "    out%d <= r%d\n", l, l)
+	}
+	return sb.String()
+}
+
+// BenchmarkTripleFusion is the three-instruction superinstructions' own
+// datapoint: the mux-cascade design above, fused kernel vs the
+// per-instruction kernel baseline. On this shape most of the fused closures
+// come from the triple rules, so the kernel/kernel-nofuse gap is dominated
+// by the three-wide windows rather than the pair idioms.
+func BenchmarkTripleFusion(b *testing.B) {
+	g, err := firrtl.Load(muxChainFIR(16, 12))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []engine.EvalMode{engine.EvalKernel, engine.EvalKernelNoFuse} {
+		cfg := core.GSIM()
+		cfg.Eval = mode
+		b.Run(mode.String(), func(b *testing.B) {
+			benchCycles(b, g, cfg)
+		})
 	}
 }
 

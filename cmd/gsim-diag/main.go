@@ -11,14 +11,18 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"strings"
 	"time"
 
 	"gsim/internal/core"
 	"gsim/internal/emit"
 	"gsim/internal/engine"
+	"gsim/internal/firrtl"
 	"gsim/internal/gen"
 	"gsim/internal/harness"
 	"gsim/internal/partition"
+	"gsim/internal/passes"
 	"gsim/internal/server"
 	"gsim/internal/snapshot"
 	"gsim/internal/trace"
@@ -218,13 +222,78 @@ func main() {
 
 	// Fusion reach on this profile, measured over the same chains the GSIM
 	// engine actually compiles: each supernode's concatenated member
-	// instructions (not the linear stream, whose adjacencies differ).
+	// instructions (not the linear stream, whose adjacencies differ). The
+	// counts are indexed by the generated FuseRule table, so a new table line
+	// shows up here without touching this tool.
 	sys, _, err := harness.BuildSystemForDiag(d, "coremark", core.GSIM())
 	if err != nil {
 		panic(err)
 	}
-	var counts [emit.NumFusePatterns]int
-	instrs := 0
+	counts := chainFusionStats(sys)
+	printFusion("fusion", counts)
+	sys.Close()
+
+	// Rule coverage across the hand-written testdata designs: per-rule fire
+	// counts for both generated rule sets, then the rules that fired nowhere
+	// in this whole run — a never-firing rule is either dead weight or
+	// missing a representative design, so it is flagged explicitly.
+	fuseTotal := make([]int, emit.NumFuseRules)
+	copy(fuseTotal, counts.counts)
+	files, _ := filepath.Glob("testdata/*.fir")
+	for _, f := range files {
+		g, err := firrtl.LoadFile(f)
+		if err != nil {
+			panic(err)
+		}
+		tsys, err := core.Build(g, core.GSIM())
+		if err != nil {
+			panic(err)
+		}
+		tc := chainFusionStats(tsys)
+		printFusion("fusion["+filepath.Base(f)+"]", tc)
+		for r, n := range tc.counts {
+			fuseTotal[r] += n
+		}
+		tsys.Close()
+	}
+	var neverFuse []string
+	for r := emit.FuseRuleNone + 1; r < emit.NumFuseRules; r++ {
+		if fuseTotal[r] == 0 {
+			neverFuse = append(neverFuse, r.String())
+		}
+	}
+
+	// The algebraic counters are process-wide, so after building the profile
+	// configurations and every testdata design they cover everything this run
+	// compiled.
+	alg := passes.AlgebraicRuleStats()
+	var neverAlg []string
+	fmt.Printf("simplify rule fires (all builds this run):")
+	for r := passes.AlgRuleNone + 1; r < passes.NumAlgRules; r++ {
+		fmt.Printf(" %s=%d", r, alg[r])
+		if alg[r] == 0 {
+			neverAlg = append(neverAlg, r.String())
+		}
+	}
+	fmt.Println()
+	if len(neverFuse) > 0 {
+		fmt.Printf("never-fired fusion rules: %s\n", strings.Join(neverFuse, " "))
+	}
+	if len(neverAlg) > 0 {
+		fmt.Printf("never-fired simplify rules: %s\n", strings.Join(neverAlg, " "))
+	}
+}
+
+// fusionCounts is a per-rule fusion histogram over one system's chains.
+type fusionCounts struct {
+	instrs int
+	counts []int // indexed by emit.FuseRule
+}
+
+// chainFusionStats accumulates emit.FusionStats over every supernode chain
+// of the system, exactly as CompileChainBound sees them.
+func chainFusionStats(sys *core.System) fusionCounts {
+	c := fusionCounts{counts: make([]int, emit.NumFuseRules)}
 	var chain []emit.Instr
 	for _, members := range sys.Part.Members {
 		chain = chain[:0]
@@ -232,17 +301,27 @@ func main() {
 			r := sys.Prog.Code[id]
 			chain = append(chain, sys.Prog.Instrs[r.Start:r.End]...)
 		}
-		instrs += len(chain)
-		for pat, n := range emit.FusionStats(chain) {
-			counts[pat] += n
+		c.instrs += len(chain)
+		for r, n := range emit.FusionStats(chain) {
+			c.counts[r] += n
 		}
 	}
-	fused := 0
-	fmt.Printf("fusion (of %d chained instrs):", instrs)
-	for pat := emit.FuseNone + 1; pat < emit.NumFusePatterns; pat++ {
-		fmt.Printf(" %s=%d", pat, counts[pat])
-		fused += counts[pat]
+	return c
+}
+
+// printFusion prints one per-rule fusion line. Triples cover three
+// instructions per window, so coverage is weighted by rule arity.
+func printFusion(label string, c fusionCounts) {
+	windows, covered := 0, 0
+	fmt.Printf("%s (of %d chained instrs):", label, c.instrs)
+	for r := emit.FuseRuleNone + 1; r < emit.NumFuseRules; r++ {
+		fmt.Printf(" %s=%d", r, c.counts[r])
+		windows += c.counts[r]
+		covered += c.counts[r] * r.Arity()
 	}
-	fmt.Printf(" total=%d pairs (%.1f%% of instrs)\n", fused, 200*float64(fused)/float64(instrs))
-	sys.Close()
+	pct := 0.0
+	if c.instrs > 0 {
+		pct = 100 * float64(covered) / float64(c.instrs)
+	}
+	fmt.Printf(" total=%d windows (%.1f%% of instrs fused)\n", windows, pct)
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"encoding/binary"
 	"os"
 	"path/filepath"
@@ -12,6 +13,7 @@ import (
 	"gsim/internal/gen"
 	"gsim/internal/ir"
 	"gsim/internal/snapshot"
+	"gsim/internal/trace"
 
 	"math/rand"
 )
@@ -146,6 +148,45 @@ func FuzzKernelLockstep(f *testing.F) {
 				outputs = append(outputs, n)
 			}
 		}
+
+		// The simplify axis: the same design built with the generated
+		// algebraic rule set disabled. The optimized graphs differ (that is
+		// the point), so node IDs do too — the comparison maps the surviving
+		// interface nodes by name and requires identical per-cycle values AND
+		// byte-identical VCD streams over that common set. The unsimplified
+		// build may legitimately fail to compile (e.g. a wide division the
+		// rules previously folded away), which skips the axis, not the run.
+		cfgNA := GSIM()
+		cfgNA.Name = "gsim-noalg"
+		cfgNA.Opt.NoAlgebraic = true
+		sysNA, errNA := Build(g, cfgNA)
+		var naByID map[int]*ir.Node // sysK interface node ID -> NA twin
+		var commonK, commonNA []*ir.Node
+		var vcdK, vcdNA bytes.Buffer
+		var trK, trNA *trace.VCD
+		if errNA == nil {
+			defer sysNA.Close()
+			naByID = make(map[int]*ir.Node)
+			for _, n := range append(append([]*ir.Node{}, inputs...), outputs...) {
+				m := sysNA.Graph.FindNode(n.Name)
+				if m == nil || m.Width != n.Width {
+					continue // interface drift would be a bug, but not this axis's
+				}
+				naByID[n.ID] = m
+				commonK = append(commonK, n)
+				commonNA = append(commonNA, m)
+			}
+			trK, err = trace.NewVCD(&vcdK, sysK.Prog, commonK, trace.Options{Sync: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			trNA, err = trace.NewVCD(&vcdNA, sysNA.Prog, commonNA, trace.Options{Sync: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sysK.Sim.(interface{ AttachTracer(engine.Tracer) }).AttachTracer(trK)
+			sysNA.Sim.(interface{ AttachTracer(engine.Tracer) }).AttachTracer(trNA)
+		}
 		rng := rand.New(rand.NewSource(int64(len(data))*31 + 5))
 		const cycles = 24
 		for c := 0; c < cycles; c++ {
@@ -173,6 +214,11 @@ func FuzzKernelLockstep(f *testing.F) {
 				simI.Poke(in.ID, v)
 				simC.Poke(in.ID, v)
 				simS.Poke(in.ID, v)
+				if errNA == nil {
+					if m, ok := naByID[in.ID]; ok {
+						sysNA.Sim.Poke(m.ID, v)
+					}
+				}
 			}
 			ref.Step()
 			sysK.Sim.Step()
@@ -180,6 +226,14 @@ func FuzzKernelLockstep(f *testing.F) {
 			simI.Step()
 			simC.Step()
 			simS.Step()
+			if errNA == nil {
+				sysNA.Sim.Step()
+				for i, n := range commonK {
+					if a, b := sysK.Sim.Peek(n.ID), sysNA.Sim.Peek(commonNA[i].ID); !a.EqValue(b) {
+						t.Fatalf("cycle %d: node %q: simplified %s vs unsimplified %s", c, n.Name, a, b)
+					}
+				}
+			}
 			stK := sysK.Sim.Machine().State
 			for name, st := range map[string][]uint64{
 				"kernel-nofuse":      simNF.Machine().State,
@@ -212,6 +266,32 @@ func FuzzKernelLockstep(f *testing.F) {
 				a.Examinations != other.Examinations || a.InstrsExecuted != other.InstrsExecuted ||
 				a.RegCommits != other.RegCommits {
 				t.Fatalf("stats diverge kernel vs %s:\nkernel %+v\n%s %+v", name, *a, name, *other)
+			}
+		}
+
+		// Simplify-axis epilogue: the two VCD streams over the shared
+		// interface nodes must be byte-identical. Stats beyond that are
+		// allowed to differ — the graphs do, and a few rules deliberately
+		// trade one wide instruction for two narrow ones (leq-zero becomes
+		// not(orr x)), so strict instruction-count monotonicity does not
+		// hold. What must never happen is gross pessimization: each rewrite
+		// replaces one node with at most two, so anything past 2x (plus
+		// scheduling slack) means the rule set is expanding work, not
+		// simplifying it.
+		if errNA == nil {
+			if err := trK.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if err := trNA.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(vcdK.Bytes(), vcdNA.Bytes()) {
+				t.Fatalf("VCD streams diverge between simplified and unsimplified builds (%d vs %d bytes)",
+					vcdK.Len(), vcdNA.Len())
+			}
+			if ks, ns := sysK.Sim.Stats(), sysNA.Sim.Stats(); ks.InstrsExecuted > 2*ns.InstrsExecuted+64 {
+				t.Fatalf("simplified build executed far more instructions: %d vs %d",
+					ks.InstrsExecuted, ns.InstrsExecuted)
 			}
 		}
 	})

@@ -43,15 +43,24 @@ func (p *Program) CompileNodesBound(m *Machine, ids []int32) []BoundFn {
 }
 
 // CompileChainBound compiles an instruction chain into its bound form for
-// machine m: superinstruction fusion over adjacent pairs, width-class
-// specialization, operand pointers resolved into m's state image. The chain
-// need not be contiguous in the program.
+// machine m: superinstruction fusion over adjacent windows (generated
+// matchers from the rule table, widest window first — a triple beats the
+// pair it contains), width-class specialization, operand pointers resolved
+// into m's state image. The chain need not be contiguous in the program.
+// FusionStats simulates exactly this greedy walk; keep the two in step.
 func (p *Program) CompileChainBound(m *Machine, ins []Instr) []BoundFn {
 	fns := make([]BoundFn, 0, len(ins))
 	for i := 0; i < len(ins); i++ {
+		if i+2 < len(ins) {
+			if r := matchFuse3(ins[i], ins[i+1], ins[i+2]); r != FuseRuleNone {
+				fns = append(fns, compileFuse3(p, m, ins[i], ins[i+1], ins[i+2], r))
+				i += 2
+				continue
+			}
+		}
 		if i+1 < len(ins) {
-			if pat := MatchFusion(ins[i], ins[i+1]); pat != FuseNone {
-				fns = append(fns, compileFusedBound(p, m, ins[i], ins[i+1], pat))
+			if r := matchFuse2(ins[i], ins[i+1]); r != FuseRuleNone {
+				fns = append(fns, compileFuse2(p, m, ins[i], ins[i+1], r))
 				i++
 				continue
 			}
@@ -381,150 +390,318 @@ func narrowValueBound(m *Machine, in Instr) func() uint64 {
 	return nil
 }
 
-// compileFusedBound builds the single bound closure for a matched pair.
-// Every variant stores a's result first and then computes b, so state-slot
-// aliasing between the two instructions can never change the outcome
-// relative to running them back to back. The specialized patterns inline
-// both computations; the generic Alu* patterns compute the producer through
-// its pre-bound value closure (one thin call) and inline the consumer tail.
-func compileFusedBound(p *Program, m *Machine, a, b Instr, pat FusePattern) BoundFn {
+// Fused-window constructors. compileFuse2/compileFuse3 (generated from the
+// rule table in internal/emit/rules) dispatch each matched window to one of
+// these; every constructor builds a single bound closure that stores every
+// source instruction's result in original order, so state-slot aliasing
+// between the window's instructions can never change the outcome relative
+// to running them back to back. The specialized constructors inline every
+// computation; the generic fuseAlu* constructors compute the producer
+// through its pre-bound value closure (one thin call) and inline the
+// consumer tail.
+
+// maskShiftOf returns the right-shift a mask consumer (copy or bits)
+// applies: bits slices from its Lo, copy truncates in place.
+func maskShiftOf(b Instr) uint {
+	if b.Op == CBits {
+		return uint(b.Lo)
+	}
+	return 0
+}
+
+// fuseCopyMux: a copy feeding any operand of a mux.
+func fuseCopyMux(_ *Program, m *Machine, a, b Instr) BoundFn {
+	st := m.State
+	pad, paa := &st[a.D], &st[a.A]
+	adm := mask(a.DW)
+	psel, pbb, pbc, pbd := &st[b.A], &st[b.B], &st[b.C], &st[b.D]
+	bdm := mask(b.DW)
+	return func() {
+		*pad = *paa & adm
+		r := *pbc
+		if *psel != 0 {
+			r = *pbb
+		}
+		*pbd = r & bdm
+	}
+}
+
+// fuseCmpMux: a comparison result selecting a mux.
+func fuseCmpMux(_ *Program, m *Machine, a, b Instr) BoundFn {
+	return compileCmpMuxBound(m.State, a, b)
+}
+
+// fuseAddMask: an add immediately truncated or sliced.
+func fuseAddMask(_ *Program, m *Machine, a, b Instr) BoundFn {
 	st := m.State
 	pad, paa, pab := &st[a.D], &st[a.A], &st[a.B]
 	adm := mask(a.DW)
 	pbd := &st[b.D]
 	bdm := mask(b.DW)
-	maskShift := uint(0)
-	if b.Op == CBits {
-		maskShift = uint(b.Lo)
+	sh := maskShiftOf(b)
+	return func() {
+		t := (*paa + *pab) & adm
+		*pad = t
+		*pbd = (t >> sh) & bdm
 	}
-	switch pat {
-	case FuseCopyMux:
-		psel, pbb, pbc := &st[b.A], &st[b.B], &st[b.C]
-		return func() {
-			*pad = *paa & adm
-			r := *pbc
-			if *psel != 0 {
-				r = *pbb
-			}
-			*pbd = r & bdm
+}
+
+// fuseSubMask: the subtract twin of fuseAddMask.
+func fuseSubMask(_ *Program, m *Machine, a, b Instr) BoundFn {
+	st := m.State
+	pad, paa, pab := &st[a.D], &st[a.A], &st[a.B]
+	adm := mask(a.DW)
+	pbd := &st[b.D]
+	bdm := mask(b.DW)
+	sh := maskShiftOf(b)
+	return func() {
+		t := (*paa - *pab) & adm
+		*pad = t
+		*pbd = (t >> sh) & bdm
+	}
+}
+
+// fuseAluMask: any pure producer into a truncation.
+func fuseAluMask(_ *Program, m *Machine, a, b Instr) BoundFn {
+	st := m.State
+	pv := narrowValueBound(m, a)
+	pad, pbd := &st[a.D], &st[b.D]
+	bdm := mask(b.DW)
+	sh := maskShiftOf(b)
+	return func() {
+		t := pv()
+		*pad = t
+		*pbd = (t >> sh) & bdm
+	}
+}
+
+// fuseAluMux: any pure producer into any operand of a mux.
+func fuseAluMux(_ *Program, m *Machine, a, b Instr) BoundFn {
+	st := m.State
+	pv := narrowValueBound(m, a)
+	pad := &st[a.D]
+	psel, pbb, pbc, pbd := &st[b.A], &st[b.B], &st[b.C], &st[b.D]
+	bdm := mask(b.DW)
+	return func() {
+		*pad = pv()
+		r := *pbc
+		if *psel != 0 {
+			r = *pbb
 		}
-	case FuseCmpMux:
-		return compileCmpMuxBound(st, a, b)
-	case FuseAddMask:
-		sh := maskShift
-		return func() {
-			t := (*paa + *pab) & adm
-			*pad = t
-			*pbd = (t >> sh) & bdm
+		*pbd = r & bdm
+	}
+}
+
+// fuseAluCat: any pure producer into either side of a concatenation.
+func fuseAluCat(_ *Program, m *Machine, a, b Instr) BoundFn {
+	st := m.State
+	pv := narrowValueBound(m, a)
+	pad := &st[a.D]
+	pba, pbb, pbd := &st[b.A], &st[b.B], &st[b.D]
+	bdm := mask(b.DW)
+	sh := uint(b.BW)
+	return func() {
+		*pad = pv()
+		*pbd = (*pba<<sh | *pbb) & bdm
+	}
+}
+
+// fuseAluLogic: any pure producer into a binary and/or/xor.
+func fuseAluLogic(_ *Program, m *Machine, a, b Instr) BoundFn {
+	st := m.State
+	pv := narrowValueBound(m, a)
+	pad := &st[a.D]
+	pba, pbb, pbd := &st[b.A], &st[b.B], &st[b.D]
+	bdm := mask(b.DW)
+	switch b.Op {
+	case CAnd:
+		return func() { *pad = pv(); *pbd = (*pba & *pbb) & bdm }
+	case COr:
+		return func() { *pad = pv(); *pbd = (*pba | *pbb) & bdm }
+	default: // CXor
+		return func() { *pad = pv(); *pbd = (*pba ^ *pbb) & bdm }
+	}
+}
+
+// fuseAluEq: any pure producer into an equality/inequality test.
+func fuseAluEq(_ *Program, m *Machine, a, b Instr) BoundFn {
+	st := m.State
+	pv := narrowValueBound(m, a)
+	pad := &st[a.D]
+	pba, pbb, pbd := &st[b.A], &st[b.B], &st[b.D]
+	negBit := b2u(b.Op == CNeq)
+	return func() {
+		*pad = pv()
+		*pbd = b2u(*pba == *pbb) ^ negBit
+	}
+}
+
+// fuseAluMemRead: an address computation feeding a memory read port.
+func fuseAluMemRead(p *Program, m *Machine, a, b Instr) BoundFn {
+	st := m.State
+	pv := narrowValueBound(m, a)
+	pad, pbd := &st[a.D], &st[b.D]
+	bdm := mask(b.DW)
+	mi := int(b.Lo)
+	spec := &p.Mems[mi]
+	mem := m.Mems[mi]
+	depth := uint64(spec.Depth)
+	wp := spec.WordsPer
+	return func() {
+		t := pv()
+		*pad = t
+		var r uint64
+		if t < depth {
+			r = mem[int32(t)*wp]
 		}
-	case FuseSubMask:
-		sh := maskShift
-		return func() {
-			t := (*paa - *pab) & adm
-			*pad = t
-			*pbd = (t >> sh) & bdm
-		}
-	case FuseAluMask:
-		pv := narrowValueBound(m, a)
-		sh := maskShift
-		return func() {
-			t := pv()
-			*pad = t
-			*pbd = (t >> sh) & bdm
-		}
-	case FuseAluMux:
-		pv := narrowValueBound(m, a)
-		psel, pbb, pbc := &st[b.A], &st[b.B], &st[b.C]
-		return func() {
-			*pad = pv()
-			r := *pbc
-			if *psel != 0 {
-				r = *pbb
-			}
-			*pbd = r & bdm
-		}
-	case FuseAluCat:
-		pv := narrowValueBound(m, a)
-		pba, pbb := &st[b.A], &st[b.B]
-		sh := uint(b.BW)
-		return func() {
-			*pad = pv()
-			*pbd = (*pba<<sh | *pbb) & bdm
-		}
-	case FuseAluLogic:
-		pv := narrowValueBound(m, a)
-		pba, pbb := &st[b.A], &st[b.B]
-		switch b.Op {
-		case CAnd:
-			return func() { *pad = pv(); *pbd = (*pba & *pbb) & bdm }
-		case COr:
-			return func() { *pad = pv(); *pbd = (*pba | *pbb) & bdm }
-		default: // CXor
-			return func() { *pad = pv(); *pbd = (*pba ^ *pbb) & bdm }
-		}
-	case FuseAluEq:
-		pv := narrowValueBound(m, a)
-		pba, pbb := &st[b.A], &st[b.B]
-		negBit := b2u(b.Op == CNeq)
-		return func() {
-			*pad = pv()
-			*pbd = b2u(*pba == *pbb) ^ negBit
-		}
-	case FuseAluMemRead:
-		pv := narrowValueBound(m, a)
-		mi := int(b.Lo)
-		spec := &p.Mems[mi]
-		mem := m.Mems[mi]
-		depth := uint64(spec.Depth)
-		wp := spec.WordsPer
-		return func() {
-			t := pv()
-			*pad = t
-			var r uint64
-			if t < depth {
-				r = mem[int32(t)*wp]
-			}
-			*pbd = r & bdm
-		}
-	case FuseAndEqz:
+		*pbd = r & bdm
+	}
+}
+
+// fuseAndEqz: a bitwise and feeding an equality/inequality test or an
+// or-reduction (the and-eqz and and-orr rules both land here; the consumer
+// opcode picks the tail).
+func fuseAndEqz(_ *Program, m *Machine, a, b Instr) BoundFn {
+	st := m.State
+	pad, paa, pab := &st[a.D], &st[a.A], &st[a.B]
+	adm := mask(a.DW)
+	pbd := &st[b.D]
+	switch b.Op {
+	case CEq:
 		pother := pbb2(st, a, b)
-		switch b.Op {
-		case CEq:
-			return func() {
-				t := (*paa & *pab) & adm
-				*pad = t
-				*pbd = b2u(t == *pother)
-			}
-		case CNeq:
-			return func() {
-				t := (*paa & *pab) & adm
-				*pad = t
-				*pbd = b2u(t != *pother)
-			}
-		default: // COrR
-			return func() {
-				t := (*paa & *pab) & adm
-				*pad = t
-				*pbd = b2u(t != 0)
-			}
-		}
-	case FuseMuxMux:
-		pasel, pac := &st[a.A], &st[a.C]
-		psel, pbb, pbc := &st[b.A], &st[b.B], &st[b.C]
 		return func() {
-			t := *pac
-			if *pasel != 0 {
-				t = *pab
-			}
-			*pad = t & adm
-			r := *pbc
-			if *psel != 0 {
-				r = *pbb
-			}
-			*pbd = r & bdm
+			t := (*paa & *pab) & adm
+			*pad = t
+			*pbd = b2u(t == *pother)
+		}
+	case CNeq:
+		pother := pbb2(st, a, b)
+		return func() {
+			t := (*paa & *pab) & adm
+			*pad = t
+			*pbd = b2u(t != *pother)
+		}
+	default: // COrR
+		return func() {
+			t := (*paa & *pab) & adm
+			*pad = t
+			*pbd = b2u(t != 0)
 		}
 	}
-	return nil
+}
+
+// fuseMuxMux: a mux feeding an arm of the next mux.
+func fuseMuxMux(_ *Program, m *Machine, a, b Instr) BoundFn {
+	st := m.State
+	pasel, pab, pac, pad := &st[a.A], &st[a.B], &st[a.C], &st[a.D]
+	adm := mask(a.DW)
+	psel, pbb, pbc, pbd := &st[b.A], &st[b.B], &st[b.C], &st[b.D]
+	bdm := mask(b.DW)
+	return func() {
+		t := *pac
+		if *pasel != 0 {
+			t = *pab
+		}
+		*pad = t & adm
+		r := *pbc
+		if *psel != 0 {
+			r = *pbb
+		}
+		*pbd = r & bdm
+	}
+}
+
+// fuseMuxMuxMux: three adjacent muxes, each feeding the next — one closure
+// per priority-encoder triple, removing two dispatches. Each mux's operand
+// pointers are read after the previous store, so any aliasing (an arm or
+// even a selector reading an earlier destination) behaves exactly like
+// sequential execution.
+func fuseMuxMuxMux(_ *Program, m *Machine, a, b, c Instr) BoundFn {
+	st := m.State
+	pasel, pab, pac, pad := &st[a.A], &st[a.B], &st[a.C], &st[a.D]
+	adm := mask(a.DW)
+	pbsel, pbb, pbc, pbd := &st[b.A], &st[b.B], &st[b.C], &st[b.D]
+	bdm := mask(b.DW)
+	pcsel, pcb, pcc, pcd := &st[c.A], &st[c.B], &st[c.C], &st[c.D]
+	cdm := mask(c.DW)
+	return func() {
+		t := *pac
+		if *pasel != 0 {
+			t = *pab
+		}
+		*pad = t & adm
+		u := *pbc
+		if *pbsel != 0 {
+			u = *pbb
+		}
+		*pbd = u & bdm
+		r := *pcc
+		if *pcsel != 0 {
+			r = *pcb
+		}
+		*pcd = r & cdm
+	}
+}
+
+// fuseCmpMuxMux: a comparison selecting a mux whose result feeds an arm of
+// the next mux — the head of a priority chain. The computed comparison bit
+// forwards straight into the first mux's select (the match guarantees the
+// slot identity); the second mux reads its operands after both stores.
+func fuseCmpMuxMux(_ *Program, m *Machine, a, b, c Instr) BoundFn {
+	st := m.State
+	pad := &st[a.D]
+	pbb, pbc, pbd := &st[b.B], &st[b.C], &st[b.D]
+	bdm := mask(b.DW)
+	pcsel, pcb, pcc, pcd := &st[c.A], &st[c.B], &st[c.C], &st[c.D]
+	cdm := mask(c.DW)
+	x, y, xw, yw, negBit, kind := cmpParts(a)
+	px, py := &st[x], &st[y]
+	switch kind {
+	case cmpEqK:
+		return func() {
+			cond := b2u(*px == *py) ^ negBit
+			*pad = cond
+			u := *pbc
+			if cond != 0 {
+				u = *pbb
+			}
+			*pbd = u & bdm
+			r := *pcc
+			if *pcsel != 0 {
+				r = *pcb
+			}
+			*pcd = r & cdm
+		}
+	case cmpLtS:
+		return func() {
+			cond := b2u(sext64(*px, xw) < sext64(*py, yw)) ^ negBit
+			*pad = cond
+			u := *pbc
+			if cond != 0 {
+				u = *pbb
+			}
+			*pbd = u & bdm
+			r := *pcc
+			if *pcsel != 0 {
+				r = *pcb
+			}
+			*pcd = r & cdm
+		}
+	}
+	return func() {
+		cond := b2u(*px < *py) ^ negBit
+		*pad = cond
+		u := *pbc
+		if cond != 0 {
+			u = *pbb
+		}
+		*pbd = u & bdm
+		r := *pcc
+		if *pcsel != 0 {
+			r = *pcb
+		}
+		*pcd = r & cdm
+	}
 }
 
 // pbb2 resolves the non-forwarded operand of an and-eqz consumer.

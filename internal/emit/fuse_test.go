@@ -7,105 +7,130 @@ import (
 	"gsim/internal/bitvec"
 )
 
-// fusionCase is one exemplar instruction pair for a fusion pattern.
+// fusionCase is one exemplar instruction window for a fusion rule.
 type fusionCase struct {
 	name string
-	pat  FusePattern
-	a, b Instr
+	rule FuseRule
+	ins  []Instr
 }
 
-// fusionExemplars maps every fusion pattern to at least one concrete
-// instruction pair. TestFusionPatternCoverage sweeps the FusePattern
-// enumeration against this table, so adding a pattern without an exemplar
-// fails the suite — the enum sentinel (NumFusePatterns) is the checklist.
+// fusionExemplars maps every generated fusion rule to at least one concrete
+// instruction window. TestFusionRuleCoverage sweeps the FuseRule
+// enumeration against this table, so adding a table line without an
+// exemplar fails the suite — the generated sentinel (NumFuseRules) is the
+// checklist.
 //
 // Slot layout: words 0-9 hold operands, 10 is the first instruction's
-// destination, 11 the second's.
+// destination, 11 the second's, 12 the third's (triples).
 func fusionExemplars() []fusionCase {
+	pair := func(name string, rule FuseRule, a, b Instr) fusionCase {
+		return fusionCase{name, rule, []Instr{a, b}}
+	}
 	cmp := func(op OpCode) fusionCase {
-		return fusionCase{"cmp-mux", FuseCmpMux,
+		return pair("cmp-mux", FuseRuleCmpMux,
 			Instr{Op: op, D: 10, DW: 1, A: 0, AW: 14, B: 1, BW: 11},
-			Instr{Op: CMux, D: 11, DW: 24, A: 10, AW: 1, B: 2, BW: 24, C: 3}}
+			Instr{Op: CMux, D: 11, DW: 24, A: 10, AW: 1, B: 2, BW: 24, C: 3})
 	}
 	cases := []fusionCase{
-		{"copy-into-mux-arm-c", FuseCopyMux,
+		pair("copy-into-mux-arm-c", FuseRuleCopyMux,
 			Instr{Op: CCopy, D: 10, DW: 16, A: 0, AW: 20},
-			Instr{Op: CMux, D: 11, DW: 16, A: 1, AW: 1, B: 2, BW: 16, C: 10}},
-		{"copy-into-mux-arm-b", FuseCopyMux,
+			Instr{Op: CMux, D: 11, DW: 16, A: 1, AW: 1, B: 2, BW: 16, C: 10}),
+		pair("copy-into-mux-arm-b", FuseRuleCopyMux,
 			Instr{Op: CCopy, D: 10, DW: 16, A: 0, AW: 20},
-			Instr{Op: CMux, D: 11, DW: 16, A: 1, AW: 1, B: 10, BW: 16, C: 2}},
-		{"copy-into-mux-sel", FuseCopyMux,
+			Instr{Op: CMux, D: 11, DW: 16, A: 1, AW: 1, B: 10, BW: 16, C: 2}),
+		pair("copy-into-mux-sel", FuseRuleCopyMux,
 			Instr{Op: CCopy, D: 10, DW: 1, A: 0, AW: 1},
-			Instr{Op: CMux, D: 11, DW: 16, A: 10, AW: 1, B: 2, BW: 16, C: 3}},
-		{"add-then-mask-bits", FuseAddMask,
+			Instr{Op: CMux, D: 11, DW: 16, A: 10, AW: 1, B: 2, BW: 16, C: 3}),
+		pair("add-then-mask-bits", FuseRuleAddMask,
 			Instr{Op: CAdd, D: 10, DW: 17, A: 0, AW: 16, B: 1, BW: 16},
-			Instr{Op: CBits, D: 11, DW: 16, A: 10, AW: 17, Hi: 15, Lo: 0}},
-		{"add-then-mask-copy", FuseAddMask,
+			Instr{Op: CBits, D: 11, DW: 16, A: 10, AW: 17, Hi: 15, Lo: 0}),
+		pair("add-then-mask-copy", FuseRuleAddMask,
 			Instr{Op: CAdd, D: 10, DW: 33, A: 0, AW: 32, B: 1, BW: 32},
-			Instr{Op: CCopy, D: 11, DW: 32, A: 10, AW: 33}},
-		{"sub-then-mask-bits", FuseSubMask,
+			Instr{Op: CCopy, D: 11, DW: 32, A: 10, AW: 33}),
+		pair("sub-then-mask-bits", FuseRuleSubMask,
 			Instr{Op: CSub, D: 10, DW: 16, A: 0, AW: 16, B: 1, BW: 16},
-			Instr{Op: CBits, D: 11, DW: 8, A: 10, AW: 16, Hi: 7, Lo: 0}},
-		{"and-then-eq", FuseAndEqz,
+			Instr{Op: CBits, D: 11, DW: 8, A: 10, AW: 16, Hi: 7, Lo: 0}),
+		pair("and-then-eq", FuseRuleAndEqz,
 			Instr{Op: CAnd, D: 10, DW: 16, A: 0, AW: 16, B: 1, BW: 16},
-			Instr{Op: CEq, D: 11, DW: 1, A: 10, AW: 16, B: 2, BW: 16}},
-		{"and-then-eq-swapped", FuseAndEqz,
+			Instr{Op: CEq, D: 11, DW: 1, A: 10, AW: 16, B: 2, BW: 16}),
+		pair("and-then-eq-swapped", FuseRuleAndEqz,
 			Instr{Op: CAnd, D: 10, DW: 16, A: 0, AW: 16, B: 1, BW: 16},
-			Instr{Op: CEq, D: 11, DW: 1, A: 2, AW: 16, B: 10, BW: 16}},
-		{"and-then-neq", FuseAndEqz,
+			Instr{Op: CEq, D: 11, DW: 1, A: 2, AW: 16, B: 10, BW: 16}),
+		pair("and-then-neq", FuseRuleAndEqz,
 			Instr{Op: CAnd, D: 10, DW: 16, A: 0, AW: 16, B: 1, BW: 16},
-			Instr{Op: CNeq, D: 11, DW: 1, A: 10, AW: 16, B: 2, BW: 16}},
-		{"and-then-orr", FuseAndEqz,
+			Instr{Op: CNeq, D: 11, DW: 1, A: 10, AW: 16, B: 2, BW: 16}),
+		pair("and-then-orr", FuseRuleAndOrr,
 			Instr{Op: CAnd, D: 10, DW: 16, A: 0, AW: 16, B: 1, BW: 16},
-			Instr{Op: COrR, D: 11, DW: 1, A: 10, AW: 16}},
-		{"copy-into-mux-both-arms", FuseCopyMux, // aliasing corner: t feeds both arms
+			Instr{Op: COrR, D: 11, DW: 1, A: 10, AW: 16}),
+		pair("copy-into-mux-both-arms", FuseRuleCopyMux, // aliasing corner: t feeds both arms
 			Instr{Op: CCopy, D: 10, DW: 16, A: 0, AW: 20},
-			Instr{Op: CMux, D: 11, DW: 16, A: 1, AW: 1, B: 10, BW: 16, C: 10}},
-		{"and-then-eq-both-sides", FuseAndEqz, // aliasing corner: t == t
+			Instr{Op: CMux, D: 11, DW: 16, A: 1, AW: 1, B: 10, BW: 16, C: 10}),
+		pair("and-then-eq-both-sides", FuseRuleAndEqz, // aliasing corner: t == t
 			Instr{Op: CAnd, D: 10, DW: 16, A: 0, AW: 16, B: 1, BW: 16},
-			Instr{Op: CEq, D: 11, DW: 1, A: 10, AW: 16, B: 10, BW: 16}},
-		{"mux-into-mux", FuseMuxMux,
+			Instr{Op: CEq, D: 11, DW: 1, A: 10, AW: 16, B: 10, BW: 16}),
+		pair("mux-into-mux", FuseRuleMuxMux,
 			Instr{Op: CMux, D: 10, DW: 16, A: 0, AW: 1, B: 1, BW: 16, C: 2},
-			Instr{Op: CMux, D: 11, DW: 16, A: 3, AW: 1, B: 4, BW: 16, C: 10}},
-		{"add-then-carry-slice", FuseAddMask, // bits at a non-zero offset
+			Instr{Op: CMux, D: 11, DW: 16, A: 3, AW: 1, B: 4, BW: 16, C: 10}),
+		pair("add-then-carry-slice", FuseRuleAddMask, // bits at a non-zero offset
 			Instr{Op: CAdd, D: 10, DW: 17, A: 0, AW: 16, B: 1, BW: 16},
-			Instr{Op: CBits, D: 11, DW: 1, A: 10, AW: 17, Hi: 16, Lo: 16}},
-		{"bits-into-bits", FuseAluMask,
+			Instr{Op: CBits, D: 11, DW: 1, A: 10, AW: 17, Hi: 16, Lo: 16}),
+		pair("bits-into-bits", FuseRuleAluMask,
 			Instr{Op: CBits, D: 10, DW: 12, A: 0, AW: 20, Hi: 15, Lo: 4},
-			Instr{Op: CBits, D: 11, DW: 4, A: 10, AW: 12, Hi: 5, Lo: 2}},
-		{"shl-into-copy", FuseAluMask,
+			Instr{Op: CBits, D: 11, DW: 4, A: 10, AW: 12, Hi: 5, Lo: 2}),
+		pair("shl-into-copy", FuseRuleAluMask,
 			Instr{Op: CShl, D: 10, DW: 20, A: 0, AW: 16, Lo: 4},
-			Instr{Op: CCopy, D: 11, DW: 18, A: 10, AW: 20}},
-		{"bits-into-mux-arm", FuseAluMux,
+			Instr{Op: CCopy, D: 11, DW: 18, A: 10, AW: 20}),
+		pair("bits-into-mux-arm", FuseRuleAluMux,
 			Instr{Op: CBits, D: 10, DW: 8, A: 0, AW: 20, Hi: 7, Lo: 2},
-			Instr{Op: CMux, D: 11, DW: 8, A: 1, AW: 1, B: 10, BW: 8, C: 2}},
-		{"xor-into-mux-sel", FuseAluMux,
+			Instr{Op: CMux, D: 11, DW: 8, A: 1, AW: 1, B: 10, BW: 8, C: 2}),
+		pair("xor-into-mux-sel", FuseRuleAluMux,
 			Instr{Op: CXor, D: 10, DW: 1, A: 0, AW: 1, B: 1, BW: 1},
-			Instr{Op: CMux, D: 11, DW: 16, A: 10, AW: 1, B: 2, BW: 16, C: 3}},
-		{"bits-into-cat-hi", FuseAluCat,
+			Instr{Op: CMux, D: 11, DW: 16, A: 10, AW: 1, B: 2, BW: 16, C: 3}),
+		pair("bits-into-cat-hi", FuseRuleAluCat,
 			Instr{Op: CBits, D: 10, DW: 8, A: 0, AW: 20, Hi: 9, Lo: 2},
-			Instr{Op: CCat, D: 11, DW: 24, A: 10, AW: 8, B: 1, BW: 16}},
-		{"cat-into-cat-lo", FuseAluCat,
+			Instr{Op: CCat, D: 11, DW: 24, A: 10, AW: 8, B: 1, BW: 16}),
+		pair("cat-into-cat-lo", FuseRuleAluCat,
 			Instr{Op: CCat, D: 10, DW: 20, A: 0, AW: 4, B: 1, BW: 16},
-			Instr{Op: CCat, D: 11, DW: 28, A: 2, AW: 8, B: 10, BW: 20}},
-		{"eq-into-or", FuseAluLogic,
+			Instr{Op: CCat, D: 11, DW: 28, A: 2, AW: 8, B: 10, BW: 20}),
+		pair("eq-into-or", FuseRuleAluLogic,
 			Instr{Op: CEq, D: 10, DW: 1, A: 0, AW: 16, B: 1, BW: 16},
-			Instr{Op: COr, D: 11, DW: 1, A: 10, AW: 1, B: 2, BW: 1}},
-		{"not-into-and", FuseAluLogic,
+			Instr{Op: COr, D: 11, DW: 1, A: 10, AW: 1, B: 2, BW: 1}),
+		pair("not-into-and", FuseRuleAluLogic,
 			Instr{Op: CNot, D: 10, DW: 16, A: 0, AW: 16},
-			Instr{Op: CAnd, D: 11, DW: 16, A: 1, AW: 16, B: 10, BW: 16}},
-		{"slt-into-xor", FuseAluLogic,
+			Instr{Op: CAnd, D: 11, DW: 16, A: 1, AW: 16, B: 10, BW: 16}),
+		pair("slt-into-xor", FuseRuleAluLogic,
 			Instr{Op: CSLt, D: 10, DW: 1, A: 0, AW: 12, B: 1, BW: 9},
-			Instr{Op: CXor, D: 11, DW: 1, A: 10, AW: 1, B: 2, BW: 1}},
-		{"bits-into-eq", FuseAluEq,
+			Instr{Op: CXor, D: 11, DW: 1, A: 10, AW: 1, B: 2, BW: 1}),
+		pair("bits-into-eq", FuseRuleAluEq,
 			Instr{Op: CBits, D: 10, DW: 8, A: 0, AW: 20, Hi: 7, Lo: 0},
-			Instr{Op: CEq, D: 11, DW: 1, A: 10, AW: 8, B: 1, BW: 8}},
-		{"xor-into-neq", FuseAluEq,
+			Instr{Op: CEq, D: 11, DW: 1, A: 10, AW: 8, B: 1, BW: 8}),
+		pair("xor-into-neq", FuseRuleAluEq,
 			Instr{Op: CXor, D: 10, DW: 16, A: 0, AW: 16, B: 1, BW: 16},
-			Instr{Op: CNeq, D: 11, DW: 1, A: 2, AW: 16, B: 10, BW: 16}},
-		{"bits-into-memread", FuseAluMemRead, // DW 2 keeps the address in range
+			Instr{Op: CNeq, D: 11, DW: 1, A: 2, AW: 16, B: 10, BW: 16}),
+		pair("bits-into-memread", FuseRuleAluMemread, // DW 2 keeps the address in range
 			Instr{Op: CBits, D: 10, DW: 2, A: 0, AW: 16, Hi: 4, Lo: 3},
-			Instr{Op: CMemRead, D: 11, DW: 8, A: 10, AW: 2, Lo: 0}},
+			Instr{Op: CMemRead, D: 11, DW: 8, A: 10, AW: 2, Lo: 0}),
+		// Triples.
+		{"mux-chain-of-three", FuseRuleMuxMuxMux, []Instr{
+			{Op: CMux, D: 10, DW: 16, A: 0, AW: 1, B: 1, BW: 16, C: 2},
+			{Op: CMux, D: 11, DW: 16, A: 3, AW: 1, B: 10, BW: 16, C: 4},
+			{Op: CMux, D: 12, DW: 16, A: 5, AW: 1, B: 6, BW: 16, C: 11}}},
+		{"mux-chain-aliasing", FuseRuleMuxMuxMux, []Instr{ // third mux's selector reads the first dest
+			{Op: CMux, D: 10, DW: 1, A: 0, AW: 1, B: 1, BW: 1, C: 2},
+			{Op: CMux, D: 11, DW: 16, A: 3, AW: 1, B: 4, BW: 16, C: 10},
+			{Op: CMux, D: 12, DW: 16, A: 10, AW: 1, B: 11, BW: 16, C: 5}}},
+		{"cmp-mux-then-mux", FuseRuleCmpMuxMux, []Instr{
+			{Op: CLt, D: 10, DW: 1, A: 0, AW: 14, B: 1, BW: 11},
+			{Op: CMux, D: 11, DW: 16, A: 10, AW: 1, B: 2, BW: 16, C: 3},
+			{Op: CMux, D: 12, DW: 16, A: 4, AW: 1, B: 11, BW: 16, C: 5}}},
+		{"scmp-mux-then-mux", FuseRuleCmpMuxMux, []Instr{
+			{Op: CSGeq, D: 10, DW: 1, A: 0, AW: 14, B: 1, BW: 11},
+			{Op: CMux, D: 11, DW: 16, A: 10, AW: 1, B: 2, BW: 16, C: 3},
+			{Op: CMux, D: 12, DW: 16, A: 4, AW: 1, B: 5, BW: 16, C: 11}}},
+		{"eq-mux-then-mux", FuseRuleCmpMuxMux, []Instr{
+			{Op: CEq, D: 10, DW: 1, A: 0, AW: 14, B: 1, BW: 14},
+			{Op: CMux, D: 11, DW: 16, A: 10, AW: 1, B: 2, BW: 16, C: 3},
+			{Op: CMux, D: 12, DW: 16, A: 10, AW: 1, B: 11, BW: 16, C: 5}}}, // cond reused as second selector
 	}
 	for _, op := range []OpCode{CEq, CNeq, CLt, CLeq, CGt, CGeq, CSLt, CSLeq, CSGt, CSGeq} {
 		cases = append(cases, cmp(op))
@@ -131,44 +156,61 @@ func maskOperands(st []uint64, ins ...Instr) {
 	}
 }
 
-// TestFusionPatternCoverage sweeps the full FusePattern enumeration: every
-// pattern must have at least one exemplar pair, the matcher must classify
-// each exemplar as its pattern, and the fused closure must leave the state
-// image bit-identical to executing the two instructions back to back — over
-// randomized operand values, including the aliasing corners the store-first
-// design must survive.
-func TestFusionPatternCoverage(t *testing.T) {
+// TestFusionRuleCoverage sweeps the full generated FuseRule enumeration:
+// every rule must have at least one exemplar window, the declared arity must
+// match the exemplar, the generated matcher must classify each exemplar as
+// its rule, and the fused closure must leave the state image bit-identical
+// to executing the window's instructions back to back — over randomized
+// operand values, including the aliasing corners the store-in-order design
+// must survive.
+func TestFusionRuleCoverage(t *testing.T) {
 	cases := fusionExemplars()
-	seen := make(map[FusePattern]bool)
+	seen := make(map[FuseRule]bool)
 	for _, c := range cases {
-		seen[c.pat] = true
+		seen[c.rule] = true
 	}
-	for pat := FuseNone + 1; pat < NumFusePatterns; pat++ {
-		if !seen[pat] {
-			t.Fatalf("fusion pattern %d (%s) has no exemplar — extend fusionExemplars", pat, pat)
+	for r := FuseRuleNone + 1; r < NumFuseRules; r++ {
+		if !seen[r] {
+			t.Fatalf("fusion rule %d (%s) has no exemplar — extend fusionExemplars", r, r)
+		}
+		if r.Pattern() == "" {
+			t.Fatalf("fusion rule %s has no pattern string", r)
 		}
 	}
 
 	rng := rand.New(rand.NewSource(7))
 	for _, c := range cases {
-		if got := MatchFusion(c.a, c.b); got != c.pat {
-			t.Fatalf("%s: MatchFusion = %s, want %s", c.name, got, c.pat)
+		if got := c.rule.Arity(); got != len(c.ins) {
+			t.Fatalf("%s: rule %s declares arity %d, exemplar has %d instructions", c.name, c.rule, got, len(c.ins))
 		}
-		p := &Program{NumWords: 12, Instrs: []Instr{c.a, c.b},
+		switch len(c.ins) {
+		case 2:
+			if got := matchFuse2(c.ins[0], c.ins[1]); got != c.rule {
+				t.Fatalf("%s: matchFuse2 = %s, want %s", c.name, got, c.rule)
+			}
+		case 3:
+			if got := matchFuse3(c.ins[0], c.ins[1], c.ins[2]); got != c.rule {
+				t.Fatalf("%s: matchFuse3 = %s, want %s", c.name, got, c.rule)
+			}
+		}
+		p := &Program{NumWords: 13, Instrs: c.ins,
 			Mems: []MemSpec{{Depth: 4, Width: 8, WordsPer: 1, Init: []uint64{0x5a, 9, 0xab, 3}}}}
 		bnd := NewMachine(p)
 		bfns := p.CompileChainBound(bnd, p.Instrs)
 		if len(bfns) != 1 {
 			t.Fatalf("%s: CompileChainBound produced %d closures, want 1 fused", c.name, len(bfns))
 		}
+		if stats := FusionStats(c.ins); stats[c.rule] != 1 {
+			t.Fatalf("%s: FusionStats counted %d windows for %s, want 1", c.name, stats[c.rule], c.rule)
+		}
 		for trial := 0; trial < 200; trial++ {
 			ref := NewMachine(p)
 			for w := range ref.State {
 				ref.State[w] = rng.Uint64()
 			}
-			maskOperands(ref.State, c.a, c.b)
+			maskOperands(ref.State, c.ins...)
 			copy(bnd.State, ref.State)
-			ref.Exec(0, 2)
+			ref.Exec(0, int32(len(c.ins)))
 			bfns[0]()
 			for w := range ref.State {
 				if ref.State[w] != bnd.State[w] {
@@ -180,8 +222,8 @@ func TestFusionPatternCoverage(t *testing.T) {
 	}
 }
 
-// TestMatchFusionRejects pins the negative space: pairs that look close to a
-// pattern but must not fuse.
+// TestMatchFusionRejects pins the negative space: windows that look close to
+// a rule but must not fuse.
 func TestMatchFusionRejects(t *testing.T) {
 	add := Instr{Op: CAdd, D: 10, DW: 17, A: 0, AW: 16, B: 1, BW: 16}
 	cases := []struct {
@@ -204,8 +246,87 @@ func TestMatchFusionRejects(t *testing.T) {
 			Instr{Op: COrR, D: 11, DW: 1, A: 10, AW: 16}},
 	}
 	for _, c := range cases {
-		if got := MatchFusion(c.a, c.b); got != FuseNone {
-			t.Fatalf("%s: MatchFusion = %s, want none", c.name, got)
+		if got := matchFuse2(c.a, c.b); got != FuseRuleNone {
+			t.Fatalf("%s: matchFuse2 = %s, want none", c.name, got)
+		}
+	}
+	triples := []struct {
+		name    string
+		a, b, c Instr
+	}{
+		{"mux-chain-middle-break", // second mux doesn't read the first
+			Instr{Op: CMux, D: 10, DW: 16, A: 0, AW: 1, B: 1, BW: 16, C: 2},
+			Instr{Op: CMux, D: 11, DW: 16, A: 3, AW: 1, B: 4, BW: 16, C: 5},
+			Instr{Op: CMux, D: 12, DW: 16, A: 6, AW: 1, B: 11, BW: 16, C: 7}},
+		{"mux-chain-sel-only-feed", // third mux reads the second only via its selector
+			Instr{Op: CMux, D: 10, DW: 16, A: 0, AW: 1, B: 1, BW: 16, C: 2},
+			Instr{Op: CMux, D: 11, DW: 1, A: 3, AW: 1, B: 10, BW: 1, C: 4},
+			Instr{Op: CMux, D: 12, DW: 16, A: 11, AW: 1, B: 5, BW: 16, C: 6}},
+		{"cmp-mux-wide-tail",
+			Instr{Op: CLt, D: 10, DW: 1, A: 0, AW: 14, B: 1, BW: 11},
+			Instr{Op: CMux, D: 11, DW: 16, A: 10, AW: 1, B: 2, BW: 16, C: 3},
+			Instr{Op: CMux, D: 12, DW: 80, A: 4, AW: 1, B: 11, BW: 80, C: 5}},
+	}
+	for _, c := range triples {
+		if got := matchFuse3(c.a, c.b, c.c); got != FuseRuleNone {
+			t.Fatalf("%s: matchFuse3 = %s, want none", c.name, got)
+		}
+	}
+}
+
+// ruleToLegacy maps each generated pair rule to the legacyPattern verdict
+// the retired hand-written matcher returns for the same window (and-eqz and
+// and-orr were one pattern there).
+var ruleToLegacy = map[FuseRule]legacyPattern{
+	FuseRuleNone:       legNone,
+	FuseRuleCopyMux:    legCopyMux,
+	FuseRuleCmpMux:     legCmpMux,
+	FuseRuleMuxMux:     legMuxMux,
+	FuseRuleAluMux:     legAluMux,
+	FuseRuleAddMask:    legAddMask,
+	FuseRuleSubMask:    legSubMask,
+	FuseRuleAluMask:    legAluMask,
+	FuseRuleAluCat:     legAluCat,
+	FuseRuleAluLogic:   legAluLogic,
+	FuseRuleAndEqz:     legAndEqz,
+	FuseRuleAluEq:      legAluEq,
+	FuseRuleAndOrr:     legAndEqz,
+	FuseRuleAluMemread: legAluMemRead,
+}
+
+// TestGeneratedMatcherMatchesLegacy exhaustively checks that the generated
+// pair matcher reproduces the retired hand-written matcher's verdicts:
+// every opcode x opcode window, at widths crossing the narrow/wide boundary,
+// across all eight combinations of which consumer slots read the producer's
+// destination. This is the contract that made retiring the hand-written
+// dispatch safe.
+func TestGeneratedMatcherMatchesLegacy(t *testing.T) {
+	widths := []int32{1, 8, 64, 80}
+	for aOp := CCopy; aOp < OpCode(numOpCodes); aOp++ {
+		for bOp := CCopy; bOp < OpCode(numOpCodes); bOp++ {
+			for _, wa := range widths {
+				for _, wb := range widths {
+					for feed := 0; feed < 8; feed++ {
+						a := Instr{Op: aOp, D: 10, DW: wa, A: 0, AW: wa, B: 1, BW: wa, C: 2}
+						b := Instr{Op: bOp, D: 11, DW: wb, A: 3, AW: wb, B: 4, BW: wb, C: 5}
+						if feed&1 != 0 {
+							b.A = 10
+						}
+						if feed&2 != 0 {
+							b.B = 10
+						}
+						if feed&4 != 0 {
+							b.C = 10
+						}
+						got := matchFuse2(a, b)
+						want := matchFusionLegacy(a, b)
+						if ruleToLegacy[got] != want {
+							t.Fatalf("aOp=%d bOp=%d wa=%d wb=%d feed=%03b: generated %s, legacy %d",
+								aOp, bOp, wa, wb, feed, got, want)
+						}
+					}
+				}
+			}
 		}
 	}
 }

@@ -1,0 +1,152 @@
+// Package rules is the declarative source of truth for the kernel
+// compiler's rewrite rules: the superinstruction fusion patterns applied by
+// emit.CompileChainBound and the algebraic simplification rules applied by
+// the passes pipeline before partitioning. cmd/rulegen compiles the two
+// tables into exhaustive Go match code (emit/fuse_gen.go and
+// passes/simplify_gen.go) — the same shape sneller uses for its SSA
+// simplifier: rules as data, matchers as generated code, so adding a pattern
+// is one table line plus `go generate`, not another arm of a hand-written
+// dispatch wall.
+//
+// # Fusion rules
+//
+// A fusion rule matches a window of two or three adjacent instructions of a
+// compiled chain (execution order, left to right) and names the bound-closure
+// constructor in package emit that compiles the window into one closure:
+//
+//	(copy _) >> (mux t? t? t?)
+//
+// Each parenthesized group is one instruction: an opcode name, an opcode
+// class (cmp, mask, logic, eqz — see opcodeClass — or pure, the
+// narrowValueBound-compilable producers), and one operand spec per operand
+// slot (A, B, C in order):
+//
+//	_   any slot value
+//	t   the slot must read the previous instruction's destination
+//	t?  may-feed: at least one t?-marked slot must read it
+//
+// Only fully narrow windows fuse (the generated matchers check that first);
+// rule order is match priority. An optional Guard is a raw Go expression
+// over the matched instructions a, b (and c for triples).
+//
+// # Simplify rules
+//
+// A simplify rule is a pattern over ir expression trees, an optional Go
+// guard, and a rewrite template:
+//
+//	{Name: "and-zero", Pat: "(and x 0)", To: "0", Comm: true}
+//
+// Pattern atoms: lowercase metavariables bind any subexpression (a repeated
+// metavariable requires structural equality); names starting with k bind
+// only constants; the literals 0, 1, and ones match constants of that value
+// without binding. Guards are Go expressions over the bound metavariables
+// plus e (the root expression); templates are metavariables, 0/1 (a constant
+// of the root's width), or operator applications over bound metavariables.
+// Comm additionally matches the rule with the root's two operands swapped.
+// The generated rewriter tries rules in table order, first match wins; the
+// caller re-fits the result to the original width.
+package rules
+
+//go:generate go run gsim/cmd/rulegen
+
+// FuseRule declares one superinstruction fusion rule. Emit names the
+// bound-closure constructor in package emit: func(p *Program, m *Machine,
+// a, b Instr) BoundFn for pairs, with a trailing c Instr for triples.
+type FuseRule struct {
+	Name  string // kebab-case rule id; generates the emit.FuseRule constant
+	Pat   string // instruction-window pattern, stages joined by >>
+	Guard string // optional extra Go condition over a, b (, c)
+	Emit  string // constructor name in package emit
+}
+
+// SimplifyRule declares one algebraic rewrite over ir expression trees.
+type SimplifyRule struct {
+	Name  string // kebab-case rule id; generates the passes.AlgRule constant
+	Pat   string // s-expression pattern over ir operators
+	Guard string // optional Go condition over bound metavariables and e
+	To    string // rewrite template
+	Comm  bool   // also match with the root's operands swapped
+}
+
+// FusionRules returns the fusion rule table in match-priority order: the
+// two-instruction rules reproduce the retired hand-written matcher exactly
+// (the equivalence test enumerates opcode x width x feed shapes against it),
+// followed by the three-instruction families the hand-written dispatch never
+// grew. CompileChainBound tries triples before pairs at each chain position.
+func FusionRules() []FuseRule {
+	return []FuseRule{
+		// Specialized pairs: both halves compiled into one straight-line
+		// closure body.
+		{Name: "copy-mux", Pat: "(copy _) >> (mux t? t? t?)", Emit: "fuseCopyMux"},
+		{Name: "cmp-mux", Pat: "(cmp _ _) >> (mux t _ _)", Emit: "fuseCmpMux"},
+		{Name: "mux-mux", Pat: "(mux _ _ _) >> (mux _ t? t?)", Emit: "fuseMuxMux"},
+		{Name: "alu-mux", Pat: "(pure) >> (mux t? t? t?)", Emit: "fuseAluMux"},
+		{Name: "add-mask", Pat: "(add _ _) >> (mask t)", Emit: "fuseAddMask"},
+		{Name: "sub-mask", Pat: "(sub _ _) >> (mask t)", Emit: "fuseSubMask"},
+		// Generic pairs: any pure narrow producer through its pre-bound value
+		// closure, feeding a specialized consumer tail.
+		{Name: "alu-mask", Pat: "(pure) >> (mask t)", Emit: "fuseAluMask"},
+		{Name: "alu-cat", Pat: "(pure) >> (cat t? t?)", Emit: "fuseAluCat"},
+		{Name: "alu-logic", Pat: "(pure) >> (logic t? t?)", Emit: "fuseAluLogic"},
+		{Name: "and-eqz", Pat: "(and _ _) >> (eqz t? t?)", Emit: "fuseAndEqz"},
+		{Name: "alu-eq", Pat: "(pure) >> (eqz t? t?)", Emit: "fuseAluEq"},
+		{Name: "and-orr", Pat: "(and _ _) >> (orr t)", Emit: "fuseAndEqz"},
+		{Name: "alu-memread", Pat: "(pure) >> (memread t)", Emit: "fuseAluMemRead"},
+		// Triples: the priority-encoder chains that dominate control logic
+		// compile to runs of adjacent muxes; collapsing three instructions
+		// into one closure removes two dispatches instead of one.
+		{Name: "mux-mux-mux", Pat: "(mux _ _ _) >> (mux _ t? t?) >> (mux _ t? t?)", Emit: "fuseMuxMuxMux"},
+		{Name: "cmp-mux-mux", Pat: "(cmp _ _) >> (mux t _ _) >> (mux _ t? t?)", Emit: "fuseCmpMuxMux"},
+	}
+}
+
+// SimplifyRules returns the algebraic rule table. Rules sharing a root
+// operator are tried in table order; keep the constant-select mux rules
+// before the structural mux rules, and the self-compare rules before the
+// compare-with-zero rules, so the cheaper rewrite wins.
+func SimplifyRules() []SimplifyRule {
+	return []SimplifyRule{
+		{Name: "add-zero", Pat: "(add x 0)", To: "x", Comm: true},
+		{Name: "sub-zero", Pat: "(sub x 0)", To: "x"},
+		{Name: "sub-self", Pat: "(sub x x)", To: "0"},
+		{Name: "mul-zero", Pat: "(mul x 0)", To: "0", Comm: true},
+		{Name: "mul-one", Pat: "(mul x 1)", To: "x", Comm: true},
+		{Name: "div-one", Pat: "(div x 1)", To: "x"},
+		{Name: "rem-one", Pat: "(rem x 1)", To: "0"},
+		{Name: "and-zero", Pat: "(and x 0)", To: "0", Comm: true},
+		// The mask must cover x completely, or the and still truncates.
+		{Name: "and-ones", Pat: "(and x k)", Guard: "isOnes(k) && k.Width >= x.Width", To: "x", Comm: true},
+		{Name: "and-self", Pat: "(and x x)", To: "x"},
+		{Name: "or-zero", Pat: "(or x 0)", To: "x", Comm: true},
+		{Name: "or-self", Pat: "(or x x)", To: "x"},
+		{Name: "xor-zero", Pat: "(xor x 0)", To: "x", Comm: true},
+		{Name: "xor-self", Pat: "(xor x x)", To: "0"},
+		{Name: "not-not", Pat: "(not (not x))", To: "x"},
+		{Name: "andr-bool", Pat: "(andr x)", Guard: "x.Width == 1", To: "x"},
+		{Name: "orr-bool", Pat: "(orr x)", Guard: "x.Width == 1", To: "x"},
+		{Name: "xorr-bool", Pat: "(xorr x)", Guard: "x.Width == 1", To: "x"},
+		{Name: "eq-self", Pat: "(eq x x)", To: "1"},
+		{Name: "neq-self", Pat: "(neq x x)", To: "0"},
+		// x != 0 is the or-reduction; saves the constant operand slot and
+		// feeds the and-orr fusion family.
+		{Name: "neq-zero", Pat: "(neq x 0)", To: "(orr x)", Comm: true},
+		// Unsigned compare against zero folds to a constant or a reduction.
+		{Name: "lt-self", Pat: "(lt x x)", To: "0"},
+		{Name: "lt-zero", Pat: "(lt x 0)", To: "0"},
+		{Name: "zero-lt", Pat: "(lt 0 x)", To: "(orr x)"},
+		{Name: "gt-self", Pat: "(gt x x)", To: "0"},
+		{Name: "gt-zero", Pat: "(gt x 0)", To: "(orr x)"},
+		{Name: "zero-gt", Pat: "(gt 0 x)", To: "0"},
+		{Name: "leq-self", Pat: "(leq x x)", To: "1"},
+		{Name: "leq-zero", Pat: "(leq x 0)", To: "(not (orr x))"},
+		{Name: "zero-leq", Pat: "(leq 0 x)", To: "1"},
+		{Name: "geq-self", Pat: "(geq x x)", To: "1"},
+		{Name: "geq-zero", Pat: "(geq x 0)", To: "1"},
+		{Name: "zero-geq", Pat: "(geq 0 x)", To: "(not (orr x))"},
+		{Name: "mux-sel-zero", Pat: "(mux k x y)", Guard: "isZero(k)", To: "y"},
+		{Name: "mux-sel-one", Pat: "(mux k x y)", Guard: "!isZero(k)", To: "x"},
+		{Name: "mux-same", Pat: "(mux s x x)", To: "x"},
+		{Name: "mux-bool", Pat: "(mux s 1 0)", Guard: "e.Width == 1", To: "s"},
+		{Name: "mux-bool-not", Pat: "(mux s 0 1)", Guard: "e.Width == 1", To: "(not s)"},
+	}
+}

@@ -15,8 +15,9 @@ const (
 	// EvalKernel (the default) runs the full kernel-compiling pipeline:
 	// pre-bound closures with opcode dispatch, operand offsets, widths, and
 	// masks resolved at build time, superinstruction fusion over adjacent
-	// two-instruction idioms, width-class-specialized 2-word kernels for the
-	// 65-128-bit range, and chains fused per supernode (and per chunk, where
+	// two- and three-instruction idioms, width-class-specialized 2-word
+	// kernels for the 65-128-bit range, and chains fused per supernode (and
+	// per chunk, where
 	// the engine sweeps chunks) so a sweep has no range lookups.
 	EvalKernel EvalMode = iota
 	// EvalInterp runs the reference switch-dispatch interpreter
@@ -97,8 +98,8 @@ type trackSlot struct {
 // everything before the fused sweep observes exactly the values the
 // interpreter's interleaved copy-eval-diff loop observes. Fusion across
 // member boundaries inside the chain is safe for the same reason: a fused
-// closure performs exactly the stores of its two source instructions in
-// order.
+// closure performs exactly the stores of its source instructions (two or
+// three, per the matched rule) in order.
 func buildSupKernels(p *emit.Program, m *emit.Machine, pl *activationPlan, mode EvalMode) ([]supKernel, int32) {
 	fuse := mode != EvalKernelNoFuse
 	if !fuse {

@@ -41,6 +41,13 @@ type Options struct {
 	// MaxSplitParts caps how many pieces one node may be split into at the
 	// bit level. Zero means DefaultMaxSplitParts.
 	MaxSplitParts int
+
+	// NoAlgebraic disables the generated algebraic rule set (rewriteAlgebraic,
+	// from the table in internal/emit/rules) while keeping constant folding
+	// and the structural rewrites. The zero value ships the rules enabled;
+	// the fuzz harness flips this to diff simplified against unsimplified
+	// builds.
+	NoAlgebraic bool
 }
 
 // Defaults for the cost-model constants.
@@ -99,7 +106,7 @@ func Run(g *ir.Graph, opts Options) Result {
 	opts.fill()
 	var res Result
 	if opts.Simplify {
-		res.Simplified += simplifyGraph(g)
+		res.Simplified += simplifyGraph(g, !opts.NoAlgebraic)
 	}
 	if opts.Redundant {
 		res.AliasRemoved += eliminateAliases(g)
@@ -109,7 +116,7 @@ func Run(g *ir.Graph, opts Options) Result {
 		res.NodesSplit += bitSplit(g, opts.MaxSplitParts)
 		if res.NodesSplit > 0 {
 			if opts.Simplify {
-				res.Simplified += simplifyGraph(g)
+				res.Simplified += simplifyGraph(g, !opts.NoAlgebraic)
 			}
 			if opts.Redundant {
 				res.AliasRemoved += eliminateAliases(g)

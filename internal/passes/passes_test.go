@@ -15,7 +15,7 @@ import (
 
 func simplified(t *testing.T, e *ir.Expr) *ir.Expr {
 	t.Helper()
-	r, _ := simplifyExpr(e)
+	r, _ := simplifyExpr(e, true)
 	return r
 }
 
@@ -157,7 +157,7 @@ func TestShortedNodeElimination(t *testing.T) {
 	f := b.Comb("F", b.Not(b.R(e)))
 	g := b.Comb("G", b.Mux(b.C(1, 1), b.AddW(b.R(e), b.C(8, 1), 8), b.R(f)))
 	b.Output("o", b.R(g))
-	simplifyGraph(b.G)
+	simplifyGraph(b.G, true)
 	eliminateAliases(b.G)
 	eliminateDead(b.G)
 	if b.G.FindNode("F") != nil {
@@ -285,7 +285,7 @@ func TestBitSplitPaperExample(t *testing.T) {
 	if split < 2 {
 		t.Fatalf("split %d nodes, want >= 2 (D and E)", split)
 	}
-	simplifyGraph(b.G)
+	simplifyGraph(b.G, true)
 	eliminateAliases(b.G)
 	eliminateDead(b.G)
 	b.G.Compact()

@@ -1,13 +1,32 @@
 package passes
 
 import (
+	"sync/atomic"
+
 	"gsim/internal/bitvec"
 	"gsim/internal/ir"
 )
 
-// simplifyGraph rewrites every expression bottom-up with constant folding
-// and algebraic simplification. Returns the number of rewrites applied.
-func simplifyGraph(g *ir.Graph) int {
+// algFired counts, per generated rule, how many times the algebraic
+// rewriter fired across every simplification run in the process — the
+// diagnostic behind cmd/gsim-diag's simplify report. Atomic because designs
+// compile concurrently (the session server and the tests both do).
+var algFired [NumAlgRules]atomic.Uint64
+
+// AlgebraicRuleStats snapshots the process-wide per-rule fire counters,
+// indexed by AlgRule.
+func AlgebraicRuleStats() []uint64 {
+	out := make([]uint64, NumAlgRules)
+	for i := range out {
+		out[i] = algFired[i].Load()
+	}
+	return out
+}
+
+// simplifyGraph rewrites every expression bottom-up with constant folding,
+// structural rewrites, and (when alg) the generated algebraic rule set.
+// Returns the number of rewrites applied.
+func simplifyGraph(g *ir.Graph, alg bool) int {
 	changed := 0
 	for _, n := range g.Nodes {
 		if n == nil {
@@ -15,7 +34,7 @@ func simplifyGraph(g *ir.Graph) int {
 		}
 		n.EachExpr(func(slot **ir.Expr) {
 			var c int
-			*slot, c = simplifyExpr(*slot)
+			*slot, c = simplifyExpr(*slot, alg)
 			changed += c
 		})
 	}
@@ -24,15 +43,15 @@ func simplifyGraph(g *ir.Graph) int {
 
 // simplifyExpr rewrites e bottom-up and returns the replacement plus the
 // number of rewrites. The returned expression always has e's width.
-func simplifyExpr(e *ir.Expr) (*ir.Expr, int) {
+func simplifyExpr(e *ir.Expr, alg bool) (*ir.Expr, int) {
 	changed := 0
 	for i := range e.Args {
 		var c int
-		e.Args[i], c = simplifyExpr(e.Args[i])
+		e.Args[i], c = simplifyExpr(e.Args[i], alg)
 		changed += c
 	}
 	for {
-		r := rewriteOnce(e)
+		r := rewriteOnce(e, alg)
 		if r == nil {
 			return e, changed
 		}
@@ -58,7 +77,11 @@ func constOf(width int, v uint64) *ir.Expr { return ir.ConstUint(width, v) }
 
 // rewriteOnce applies one simplification rule to the root of e, or returns
 // nil when no rule applies. Arguments are assumed already simplified.
-func rewriteOnce(e *ir.Expr) *ir.Expr {
+// Constant folding and the structural rewrites (shift, pad, cat, bits)
+// always run; the algebraic rule set — generated into rewriteAlgebraic from
+// the table in internal/emit/rules — is gated by alg so the fuzz harness can
+// diff simplified against unsimplified builds.
+func rewriteOnce(e *ir.Expr, alg bool) *ir.Expr {
 	// Constant folding for any fully-constant operator application.
 	if e.Op != ir.OpRef && e.Op != ir.OpConst {
 		all := true
@@ -73,92 +96,17 @@ func rewriteOnce(e *ir.Expr) *ir.Expr {
 		}
 	}
 
+	if alg {
+		if r, rule := rewriteAlgebraic(e); r != nil {
+			algFired[rule].Add(1)
+			return r
+		}
+	}
+
 	a0 := func() *ir.Expr { return e.Args[0] }
 	a1 := func() *ir.Expr { return e.Args[1] }
 
 	switch e.Op {
-	case ir.OpAdd:
-		if isZero(a0()) {
-			return a1()
-		}
-		if isZero(a1()) {
-			return a0()
-		}
-	case ir.OpSub:
-		if isZero(a1()) {
-			return a0()
-		}
-		if ir.StructEq(a0(), a1()) {
-			return constOf(e.Width, 0)
-		}
-	case ir.OpMul:
-		if isZero(a0()) || isZero(a1()) {
-			return constOf(e.Width, 0)
-		}
-		if isOne(a0()) {
-			return a1()
-		}
-		if isOne(a1()) {
-			return a0()
-		}
-	case ir.OpDiv:
-		if isOne(a1()) {
-			return a0()
-		}
-	case ir.OpRem:
-		if isOne(a1()) {
-			return constOf(e.Width, 0)
-		}
-	case ir.OpAnd:
-		if isZero(a0()) || isZero(a1()) {
-			return constOf(e.Width, 0)
-		}
-		if isOnes(a0()) && a0().Width >= a1().Width {
-			return a1()
-		}
-		if isOnes(a1()) && a1().Width >= a0().Width {
-			return a0()
-		}
-		if ir.StructEq(a0(), a1()) {
-			return a0()
-		}
-	case ir.OpOr, ir.OpXor:
-		if isZero(a0()) {
-			return a1()
-		}
-		if isZero(a1()) {
-			return a0()
-		}
-		if ir.StructEq(a0(), a1()) {
-			if e.Op == ir.OpXor {
-				return constOf(e.Width, 0)
-			}
-			return a0()
-		}
-	case ir.OpNot:
-		if a0().Op == ir.OpNot {
-			return a0().Args[0]
-		}
-	case ir.OpAndR, ir.OpOrR, ir.OpXorR:
-		if a0().Width == 1 {
-			return a0()
-		}
-	case ir.OpEq:
-		if ir.StructEq(a0(), a1()) {
-			return constOf(1, 1)
-		}
-	case ir.OpNeq:
-		if ir.StructEq(a0(), a1()) {
-			return constOf(1, 0)
-		}
-	case ir.OpLt, ir.OpGt:
-		if ir.StructEq(a0(), a1()) {
-			return constOf(1, 0)
-		}
-	case ir.OpLeq, ir.OpGeq:
-		if ir.StructEq(a0(), a1()) {
-			return constOf(1, 1)
-		}
 	case ir.OpShl, ir.OpShr:
 		if e.Lo == 0 {
 			return a0()
@@ -203,23 +151,6 @@ func rewriteOnce(e *ir.Expr) *ir.Expr {
 		}
 	case ir.OpBits:
 		return rewriteBits(e)
-	case ir.OpMux:
-		sel, t, f := e.Args[0], e.Args[1], e.Args[2]
-		if isConst(sel) {
-			if sel.Imm.IsZero() {
-				return f
-			}
-			return t
-		}
-		if ir.StructEq(t, f) {
-			return t
-		}
-		if e.Width == 1 && isOne(t) && isZero(f) {
-			return sel
-		}
-		if e.Width == 1 && isZero(t) && isOne(f) {
-			return ir.Unary(ir.OpNot, sel, 0)
-		}
 	}
 	return nil
 }

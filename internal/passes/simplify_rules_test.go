@@ -1,0 +1,148 @@
+package passes
+
+import (
+	"testing"
+
+	"gsim/internal/ir"
+)
+
+// algCase is one exemplar expression for a generated algebraic rule.
+type algCase struct {
+	name string
+	rule AlgRule
+	in   *ir.Expr
+}
+
+// algExemplars maps every generated algebraic rule to at least one concrete
+// expression that fires it. TestAlgebraicRuleCoverage sweeps the AlgRule
+// enumeration against this table, so adding a table line without an
+// exemplar fails the suite. Constant operand values are chosen so no
+// earlier rule in the table matches first (5 is neither zero, one, nor
+// all-ones at width 4).
+func algExemplars() []algCase {
+	c := func(w int, v uint64) *ir.Expr { return ir.ConstUint(w, v) }
+	x := func() *ir.Expr { return c(4, 5) }
+	// A non-constant selector, so the constant-select rules don't shadow the
+	// structural mux rules. Only shape matters to the matcher.
+	sel := func() *ir.Expr { return &ir.Expr{Op: ir.OpRef, Width: 1} }
+	return []algCase{
+		{"add-zero", AlgRuleAddZero, ir.Binary(ir.OpAdd, x(), c(4, 0))},
+		{"add-zero-comm", AlgRuleAddZero, ir.Binary(ir.OpAdd, c(4, 0), x())},
+		{"sub-zero", AlgRuleSubZero, ir.Binary(ir.OpSub, x(), c(4, 0))},
+		{"sub-self", AlgRuleSubSelf, ir.Binary(ir.OpSub, x(), x())},
+		{"mul-zero", AlgRuleMulZero, ir.Binary(ir.OpMul, x(), c(4, 0))},
+		{"mul-one", AlgRuleMulOne, ir.Binary(ir.OpMul, x(), c(4, 1))},
+		{"mul-one-comm", AlgRuleMulOne, ir.Binary(ir.OpMul, c(4, 1), x())},
+		{"div-one", AlgRuleDivOne, ir.Binary(ir.OpDiv, x(), c(4, 1))},
+		{"rem-one", AlgRuleRemOne, ir.Binary(ir.OpRem, x(), c(4, 1))},
+		{"and-zero", AlgRuleAndZero, ir.Binary(ir.OpAnd, x(), c(4, 0))},
+		{"and-ones", AlgRuleAndOnes, ir.Binary(ir.OpAnd, x(), c(4, 0xf))},
+		{"and-self", AlgRuleAndSelf, ir.Binary(ir.OpAnd, x(), x())},
+		{"or-zero", AlgRuleOrZero, ir.Binary(ir.OpOr, x(), c(4, 0))},
+		{"or-self", AlgRuleOrSelf, ir.Binary(ir.OpOr, x(), x())},
+		{"xor-zero", AlgRuleXorZero, ir.Binary(ir.OpXor, x(), c(4, 0))},
+		{"xor-self", AlgRuleXorSelf, ir.Binary(ir.OpXor, x(), x())},
+		{"not-not", AlgRuleNotNot, ir.Unary(ir.OpNot, ir.Unary(ir.OpNot, x(), 0), 0)},
+		{"andr-bool", AlgRuleAndrBool, ir.Unary(ir.OpAndR, c(1, 1), 0)},
+		{"orr-bool", AlgRuleOrrBool, ir.Unary(ir.OpOrR, c(1, 0), 0)},
+		{"xorr-bool", AlgRuleXorrBool, ir.Unary(ir.OpXorR, c(1, 1), 0)},
+		{"eq-self", AlgRuleEqSelf, ir.Binary(ir.OpEq, x(), x())},
+		{"neq-self", AlgRuleNeqSelf, ir.Binary(ir.OpNeq, x(), x())},
+		{"neq-zero", AlgRuleNeqZero, ir.Binary(ir.OpNeq, x(), c(4, 0))},
+		{"neq-zero-comm", AlgRuleNeqZero, ir.Binary(ir.OpNeq, c(4, 0), x())},
+		{"lt-self", AlgRuleLtSelf, ir.Binary(ir.OpLt, x(), x())},
+		{"lt-zero", AlgRuleLtZero, ir.Binary(ir.OpLt, x(), c(4, 0))},
+		{"zero-lt", AlgRuleZeroLt, ir.Binary(ir.OpLt, c(4, 0), x())},
+		{"gt-self", AlgRuleGtSelf, ir.Binary(ir.OpGt, x(), x())},
+		{"gt-zero", AlgRuleGtZero, ir.Binary(ir.OpGt, x(), c(4, 0))},
+		{"zero-gt", AlgRuleZeroGt, ir.Binary(ir.OpGt, c(4, 0), x())},
+		{"leq-self", AlgRuleLeqSelf, ir.Binary(ir.OpLeq, x(), x())},
+		{"leq-zero", AlgRuleLeqZero, ir.Binary(ir.OpLeq, x(), c(4, 0))},
+		{"zero-leq", AlgRuleZeroLeq, ir.Binary(ir.OpLeq, c(4, 0), x())},
+		{"geq-self", AlgRuleGeqSelf, ir.Binary(ir.OpGeq, x(), x())},
+		{"geq-zero", AlgRuleGeqZero, ir.Binary(ir.OpGeq, x(), c(4, 0))},
+		{"zero-geq", AlgRuleZeroGeq, ir.Binary(ir.OpGeq, c(4, 0), x())},
+		{"mux-sel-zero", AlgRuleMuxSelZero, ir.MuxOf(c(1, 0), x(), c(4, 3))},
+		{"mux-sel-one", AlgRuleMuxSelOne, ir.MuxOf(c(1, 1), x(), c(4, 3))},
+		{"mux-same", AlgRuleMuxSame, ir.MuxOf(sel(), x(), x())},
+		{"mux-bool", AlgRuleMuxBool, ir.MuxOf(sel(), c(1, 1), c(1, 0))},
+		{"mux-bool-not", AlgRuleMuxBoolNot, ir.MuxOf(sel(), c(1, 0), c(1, 1))},
+	}
+}
+
+func hasRef(e *ir.Expr) bool {
+	if e.Op == ir.OpRef {
+		return true
+	}
+	for _, a := range e.Args {
+		if hasRef(a) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestAlgebraicRuleCoverage sweeps the full generated AlgRule enumeration:
+// every rule must have at least one exemplar, the generated rewriter must
+// classify each exemplar as its rule, and — for fully-constant exemplars —
+// the rewrite must be value-preserving under the golden constant evaluator.
+func TestAlgebraicRuleCoverage(t *testing.T) {
+	cases := algExemplars()
+	seen := make(map[AlgRule]bool)
+	for _, c := range cases {
+		seen[c.rule] = true
+	}
+	for r := AlgRuleNone + 1; r < NumAlgRules; r++ {
+		if !seen[r] {
+			t.Fatalf("algebraic rule %d (%s) has no exemplar — extend algExemplars", r, r)
+		}
+		if r.Pattern() == "" {
+			t.Fatalf("algebraic rule %s has no pattern string", r)
+		}
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got, rule := rewriteAlgebraic(c.in)
+			if got == nil {
+				t.Fatalf("rewriteAlgebraic did not fire on %s", c.in)
+			}
+			if rule != c.rule {
+				t.Fatalf("fired %s, want %s", rule, c.rule)
+			}
+			if hasRef(c.in) {
+				return // shape-only exemplar; no constant value to compare
+			}
+			want := c.in.FoldConst()
+			have := fit(got, c.in.Width).FoldConst()
+			if !want.EqValue(have) {
+				t.Fatalf("rule %s changed the value: %s -> %s (got %s)", c.rule, c.in, want, have)
+			}
+		})
+	}
+}
+
+// TestAlgebraicRuleStats checks the process-wide per-rule counters advance
+// when a rule fires through the full simplify entry point, and that the
+// NoAlgebraic path leaves both the expression and the counters untouched.
+func TestAlgebraicRuleStats(t *testing.T) {
+	mk := func() *ir.Expr {
+		return ir.Binary(ir.OpAdd, &ir.Expr{Op: ir.OpRef, Width: 8}, ir.ConstUint(8, 0))
+	}
+	before := AlgebraicRuleStats()
+	r, n := simplifyExpr(mk(), true)
+	if n == 0 || r.Op == ir.OpAdd {
+		t.Fatalf("add-zero did not simplify: %s (%d rewrites)", r, n)
+	}
+	after := AlgebraicRuleStats()
+	if after[AlgRuleAddZero] != before[AlgRuleAddZero]+1 {
+		t.Fatalf("add-zero counter: %d -> %d, want +1", before[AlgRuleAddZero], after[AlgRuleAddZero])
+	}
+	r2, n2 := simplifyExpr(mk(), false)
+	if n2 != 0 || r2.Op != ir.OpAdd {
+		t.Fatalf("NoAlgebraic still rewrote: %s (%d rewrites)", r2, n2)
+	}
+	final := AlgebraicRuleStats()
+	if final[AlgRuleAddZero] != after[AlgRuleAddZero] {
+		t.Fatal("NoAlgebraic run advanced the counters")
+	}
+}
