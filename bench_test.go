@@ -8,6 +8,7 @@
 package gsim_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"path/filepath"
@@ -393,7 +394,7 @@ func BenchmarkServerSessions(b *testing.B) {
 
 	b.Run("create", func(b *testing.B) {
 		mgr := server.NewManager()
-		defer mgr.Drain()
+		defer mgr.Drain(context.Background())
 		// Pay the one cold compile outside the timer; every timed create
 		// shares it.
 		s, err := mgr.CreateSessionGraph(g, key, spec)
@@ -416,7 +417,7 @@ func BenchmarkServerSessions(b *testing.B) {
 	for _, n := range []int{1, 2, 4} {
 		b.Run(fmt.Sprintf("step/%dsessions", n), func(b *testing.B) {
 			mgr := server.NewManager()
-			defer mgr.Drain()
+			defer mgr.Drain(context.Background())
 			sessions := make([]*server.Session, n)
 			for i := range sessions {
 				s, err := mgr.CreateSessionGraph(g, key, spec)
@@ -433,7 +434,7 @@ func BenchmarkServerSessions(b *testing.B) {
 				go func(s *server.Session) {
 					defer wg.Done()
 					for c := 0; c < per; c += 10 {
-						if _, err := s.Apply([]server.Op{{Op: "step", N: 10}}); err != nil {
+						if _, err := s.Apply(context.Background(), []server.Op{{Op: "step", N: 10}}); err != nil {
 							b.Error(err)
 							return
 						}

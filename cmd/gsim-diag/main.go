@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -177,7 +178,7 @@ func main() {
 			100*float64(hits)/float64(hits+misses), sess[0].Design.CompileTime.Round(1000))
 		n := 400
 		for _, s := range sess {
-			if _, err := s.Apply([]server.Op{{Op: "step", N: n}}); err != nil {
+			if _, err := s.Apply(context.Background(), []server.Op{{Op: "step", N: n}}); err != nil {
 				panic(err)
 			}
 		}
@@ -185,7 +186,9 @@ func main() {
 			fmt.Printf("session-step     session=%s cycles=%d speed=%.1fkHz/session%d\n",
 				s.ID, n, s.Throughput(), i)
 		}
-		mgr.Drain()
+		if err := mgr.Drain(context.Background()); err != nil {
+			panic(err)
+		}
 	}
 
 	// Snapshot cost on this profile: blob size and encode/decode time for a

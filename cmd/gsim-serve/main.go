@@ -6,6 +6,9 @@
 // Usage:
 //
 //	gsim-serve [-addr host:port] [-drain-timeout 10s]
+//	           [-max-sessions N] [-max-inflight N] [-max-step-batch N]
+//	           [-op-timeout D] [-session-idle-timeout D] [-cache-budget-mb N]
+//	           [-read-header-timeout D] [-read-timeout D] [-http-idle-timeout D]
 //
 // API (JSON; see internal/server):
 //
@@ -18,11 +21,16 @@
 //	POST   /v1/sessions/{id}/snapshot serialize complete state (base64)
 //	POST   /v1/sessions/{id}/restore  {"snapshot": "<base64>"}
 //	DELETE /v1/sessions/{id}          close a session
-//	GET    /v1/stats                  sessions, designs, cache hits/misses
+//	GET    /v1/stats                  sessions, designs, cache + admission counters
+//	GET    /healthz                   liveness
+//	GET    /readyz                    readiness (503 while draining)
 //
-// On SIGINT/SIGTERM the server drains gracefully: it stops accepting new
-// connections and sessions, lets in-flight requests finish (bounded by
-// -drain-timeout), closes every session's engine, and exits.
+// Admission refusals return 429/503 with a Retry-After header; a session
+// poisoned by an internal panic returns 500 and must be closed and
+// re-created. On SIGINT/SIGTERM the server drains gracefully: readiness goes
+// 503, new sessions are refused, in-flight op batches are canceled at their
+// next chunk boundary, every session's engine is closed (all bounded by
+// -drain-timeout), and the process exits.
 package main
 
 import (
@@ -41,10 +49,33 @@ import (
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address (use :0 for an ephemeral port)")
-	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "maximum time to wait for in-flight requests on shutdown")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "maximum time to wait for in-flight requests and session closes on shutdown")
+
+	// Admission control and resource governance (0 = unlimited/disabled).
+	maxSessions := flag.Int("max-sessions", 0, "maximum live sessions (503 beyond)")
+	maxInflight := flag.Int("max-inflight", 0, "maximum concurrently executing op batches (429 beyond)")
+	maxStepBatch := flag.Int("max-step-batch", 0, "maximum step cycles one ops batch may request (429 beyond)")
+	opTimeout := flag.Duration("op-timeout", 0, "per-request deadline for an ops batch (aborts at the next step chunk)")
+	idleTimeout := flag.Duration("session-idle-timeout", 0, "close sessions with no operations for this long")
+	cacheBudgetMB := flag.Int64("cache-budget-mb", 0, "compile-cache byte budget in MiB; cold designs evict LRU-first, designs with live sessions are pinned")
+
+	// HTTP hygiene: slow-client (slowloris) protection. These bound how long
+	// a connection may dribble its headers/body, not how long an op runs —
+	// long step batches are governed by -op-timeout instead, so there is
+	// deliberately no WriteTimeout.
+	readHeaderTimeout := flag.Duration("read-header-timeout", 10*time.Second, "maximum time to read a request's headers")
+	readTimeout := flag.Duration("read-timeout", 30*time.Second, "maximum time to read a full request including body")
+	httpIdleTimeout := flag.Duration("http-idle-timeout", 2*time.Minute, "keep-alive timeout for idle connections")
 	flag.Parse()
 
-	mgr := server.NewManager()
+	mgr := server.NewManagerLimits(server.Limits{
+		MaxSessions:      *maxSessions,
+		MaxInFlightOps:   *maxInflight,
+		MaxStepsPerBatch: *maxStepBatch,
+		OpTimeout:        *opTimeout,
+		IdleTimeout:      *idleTimeout,
+		CacheBudgetBytes: *cacheBudgetMB << 20,
+	})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gsim-serve:", err)
@@ -54,7 +85,12 @@ func main() {
 	// harness starts the binary with -addr 127.0.0.1:0 and scrapes the port.
 	fmt.Printf("gsim-serve listening on http://%s\n", ln.Addr())
 
-	srv := &http.Server{Handler: mgr.Handler()}
+	srv := &http.Server{
+		Handler:           mgr.Handler(),
+		ReadHeaderTimeout: *readHeaderTimeout,
+		ReadTimeout:       *readTimeout,
+		IdleTimeout:       *httpIdleTimeout,
+	}
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(ln) }()
 
@@ -64,11 +100,16 @@ func main() {
 	case s := <-sig:
 		fmt.Printf("gsim-serve: %v, draining (%d sessions)\n", s, mgr.SessionCount())
 		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		// Drain sessions first (force-cancels in-flight chunked ops so their
+		// HTTP requests finish), then shut the listener down within the same
+		// deadline.
+		if err := mgr.Drain(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "gsim-serve: drain:", err)
+		}
 		if err := srv.Shutdown(ctx); err != nil {
 			fmt.Fprintln(os.Stderr, "gsim-serve: shutdown:", err)
 		}
 		cancel()
-		mgr.Drain()
 		hits, misses, designs := mgr.CacheStats()
 		fmt.Printf("gsim-serve: drained; compile cache served %d hits / %d misses over %d designs\n", hits, misses, designs)
 	case err := <-done:

@@ -15,6 +15,7 @@ import (
 
 	"gsim/internal/emit"
 	"gsim/internal/engine"
+	"gsim/internal/faultpoint"
 	"gsim/internal/ir"
 	"gsim/internal/partition"
 	"gsim/internal/passes"
@@ -44,6 +45,9 @@ type CompiledDesign struct {
 // topo-sort, emit, partition. The result is immutable and reusable by any
 // number of NewSim calls.
 func CompileDesign(g *ir.Graph, cfg Config) (*CompiledDesign, error) {
+	if faultpoint.Hit(faultpoint.CompileFail) {
+		return nil, fmt.Errorf("core: injected compile failure (faultpoint %s)", faultpoint.CompileFail)
+	}
 	start := time.Now()
 	if cfg.MaxSupernode <= 0 {
 		cfg.MaxSupernode = DefaultMaxSupernode
@@ -144,32 +148,69 @@ func CacheKey(sourceHash string, cfg Config) string {
 
 // CompileCache deduplicates design compilation: one entry per CacheKey,
 // compiled exactly once under singleflight (concurrent requests for the same
-// key block on the first compile instead of repeating it). Entries live for
-// the cache's lifetime — compiled designs are the product the service exists
-// to amortize; eviction policy can layer on later.
+// key block on the first compile instead of repeating it). Failed compiles
+// are cached too: compilation is deterministic, so retrying the same key
+// cannot succeed.
+//
+// Residency is governed by a byte budget: each entry's cost is its compiled
+// code + state-image + memory-image bytes, and when the cached total exceeds
+// SetBudget's limit, least-recently-used entries are evicted — but only
+// unreferenced ones. Get acquires a reference (released with Release), so a
+// design with live sessions is pinned no matter how cold its key is; the
+// cache may run over budget while everything resident is pinned, and settles
+// back under it as references drop. A zero budget (the default) disables
+// eviction entirely.
 type CompileCache struct {
-	mu      sync.Mutex
-	entries map[string]*cacheEntry
-	hits    uint64
-	misses  uint64
+	mu        sync.Mutex
+	entries   map[string]*cacheEntry
+	budget    int64 // bytes; 0 = unlimited
+	used      int64 // accounted cost of resident entries
+	seq       uint64
+	hits      uint64
+	misses    uint64
+	evictions uint64
 }
 
 type cacheEntry struct {
 	once   sync.Once
 	design *CompiledDesign
 	err    error
+
+	// Governance fields, guarded by the cache mutex.
+	refs      int    // live Get acquisitions not yet Released
+	cost      int64  // code+data+mem bytes, known once compile completes
+	accounted bool   // cost already folded into used
+	lastUse   uint64 // recency stamp for LRU
+	evicted   bool   // detached from the map (late Release must not re-count)
 }
 
-// NewCompileCache returns an empty cache.
+// NewCompileCache returns an empty cache with no byte budget (no eviction).
 func NewCompileCache() *CompileCache {
 	return &CompileCache{entries: map[string]*cacheEntry{}}
 }
 
+// SetBudget sets the resident-byte budget and immediately evicts down to it.
+// budget <= 0 disables eviction.
+func (c *CompileCache) SetBudget(budget int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.budget = budget
+	c.evictLocked()
+}
+
+// designCost is an entry's residency weight: the bytes that stay alive as
+// long as the compiled design does. Code dominates for logic-heavy designs,
+// the initial state image and memory images for state-heavy ones.
+func designCost(d *CompiledDesign) int64 {
+	return int64(d.Prog.CodeBytes() + d.Prog.DataBytes() + d.Prog.MemBytes())
+}
+
 // Get returns the design for key, invoking compile at most once per key
 // across all concurrent callers. The bool reports whether the entry already
-// existed (a cache hit — the caller shares a previous compile). Failed
-// compiles are cached too: compilation is deterministic, so retrying the
-// same key cannot succeed.
+// existed (a cache hit — the caller shares a previous compile). On success
+// the caller holds a reference pinning the entry against eviction; it must
+// call Release(key) when the design is no longer in use (session close).
+// Failed compiles return the cached error and hold no reference.
 func (c *CompileCache) Get(key string, compile func() (*CompiledDesign, error)) (*CompiledDesign, bool, error) {
 	c.mu.Lock()
 	e, hit := c.entries[key]
@@ -180,9 +221,70 @@ func (c *CompileCache) Get(key string, compile func() (*CompiledDesign, error)) 
 	} else {
 		c.hits++
 	}
+	e.refs++ // pin through the compile so a concurrent eviction can't drop it
+	c.seq++
+	e.lastUse = c.seq
 	c.mu.Unlock()
-	e.once.Do(func() { e.design, e.err = compile() })
-	return e.design, hit, e.err
+
+	e.once.Do(func() {
+		e.design, e.err = compile()
+	})
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e.err != nil {
+		e.refs--
+		return nil, hit, e.err
+	}
+	if !e.accounted {
+		e.accounted = true
+		e.cost = designCost(e.design)
+		c.used += e.cost
+	}
+	c.evictLocked()
+	return e.design, hit, nil
+}
+
+// Release drops one reference acquired by Get, unpinning the entry once no
+// callers remain and evicting if the cache is over budget.
+func (c *CompileCache) Release(key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok || e.refs <= 0 {
+		return
+	}
+	e.refs--
+	c.evictLocked()
+}
+
+// evictLocked drops least-recently-used unreferenced entries until the
+// resident total fits the budget. Pinned entries (live references) never
+// evict, so the cache can legitimately sit over budget while every resident
+// design has sessions on it.
+func (c *CompileCache) evictLocked() {
+	if c.budget <= 0 {
+		return
+	}
+	for c.used > c.budget {
+		var victim *cacheEntry
+		var victimKey string
+		for k, e := range c.entries {
+			if e.refs > 0 || !e.accounted || e.cost == 0 {
+				continue
+			}
+			if victim == nil || e.lastUse < victim.lastUse {
+				victim, victimKey = e, k
+			}
+		}
+		if victim == nil {
+			return
+		}
+		delete(c.entries, victimKey)
+		victim.evicted = true
+		c.used -= victim.cost
+		c.evictions++
+	}
 }
 
 // Stats reports cumulative lookups: hits (entry existed) and misses (this
@@ -191,6 +293,14 @@ func (c *CompileCache) Stats() (hits, misses uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.hits, c.misses
+}
+
+// Governance reports the residency picture: accounted resident bytes, the
+// configured budget (0 = unlimited), and lifetime evictions.
+func (c *CompileCache) Governance() (usedBytes, budgetBytes int64, evictions uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.used, c.budget, c.evictions
 }
 
 // Len returns the number of cached designs (including failed compiles).

@@ -1,9 +1,13 @@
 package engine
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
+
+	"gsim/internal/faultpoint"
 )
 
 // workerPool is the persistent worker-pool and level-barrier scaffolding
@@ -28,6 +32,15 @@ type workerPool struct {
 	level     atomic.Int32
 	pending   atomic.Int32
 	closeOnce sync.Once
+
+	// A panic in a worker goroutine would kill the whole process (recover
+	// only works on the panicking goroutine), taking every session down with
+	// the one that hit a bad kernel. Instead each worker recovers, records
+	// the first panic here, and keeps honoring the barrier protocol so the
+	// cycle completes; cycle() then re-raises the panic on the calling
+	// goroutine, where the session layer can contain it.
+	panicMu  sync.Mutex
+	panicVal error
 }
 
 // newWorkerPool starts threads persistent workers executing run.
@@ -59,7 +72,7 @@ func (p *workerPool) loop(w int) {
 			for p.level.Load() < int32(lv) {
 				runtime.Gosched()
 			}
-			p.run(w, lv)
+			p.safeRun(w, lv)
 			if p.pending.Add(-1) == 0 {
 				// Last worker out resets the countdown and opens the next level.
 				p.pending.Store(int32(p.threads))
@@ -70,8 +83,32 @@ func (p *workerPool) loop(w int) {
 	}
 }
 
+// safeRun executes run(w, lv) with panic containment: a panicking worker
+// records the failure (first panic wins) and returns normally, so the level
+// countdown and barrier handshake still complete and the other workers and
+// the coordinating goroutine are never wedged.
+func (p *workerPool) safeRun(w, lv int) {
+	defer func() {
+		if r := recover(); r != nil {
+			p.panicMu.Lock()
+			if p.panicVal == nil {
+				p.panicVal = fmt.Errorf("engine: worker %d panicked at level %d: %v\n%s", w, lv, r, debug.Stack())
+			}
+			p.panicMu.Unlock()
+		}
+	}()
+	if faultpoint.Hit(faultpoint.PoolPanic) {
+		panic("faultpoint: injected worker panic")
+	}
+	p.run(w, lv)
+}
+
 // cycle runs one full sweep: all workers through all levels, returning after
-// every worker has parked again.
+// every worker has parked again. A worker panic during the sweep is re-raised
+// here, on the calling goroutine — the machine state for this cycle is
+// indeterminate (the panicking worker's share is incomplete), but the pool's
+// synchronization state is intact: the caller may Close it, and isolation
+// layers above (server sessions) recover and poison only their own session.
 func (p *workerPool) cycle() {
 	p.level.Store(0)
 	p.pending.Store(int32(p.threads))
@@ -80,6 +117,13 @@ func (p *workerPool) cycle() {
 	}
 	for w := 0; w < p.threads; w++ {
 		<-p.doneCh
+	}
+	p.panicMu.Lock()
+	pv := p.panicVal
+	p.panicVal = nil
+	p.panicMu.Unlock()
+	if pv != nil {
+		panic(pv)
 	}
 }
 

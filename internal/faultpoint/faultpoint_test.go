@@ -1,0 +1,85 @@
+package faultpoint
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestDisarmedByDefault(t *testing.T) {
+	defer Reset()
+	if Hit("nope") {
+		t.Fatal("unarmed point fired")
+	}
+	if Fired("nope") != 0 {
+		t.Fatal("fire count on unarmed point")
+	}
+}
+
+func TestArmCountConsumed(t *testing.T) {
+	defer Reset()
+	Arm("p", 2)
+	if !Hit("p") || !Hit("p") {
+		t.Fatal("armed point did not fire")
+	}
+	if Hit("p") {
+		t.Fatal("point fired past its count")
+	}
+	if got := Fired("p"); got != 2 {
+		t.Fatalf("fired = %d, want 2", got)
+	}
+	// Exhausting the only armed point must restore the fast path.
+	if armed.Load() {
+		t.Fatal("fast-path gate still set after exhaustion")
+	}
+}
+
+func TestUnlimitedAndDisarm(t *testing.T) {
+	defer Reset()
+	Arm("p", -1)
+	for i := 0; i < 10; i++ {
+		if !Hit("p") {
+			t.Fatal("unlimited point stopped firing")
+		}
+	}
+	Disarm("p")
+	if Hit("p") {
+		t.Fatal("disarmed point fired")
+	}
+}
+
+func TestArmDelayStalls(t *testing.T) {
+	defer Reset()
+	ArmDelay("slow", 1, 30*time.Millisecond)
+	start := time.Now()
+	if !Hit("slow") {
+		t.Fatal("delayed point did not fire")
+	}
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Fatalf("delay %v, want >= 30ms", d)
+	}
+}
+
+func TestConcurrentHitsConsumeExactly(t *testing.T) {
+	defer Reset()
+	const n = 64
+	Arm("p", n/2)
+	var fired sync.WaitGroup
+	var count int64
+	var mu2 sync.Mutex
+	for i := 0; i < n; i++ {
+		fired.Add(1)
+		go func() {
+			defer fired.Done()
+			if Hit("p") {
+				mu2.Lock()
+				count++
+				mu2.Unlock()
+			}
+		}()
+	}
+	fired.Wait()
+	if count != n/2 {
+		t.Fatalf("%d fires, want %d", count, n/2)
+	}
+}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sync"
@@ -96,7 +97,7 @@ func SessionsSweep(designs []Design, counts []int, b Budget) ([]SessionsRow, err
 							ops = append(ops, server.Op{Op: "poke", Name: stimName, Value: fmt.Sprintf("%d", (c/batch)&1)})
 						}
 						ops = append(ops, server.Op{Op: "step", N: batch})
-						if _, err := s.Apply(ops); err != nil {
+						if _, err := s.Apply(context.Background(), ops); err != nil {
 							errCh <- err
 							return
 						}
@@ -112,7 +113,9 @@ func SessionsSweep(designs []Design, counts []int, b Budget) ([]SessionsRow, err
 			agg := float64(n*cycles) / elapsed / 1000
 
 			hits, misses, _ := mgr.CacheStats()
-			mgr.Drain()
+			if err := mgr.Drain(context.Background()); err != nil {
+				return nil, err
+			}
 			rows = append(rows, SessionsRow{
 				Design:    d.Name,
 				Sessions:  n,

@@ -1,0 +1,121 @@
+// Package leakcheck is a dependency-free goroutine-leak detector for tests
+// (the role go.uber.org/goleak plays elsewhere; the container policy is no
+// new modules). A leaked goroutine is the quietest way a server grows until
+// it falls over, and the session manager owns several kinds — engine worker
+// pools, the idle reaper, drain helpers — so the server suite fails if any
+// of them outlives its owner.
+//
+// Usage, once per test package:
+//
+//	func TestMain(m *testing.M) { os.Exit(leakcheck.Main(m)) }
+//
+// or per test: defer leakcheck.Check(t).
+package leakcheck
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+)
+
+// ignoredPrefixes match the first function line of goroutine stacks that are
+// part of the runtime/testing machinery or long-lived by design, not leaks.
+var ignoredPrefixes = []string{
+	"testing.Main(",
+	"testing.tRunner(",
+	"testing.(*M).",
+	"testing.(*T).Run(",
+	"runtime.goexit",
+	"runtime.gc",
+	"runtime.MHeap_Scavenger",
+	"os/signal.signal_recv",
+	"os/signal.loop",
+	"runtime/trace.Start",
+	// The test binary's own HTTP plumbing: idle keep-alive conns owned by
+	// the default transport park goroutines between requests; closing the
+	// test server reaps them, but the reap is asynchronous.
+	"net/http.(*persistConn).readLoop",
+	"net/http.(*persistConn).writeLoop",
+}
+
+// leaked returns the stacks of goroutines that are neither the caller nor
+// ignorable machinery.
+func leaked() []string {
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	var out []string
+	for _, g := range strings.Split(string(buf[:n]), "\n\n") {
+		lines := strings.Split(g, "\n")
+		if len(lines) < 2 {
+			continue
+		}
+		if strings.Contains(g, "leakcheck.leaked(") {
+			continue // the checker's own goroutine (leaked runs on the caller)
+		}
+		ignore := false
+		for _, l := range lines[1:] {
+			l = strings.TrimSpace(l)
+			for _, p := range ignoredPrefixes {
+				if strings.HasPrefix(l, p) {
+					ignore = true
+					break
+				}
+			}
+			if ignore {
+				break
+			}
+		}
+		if !ignore {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// Verify waits up to timeout for every non-machinery goroutine to exit and
+// returns the stacks of the stragglers (nil when clean). The wait absorbs
+// legitimately asynchronous teardown (connection reaping, worker joins).
+func Verify(timeout time.Duration) []string {
+	deadline := time.Now().Add(timeout)
+	var last []string
+	for {
+		last = leaked()
+		if len(last) == 0 || time.Now().After(deadline) {
+			return last
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// Main runs the package's tests and then fails the run (exit 1) if any
+// goroutine outlives them.
+func Main(m interface{ Run() int }) int {
+	code := m.Run()
+	if code != 0 {
+		return code
+	}
+	if stragglers := Verify(5 * time.Second); len(stragglers) > 0 {
+		fmt.Printf("leakcheck: %d goroutine(s) leaked after tests:\n\n%s\n",
+			len(stragglers), strings.Join(stragglers, "\n\n"))
+		return 1
+	}
+	return code
+}
+
+// TB is the subset of testing.TB leakcheck needs (avoids importing testing
+// into non-test binaries).
+type TB interface {
+	Helper()
+	Errorf(format string, args ...any)
+}
+
+// Check fails t if goroutines leak past the end of the current test. Use as
+// defer leakcheck.Check(t) at the top of a test that owns goroutine-spawning
+// state.
+func Check(t TB) {
+	t.Helper()
+	if stragglers := Verify(5 * time.Second); len(stragglers) > 0 {
+		t.Errorf("leakcheck: %d goroutine(s) leaked:\n\n%s", len(stragglers), strings.Join(stragglers, "\n\n"))
+	}
+}

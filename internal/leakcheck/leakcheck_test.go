@@ -1,0 +1,30 @@
+package leakcheck
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCleanByDefault(t *testing.T) {
+	if got := Verify(2 * time.Second); len(got) != 0 {
+		t.Fatalf("clean test reported leaks:\n%s", got)
+	}
+}
+
+func TestDetectsStuckGoroutine(t *testing.T) {
+	block := make(chan struct{})
+	release := make(chan struct{})
+	go func() {
+		<-block
+		close(release)
+	}()
+	// The blocked goroutine must show up with its stack.
+	if got := Verify(100 * time.Millisecond); len(got) == 0 {
+		t.Fatal("blocked goroutine not reported")
+	}
+	close(block)
+	<-release
+	if got := Verify(2 * time.Second); len(got) != 0 {
+		t.Fatalf("leak report did not clear after goroutine exit:\n%s", got)
+	}
+}

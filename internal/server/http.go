@@ -9,15 +9,24 @@
 //	POST   /v1/sessions/{id}/restore  overwrite state from a blob
 //	DELETE /v1/sessions/{id}          close a session
 //	GET    /v1/stats                  manager + compile-cache counters
+//	GET    /healthz                   liveness (200 while the process runs)
+//	GET    /readyz                    readiness (503 once draining)
+//
+// Failure semantics: admission refusals are 429 (too many in-flight ops,
+// step budget) or 503 (session limit, draining) with a Retry-After header; a
+// poisoned session reports 500 with the panic and stack in the body; a
+// canceled or deadline-exceeded op batch reports 408 with the partial
+// results.
 package server
 
 import (
+	"context"
 	"encoding/base64"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sort"
-	"strings"
 
 	"gsim/internal/snapshot"
 )
@@ -70,14 +79,24 @@ type SessionInfo struct {
 	Session    string `json:"session"`
 	DesignHash string `json:"design_hash"`
 	Cycles     uint64 `json:"cycles"`
+	Failed     bool   `json:"failed,omitempty"` // poisoned by a panic
 }
 
 // StatsResponse is the GET /v1/stats body.
 type StatsResponse struct {
-	Sessions    int    `json:"sessions"`
-	Designs     int    `json:"designs"`
-	CacheHits   uint64 `json:"cache_hits"`
-	CacheMisses uint64 `json:"cache_misses"`
+	Sessions        int    `json:"sessions"`
+	Designs         int    `json:"designs"`
+	CacheHits       uint64 `json:"cache_hits"`
+	CacheMisses     uint64 `json:"cache_misses"`
+	CacheBytes      int64  `json:"cache_bytes"`
+	CacheBudget     int64  `json:"cache_budget,omitempty"` // 0 = unlimited
+	CacheEvictions  uint64 `json:"cache_evictions"`
+	InFlightOps     int64  `json:"in_flight_ops"`
+	Draining        bool   `json:"draining,omitempty"`
+	MaxSessions     int    `json:"max_sessions,omitempty"`
+	MaxInFlightOps  int    `json:"max_in_flight_ops,omitempty"`
+	MaxStepsPerOp   int    `json:"max_steps_per_batch,omitempty"`
+	SessionIdleSecs int    `json:"session_idle_secs,omitempty"`
 }
 
 // Handler returns the manager's HTTP API.
@@ -85,11 +104,13 @@ func (m *Manager) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/sessions", m.handleCreate)
 	mux.HandleFunc("GET /v1/sessions", m.handleList)
-	mux.HandleFunc("POST /v1/sessions/{id}/ops", m.withSession(handleOps))
+	mux.HandleFunc("POST /v1/sessions/{id}/ops", m.withSession(m.handleOps))
 	mux.HandleFunc("POST /v1/sessions/{id}/snapshot", m.withSession(handleSnapshot))
 	mux.HandleFunc("POST /v1/sessions/{id}/restore", m.withSession(handleRestore))
 	mux.HandleFunc("DELETE /v1/sessions/{id}", m.withSession(handleClose))
 	mux.HandleFunc("GET /v1/stats", m.handleStats)
+	mux.HandleFunc("GET /healthz", m.handleHealthz)
+	mux.HandleFunc("GET /readyz", m.handleReadyz)
 	return mux
 }
 
@@ -103,15 +124,38 @@ func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }
 
-// errStatus maps a manager error to an HTTP status: validation-shaped errors
-// (bad spec, unknown node, malformed literal, mismatched snapshot) are the
-// client's fault; draining is unavailability.
-func errStatus(err error) int {
-	msg := err.Error()
-	if strings.Contains(msg, "draining") {
-		return http.StatusServiceUnavailable
+// errStatus maps a manager error to an HTTP status and whether the condition
+// is worth retrying (Retry-After). Admission refusals are the caller's cue to
+// back off: 429 for transient per-request pressure, 503 for capacity and
+// shutdown. A poisoned session is a server fault (500). Cancellation and
+// deadline expiry are 408. Everything else is validation (400).
+func errStatus(err error) (status int, retryable bool) {
+	switch {
+	case errors.Is(err, ErrDraining), errors.Is(err, ErrTooManySessions):
+		return http.StatusServiceUnavailable, true
+	case errors.Is(err, ErrTooManyInFlight), errors.Is(err, ErrStepBudget):
+		return http.StatusTooManyRequests, true
+	case errors.Is(err, ErrSessionFailed):
+		return http.StatusInternalServerError, false
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return http.StatusRequestTimeout, false
 	}
-	return http.StatusBadRequest
+	return http.StatusBadRequest, false
+}
+
+// writeManagerError renders err with its mapped status, attaching Retry-After
+// on backpressure statuses so well-behaved clients shed load instead of
+// hammering.
+func writeManagerError(w http.ResponseWriter, err error, extra any) {
+	status, retryable := errStatus(err)
+	if retryable {
+		w.Header().Set("Retry-After", "1")
+	}
+	if extra != nil {
+		writeJSON(w, status, extra)
+		return
+	}
+	writeError(w, status, err)
 }
 
 func (m *Manager) handleCreate(w http.ResponseWriter, r *http.Request) {
@@ -126,7 +170,7 @@ func (m *Manager) handleCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	s, err := m.CreateSession(req.FIRRTL, req.SessionSpec)
 	if err != nil {
-		writeError(w, errStatus(err), err)
+		writeManagerError(w, err, nil)
 		return
 	}
 	writeJSON(w, http.StatusCreated, CreateResponse{
@@ -147,19 +191,51 @@ func (m *Manager) handleList(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			continue // closed concurrently
 		}
-		infos = append(infos, SessionInfo{Session: s.ID, DesignHash: s.Design.DesignHash(), Cycles: s.Cycles()})
+		infos = append(infos, SessionInfo{
+			Session:    s.ID,
+			DesignHash: s.Design.DesignHash(),
+			Cycles:     s.Cycles(),
+			Failed:     s.Failed() != nil,
+		})
 	}
 	writeJSON(w, http.StatusOK, infos)
 }
 
 func (m *Manager) handleStats(w http.ResponseWriter, r *http.Request) {
 	hits, misses, designs := m.CacheStats()
+	used, budget, evictions := m.CacheGovernance()
+	l := m.Limits()
 	writeJSON(w, http.StatusOK, StatsResponse{
-		Sessions:    m.SessionCount(),
-		Designs:     designs,
-		CacheHits:   hits,
-		CacheMisses: misses,
+		Sessions:        m.SessionCount(),
+		Designs:         designs,
+		CacheHits:       hits,
+		CacheMisses:     misses,
+		CacheBytes:      used,
+		CacheBudget:     budget,
+		CacheEvictions:  evictions,
+		InFlightOps:     m.InFlightOps(),
+		Draining:        m.Draining(),
+		MaxSessions:     l.MaxSessions,
+		MaxInFlightOps:  l.MaxInFlightOps,
+		MaxStepsPerOp:   l.MaxStepsPerBatch,
+		SessionIdleSecs: int(l.IdleTimeout.Seconds()),
 	})
+}
+
+// handleHealthz is liveness: the process is up and serving.
+func (m *Manager) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz is readiness: 503 once draining so load balancers stop
+// routing new work here while in-flight sessions finish.
+func (m *Manager) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if m.Draining() {
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 }
 
 // withSession resolves the {id} path segment before dispatching.
@@ -174,18 +250,27 @@ func (m *Manager) withSession(h func(s *Session, w http.ResponseWriter, r *http.
 	}
 }
 
-func handleOps(s *Session, w http.ResponseWriter, r *http.Request) {
+func (m *Manager) handleOps(s *Session, w http.ResponseWriter, r *http.Request) {
 	var req OpsRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %v", err))
 		return
 	}
-	results, err := s.Apply(req.Ops)
+	// The per-request deadline: a runaway batch (a client asking for a
+	// billion cycles) stops at the next chunk boundary instead of holding
+	// the session lock forever.
+	ctx := r.Context()
+	if d := m.Limits().OpTimeout; d > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+	results, err := s.Apply(ctx, req.Ops)
 	if err != nil {
 		// A failed batch is not rolled back — ops before the failing one did
 		// run (steps advanced the session). Return their results alongside
 		// the error so the client knows how far the batch applied.
-		writeJSON(w, errStatus(err), struct {
+		writeManagerError(w, err, struct {
 			Error   string     `json:"error"`
 			Results []OpResult `json:"results"`
 		}{err.Error(), results})
@@ -197,7 +282,7 @@ func handleOps(s *Session, w http.ResponseWriter, r *http.Request) {
 func handleSnapshot(s *Session, w http.ResponseWriter, r *http.Request) {
 	data, err := s.Snapshot()
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+		writeManagerError(w, err, nil)
 		return
 	}
 	// The cycle count comes from the blob's own header, not a second (and
@@ -227,7 +312,7 @@ func handleRestore(s *Session, w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.Restore(data); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeManagerError(w, err, nil)
 		return
 	}
 	writeJSON(w, http.StatusOK, RestoreResponse{Cycles: s.Cycles()})

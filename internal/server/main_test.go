@@ -1,0 +1,15 @@
+package server
+
+import (
+	"os"
+	"testing"
+
+	"gsim/internal/leakcheck"
+)
+
+// TestMain gates the whole server suite on goroutine hygiene: every manager,
+// session, reaper, worker pool, and drain helper the tests spin up must be
+// gone when the suite ends, or the run fails with the stragglers' stacks.
+func TestMain(m *testing.M) {
+	os.Exit(leakcheck.Main(m))
+}

@@ -7,24 +7,97 @@
 // bits). Sessions step fully concurrently; the shared Program and partition
 // are read-only after compilation.
 //
+// The manager is also the fault boundary of the service. A panic anywhere in
+// a session's op path (a bad kernel, an engine bug) is contained to that
+// session: the session is poisoned — subsequent operations return a
+// structured "session failed" error — and every other session is unaffected.
+// Operations carry a context; large step batches execute in bounded chunks
+// that honor cancellation and deadlines between chunks. Admission control
+// (max sessions, max in-flight ops, max step cycles per batch) sheds load
+// before it queues, the compile cache evicts cold designs under a byte
+// budget (designs with live sessions are pinned), and an idle reaper closes
+// abandoned sessions.
+//
 // The manager is transport-agnostic (harness experiments and benchmarks
 // drive it in-process); http.go exposes it as the HTTP+JSON API behind
 // cmd/gsim-serve.
 package server
 
 import (
+	"context"
 	"crypto/sha256"
+	"errors"
 	"fmt"
+	"log"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gsim/internal/bitvec"
 	"gsim/internal/core"
 	"gsim/internal/engine"
+	"gsim/internal/faultpoint"
 	"gsim/internal/firrtl"
 	"gsim/internal/ir"
 	"gsim/internal/snapshot"
 )
+
+// Sentinel errors for the service's refusal paths. The HTTP layer maps them
+// to statuses (429/503 with Retry-After for admission, 500 for poisoned
+// sessions); in-process callers match with errors.Is.
+var (
+	// ErrDraining: the manager is shutting down and accepts no new work.
+	ErrDraining = errors.New("draining")
+	// ErrTooManySessions: the MaxSessions admission limit is reached.
+	ErrTooManySessions = errors.New("session limit reached")
+	// ErrTooManyInFlight: the MaxInFlightOps admission limit is reached.
+	ErrTooManyInFlight = errors.New("too many ops in flight")
+	// ErrStepBudget: one ops batch asks for more step cycles than allowed.
+	ErrStepBudget = errors.New("step batch exceeds cycle budget")
+	// ErrSessionFailed: the session was poisoned by a panic; it accepts no
+	// further operations (close it and open a fresh one).
+	ErrSessionFailed = errors.New("session failed")
+)
+
+// defaultStepChunk bounds how many cycles run between cancellation checks in
+// a step op. The chunk is the service's cancellation latency unit: small
+// enough that a canceled 10M-cycle batch aborts promptly, large enough that
+// the per-chunk check is invisible next to thousands of simulated cycles.
+const defaultStepChunk = 8192
+
+// Limits is the manager's admission-control and resource-governance
+// configuration. Zero values mean "unlimited" / "disabled" — NewManager uses
+// all-zero Limits, preserving the permissive single-user behavior.
+type Limits struct {
+	// MaxSessions caps live sessions; creation beyond it returns
+	// ErrTooManySessions (HTTP 503 + Retry-After).
+	MaxSessions int
+	// MaxInFlightOps caps concurrently executing (or lock-waiting) op
+	// batches across all sessions; beyond it Apply returns
+	// ErrTooManyInFlight (HTTP 429 + Retry-After).
+	MaxInFlightOps int
+	// MaxStepsPerBatch caps the total step cycles one ops batch may request;
+	// beyond it Apply refuses the whole batch with ErrStepBudget before
+	// executing anything (HTTP 429).
+	MaxStepsPerBatch int
+	// OpTimeout is the per-request deadline the HTTP layer applies to each
+	// ops batch. Zero: no deadline.
+	OpTimeout time.Duration
+	// IdleTimeout reaps sessions with no operation for this long. Zero: no
+	// reaping.
+	IdleTimeout time.Duration
+	// ReapInterval is the reaper's poll period (default IdleTimeout/4,
+	// floored at one second).
+	ReapInterval time.Duration
+	// CacheBudgetBytes bounds the compile cache's resident code+data bytes;
+	// cold designs evict LRU-first, designs with live sessions are pinned.
+	// Zero: unlimited.
+	CacheBudgetBytes int64
+	// StepChunk overrides the cycles-per-cancellation-check chunk size
+	// (default defaultStepChunk). Mostly for tests.
+	StepChunk int
+}
 
 // SessionSpec is a client's session configuration: the same knobs cmd/gsim
 // exposes as flags, with the same defaults (gsim preset, kernel eval).
@@ -86,18 +159,57 @@ func (sp SessionSpec) coreConfig() (core.Config, error) {
 
 // Manager multiplexes sessions over a compiled-design cache.
 type Manager struct {
-	cache *core.CompileCache
+	cache  *core.CompileCache
+	limits Limits
+
+	inflight atomic.Int64 // op batches admitted and not yet finished
 
 	mu       sync.Mutex
 	sessions map[string]*Session
 	nextID   uint64
 	draining bool
+
+	reapStop chan struct{} // closed to stop the reaper goroutine
+	reapDone chan struct{} // closed when the reaper has exited
+	stopOnce sync.Once
 }
 
-// NewManager returns a manager with an empty compile cache.
+// NewManager returns a manager with an empty compile cache and no limits —
+// the permissive configuration for in-process harnesses and tests.
 func NewManager() *Manager {
-	return &Manager{cache: core.NewCompileCache(), sessions: map[string]*Session{}}
+	return NewManagerLimits(Limits{})
 }
+
+// NewManagerLimits returns a manager enforcing the given limits. If
+// IdleTimeout is set, a background reaper runs until Drain.
+func NewManagerLimits(l Limits) *Manager {
+	if l.StepChunk <= 0 {
+		l.StepChunk = defaultStepChunk
+	}
+	if l.IdleTimeout > 0 && l.ReapInterval <= 0 {
+		l.ReapInterval = l.IdleTimeout / 4
+		if l.ReapInterval < time.Second {
+			l.ReapInterval = time.Second
+		}
+	}
+	m := &Manager{
+		cache:    core.NewCompileCache(),
+		limits:   l,
+		sessions: map[string]*Session{},
+	}
+	if l.CacheBudgetBytes > 0 {
+		m.cache.SetBudget(l.CacheBudgetBytes)
+	}
+	if l.IdleTimeout > 0 {
+		m.reapStop = make(chan struct{})
+		m.reapDone = make(chan struct{})
+		go m.reapLoop()
+	}
+	return m
+}
+
+// Limits returns the manager's admission configuration.
+func (m *Manager) Limits() Limits { return m.limits }
 
 // Session is one live simulator instance. All operations serialize on the
 // session's own lock; distinct sessions never contend (beyond the shared
@@ -107,14 +219,21 @@ type Session struct {
 	Design   *core.CompiledDesign
 	CacheHit bool // whether creation shared a previously compiled design
 
-	mgr *Manager
-	cfg core.Config
+	mgr      *Manager
+	cfg      core.Config
+	cacheKey string
 
-	mu       sync.Mutex
-	sim      engine.Sim
-	closed   bool
-	steps    uint64        // cycles stepped through this session
-	stepTime time.Duration // wall time inside Step, for sessions/s diagnostics
+	lastActivity atomic.Int64  // unix nanos of the last operation
+	forceCancel  chan struct{} // closed by Drain to abort in-flight chunked ops
+	cancelOnce   sync.Once
+
+	mu         sync.Mutex
+	sim        engine.Sim
+	closed     bool
+	failed     error         // non-nil once poisoned by a panic
+	lastCycles uint64        // cycle count captured at Close (sim is gone after)
+	steps      uint64        // cycles stepped through this session
+	stepTime   time.Duration // wall time inside Step, for sessions/s diagnostics
 }
 
 // CreateSession compiles (or reuses) the design described by FIRRTL source
@@ -133,19 +252,32 @@ func (m *Manager) CreateSessionGraph(g *ir.Graph, sourceKey string, spec Session
 	return m.create("graph:"+sourceKey, spec, func() (*ir.Graph, error) { return g, nil })
 }
 
+// admitSession checks creation-time admission under the manager lock.
+func (m *Manager) admitSession() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.draining {
+		return fmt.Errorf("server: %w, not accepting sessions", ErrDraining)
+	}
+	if m.limits.MaxSessions > 0 && len(m.sessions) >= m.limits.MaxSessions {
+		return fmt.Errorf("server: %w (%d live)", ErrTooManySessions, len(m.sessions))
+	}
+	return nil
+}
+
 func (m *Manager) create(sourceKey string, spec SessionSpec, load func() (*ir.Graph, error)) (*Session, error) {
 	cfg, err := spec.coreConfig()
 	if err != nil {
 		return nil, err
 	}
-	m.mu.Lock()
-	if m.draining {
-		m.mu.Unlock()
-		return nil, fmt.Errorf("server: draining, not accepting sessions")
+	if err := m.admitSession(); err != nil {
+		return nil, err
 	}
-	m.mu.Unlock()
 
-	design, hit, err := m.cache.Get(core.CacheKey(sourceKey, cfg), func() (*core.CompiledDesign, error) {
+	// Get pins the design (refcount) until the session closes; every early
+	// exit below must release it.
+	key := core.CacheKey(sourceKey, cfg)
+	design, hit, err := m.cache.Get(key, func() (*core.CompiledDesign, error) {
 		g, err := load()
 		if err != nil {
 			return nil, err
@@ -157,24 +289,36 @@ func (m *Manager) create(sourceKey string, spec SessionSpec, load func() (*ir.Gr
 	}
 	sim, err := design.NewSim(cfg)
 	if err != nil {
+		m.cache.Release(key)
 		return nil, err
 	}
 
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.draining {
+	// Re-check admission: a drain or a competing create may have raced the
+	// compile. Refusal must release everything acquired above.
+	if m.draining || (m.limits.MaxSessions > 0 && len(m.sessions) >= m.limits.MaxSessions) {
+		refuse := ErrDraining
+		if !m.draining {
+			refuse = ErrTooManySessions
+		}
+		m.mu.Unlock()
 		sim.Close()
-		return nil, fmt.Errorf("server: draining, not accepting sessions")
+		m.cache.Release(key)
+		return nil, fmt.Errorf("server: %w, not accepting sessions", refuse)
 	}
+	defer m.mu.Unlock()
 	m.nextID++
 	s := &Session{
-		ID:       fmt.Sprintf("s%d", m.nextID),
-		Design:   design,
-		CacheHit: hit,
-		mgr:      m,
-		cfg:      cfg,
-		sim:      sim,
+		ID:          fmt.Sprintf("s%d", m.nextID),
+		Design:      design,
+		CacheHit:    hit,
+		mgr:         m,
+		cfg:         cfg,
+		cacheKey:    key,
+		forceCancel: make(chan struct{}),
+		sim:         sim,
 	}
+	s.lastActivity.Store(time.Now().UnixNano())
 	m.sessions[s.ID] = s
 	return s, nil
 }
@@ -208,16 +352,82 @@ func (m *Manager) SessionCount() int {
 	return len(m.sessions)
 }
 
+// InFlightOps returns the number of currently admitted op batches.
+func (m *Manager) InFlightOps() int64 { return m.inflight.Load() }
+
+// Draining reports whether the manager has begun shutting down.
+func (m *Manager) Draining() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.draining
+}
+
 // CacheStats reports compile-cache hits, misses, and resident designs.
 func (m *Manager) CacheStats() (hits, misses uint64, designs int) {
 	hits, misses = m.cache.Stats()
 	return hits, misses, m.cache.Len()
 }
 
-// Drain stops accepting new sessions and closes every live one. Used by
-// graceful shutdown: in-flight operations finish (each waits its session
-// lock), new work is refused.
-func (m *Manager) Drain() {
+// CacheGovernance reports the compile cache's resident bytes, byte budget
+// (0 = unlimited), and lifetime evictions.
+func (m *Manager) CacheGovernance() (usedBytes, budgetBytes int64, evictions uint64) {
+	return m.cache.Governance()
+}
+
+// reapLoop closes idle sessions until Drain stops it.
+func (m *Manager) reapLoop() {
+	defer close(m.reapDone)
+	t := time.NewTicker(m.limits.ReapInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.reapStop:
+			return
+		case <-t.C:
+			m.ReapIdle(m.limits.IdleTimeout)
+		}
+	}
+}
+
+// ReapIdle closes every session whose last operation is older than maxIdle
+// and returns how many it closed. Safe to call concurrently with traffic: a
+// session that becomes active between the scan and the close just closes —
+// the idle threshold is advisory, not transactional.
+func (m *Manager) ReapIdle(maxIdle time.Duration) int {
+	if maxIdle <= 0 {
+		return 0
+	}
+	cutoff := time.Now().Add(-maxIdle).UnixNano()
+	m.mu.Lock()
+	var idle []*Session
+	for _, s := range m.sessions {
+		if s.lastActivity.Load() < cutoff {
+			idle = append(idle, s)
+		}
+	}
+	m.mu.Unlock()
+	for _, s := range idle {
+		_ = s.Close()
+	}
+	return len(idle)
+}
+
+// stopReaper is idempotent and safe when no reaper was started.
+func (m *Manager) stopReaper() {
+	m.stopOnce.Do(func() {
+		if m.reapStop != nil {
+			close(m.reapStop)
+			<-m.reapDone
+		}
+	})
+}
+
+// Drain stops accepting new sessions and closes every live one, bounded by
+// ctx. In-flight chunked operations are force-canceled (they abort at their
+// next chunk boundary with a cancellation error); the drain then waits for
+// each session to close. If ctx expires first, the remaining closes continue
+// in the background and Drain reports how many sessions were still open.
+func (m *Manager) Drain(ctx context.Context) error {
 	m.mu.Lock()
 	m.draining = true
 	open := make([]*Session, 0, len(m.sessions))
@@ -225,8 +435,25 @@ func (m *Manager) Drain() {
 		open = append(open, s)
 	}
 	m.mu.Unlock()
+
+	m.stopReaper()
+	// Signal first, then close: a session mid-10M-cycle-step sees the force
+	// cancel at its next chunk and releases its lock to the Close below.
 	for _, s := range open {
-		s.Close()
+		s.cancel()
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for _, s := range open {
+			_ = s.Close()
+		}
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("server: drain interrupted with %d sessions still open: %w", m.SessionCount(), ctx.Err())
 	}
 }
 
@@ -242,27 +469,114 @@ type Op struct {
 
 // OpResult is the outcome of one Op. Peek fills Value (width'hHEX); step
 // fills Cycles with the session's total simulated cycles after the step.
+// Error is set only on the op that poisoned the session (panic + stack).
 type OpResult struct {
 	Op     string `json:"op"`
 	Name   string `json:"name,omitempty"`
 	Value  string `json:"value,omitempty"`
 	Cycles uint64 `json:"cycles,omitempty"`
+	Error  string `json:"error,omitempty"`
 }
 
 // errClosed is returned for any operation on a closed session.
 func (s *Session) errClosed() error { return fmt.Errorf("server: session %s is closed", s.ID) }
 
+// touch records activity for the idle reaper.
+func (s *Session) touch() { s.lastActivity.Store(time.Now().UnixNano()) }
+
+// cancel force-aborts in-flight chunked operations (drain path). Idempotent.
+func (s *Session) cancel() { s.cancelOnce.Do(func() { close(s.forceCancel) }) }
+
+// checkCancel reports why a chunked op must stop early, or nil.
+func (s *Session) checkCancel(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("server: session %s: op canceled: %w", s.ID, err)
+	}
+	select {
+	case <-s.forceCancel:
+		return fmt.Errorf("server: session %s: op aborted: %w", s.ID, ErrDraining)
+	default:
+		return nil
+	}
+}
+
+// stepBudget sums a batch's requested step cycles for admission.
+func stepBudget(ops []Op) int {
+	total := 0
+	for _, op := range ops {
+		if op.Op == "step" {
+			n := op.N
+			if n <= 0 {
+				n = 1
+			}
+			total += n
+		}
+	}
+	return total
+}
+
 // Apply runs a batch of operations atomically: no other session operation
 // interleaves. The first failing op aborts the batch; results for completed
 // ops are returned alongside the error.
-func (s *Session) Apply(ops []Op) ([]OpResult, error) {
+//
+// ctx bounds the batch: step ops execute in chunks (Limits.StepChunk cycles)
+// and a cancellation or deadline aborts between chunks, returning the
+// partial results — the session itself stays healthy, its cycle count
+// reflects the cycles actually stepped.
+//
+// A panic inside any op (engine bug, injected fault) is contained here: the
+// session is poisoned — this and every subsequent Apply returns an error
+// wrapping ErrSessionFailed, with the panic value and stack in the failing
+// op's result — and no other session is affected.
+func (s *Session) Apply(ctx context.Context, ops []Op) (results []OpResult, err error) {
+	if lim := s.mgr.limits.MaxInFlightOps; lim > 0 && s.mgr.inflight.Add(1) > int64(lim) {
+		s.mgr.inflight.Add(-1)
+		return nil, fmt.Errorf("server: %w (limit %d)", ErrTooManyInFlight, lim)
+	} else if lim <= 0 {
+		s.mgr.inflight.Add(1)
+	}
+	defer s.mgr.inflight.Add(-1)
+	if lim := s.mgr.limits.MaxStepsPerBatch; lim > 0 {
+		if total := stepBudget(ops); total > lim {
+			return nil, fmt.Errorf("server: %w (%d cycles requested, limit %d)", ErrStepBudget, total, lim)
+		}
+	}
+	s.touch()
+	defer s.touch()
+
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return nil, s.errClosed()
 	}
-	results := make([]OpResult, 0, len(ops))
+	if s.failed != nil {
+		return nil, s.failed
+	}
+
+	// SlowOp's stall (the armed delay) happens inside Hit itself.
+	faultpoint.Hit(faultpoint.SlowOp)
+
+	results = make([]OpResult, 0, len(ops))
+	var cur Op
+	// The fault boundary: runs before the mutex unlock (LIFO), so poisoning
+	// happens under the session lock.
+	defer func() {
+		if r := recover(); r != nil {
+			stack := debug.Stack()
+			s.failed = fmt.Errorf("server: session %s: %w: panic in %q op: %v", s.ID, ErrSessionFailed, cur.Op, r)
+			detail := fmt.Sprintf("panic in %q op: %v\n%s", cur.Op, r, stack)
+			log.Printf("server: session %s poisoned: %s", s.ID, detail)
+			results = append(results, OpResult{Op: cur.Op, Name: cur.Name, Error: detail})
+			err = s.failed
+		}
+	}()
+
+	chunk := s.mgr.limits.StepChunk
+	if chunk <= 0 {
+		chunk = defaultStepChunk
+	}
 	for i, op := range ops {
+		cur = op
 		res := OpResult{Op: op.Op, Name: op.Name}
 		switch op.Op {
 		case "poke":
@@ -287,8 +601,24 @@ func (s *Session) Apply(ops []Op) ([]OpResult, error) {
 				cycles = 1
 			}
 			start := time.Now()
-			for c := 0; c < cycles; c++ {
-				s.sim.Step()
+			done := 0
+			for done < cycles {
+				if cerr := s.checkCancel(ctx); cerr != nil {
+					s.stepTime += time.Since(start)
+					s.steps += uint64(done)
+					return results, cerr
+				}
+				if faultpoint.Hit(faultpoint.StepPanic) {
+					panic("faultpoint: injected step panic")
+				}
+				n := cycles - done
+				if n > chunk {
+					n = chunk
+				}
+				for c := 0; c < n; c++ {
+					s.sim.Step()
+				}
+				done += n
 			}
 			s.stepTime += time.Since(start)
 			s.steps += uint64(cycles)
@@ -307,13 +637,13 @@ func (s *Session) Apply(ops []Op) ([]OpResult, error) {
 
 // Poke sets an input by name from a FIRRTL-style literal.
 func (s *Session) Poke(name, literal string) error {
-	_, err := s.Apply([]Op{{Op: "poke", Name: name, Value: literal}})
+	_, err := s.Apply(context.Background(), []Op{{Op: "poke", Name: name, Value: literal}})
 	return err
 }
 
 // Peek reads a node by name, rendered as width'hHEX.
 func (s *Session) Peek(name string) (string, error) {
-	res, err := s.Apply([]Op{{Op: "peek", Name: name}})
+	res, err := s.Apply(context.Background(), []Op{{Op: "peek", Name: name}})
 	if err != nil {
 		return "", err
 	}
@@ -322,7 +652,7 @@ func (s *Session) Peek(name string) (string, error) {
 
 // Step simulates n cycles (n <= 0 steps one) and returns total cycles.
 func (s *Session) Step(n int) (uint64, error) {
-	res, err := s.Apply([]Op{{Op: "step", N: n}})
+	res, err := s.Apply(context.Background(), []Op{{Op: "step", N: n}})
 	if err != nil {
 		return 0, err
 	}
@@ -331,10 +661,14 @@ func (s *Session) Step(n int) (uint64, error) {
 
 // Snapshot serializes the session's complete simulator state.
 func (s *Session) Snapshot() ([]byte, error) {
+	s.touch()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return nil, s.errClosed()
+	}
+	if s.failed != nil {
+		return nil, s.failed
 	}
 	return snapshot.Save(s.sim)
 }
@@ -342,12 +676,17 @@ func (s *Session) Snapshot() ([]byte, error) {
 // Restore overwrites the session's state from a snapshot blob. The blob must
 // carry this session's design hash (see internal/snapshot); a snapshot taken
 // in any session of the same compiled design — or by cmd/gsim -save on the
-// same design and options — restores cleanly.
+// same design and options — restores cleanly. A blob that fails validation
+// (corruption, wrong design) leaves the session state untouched.
 func (s *Session) Restore(data []byte) error {
+	s.touch()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return s.errClosed()
+	}
+	if s.failed != nil {
+		return s.failed
 	}
 	// steps/stepTime keep counting only cycles this session stepped itself —
 	// a restored snapshot's history was simulated elsewhere, and folding it
@@ -355,10 +694,21 @@ func (s *Session) Restore(data []byte) error {
 	return snapshot.Restore(s.sim, data)
 }
 
-// Cycles returns the session's simulated cycle count.
+// Failed returns the poisoning error, or nil while the session is healthy.
+func (s *Session) Failed() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.failed
+}
+
+// Cycles returns the session's simulated cycle count. After Close it reports
+// the final count captured at close time (the engine itself is gone).
 func (s *Session) Cycles() uint64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.closed {
+		return s.lastCycles
+	}
 	return s.sim.Stats().Cycles
 }
 
@@ -373,7 +723,8 @@ func (s *Session) Throughput() float64 {
 	return float64(s.steps) / s.stepTime.Seconds() / 1000
 }
 
-// Close releases the session's engine and unregisters it. Idempotent.
+// Close releases the session's engine, unregisters it, and unpins its design
+// in the compile cache. Idempotent.
 func (s *Session) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -381,11 +732,13 @@ func (s *Session) Close() error {
 		return nil
 	}
 	s.closed = true
+	s.lastCycles = s.sim.Stats().Cycles
 	s.sim.Close()
 	s.mu.Unlock()
 
 	s.mgr.mu.Lock()
 	delete(s.mgr.sessions, s.ID)
 	s.mgr.mu.Unlock()
+	s.mgr.cache.Release(s.cacheKey)
 	return nil
 }

@@ -3,6 +3,7 @@ package server
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/base64"
 	"encoding/json"
 	"fmt"
@@ -82,7 +83,7 @@ func TestConcurrentSessionsShareOneCompile(t *testing.T) {
 			}
 			defer s.Close()
 			for c := 0; c < cycles; c++ {
-				res, err := s.Apply([]Op{
+				res, err := s.Apply(context.Background(), []Op{
 					{Op: "poke", Name: "push", Value: fmt.Sprintf("%d", c%2)},
 					{Op: "poke", Name: "pop", Value: fmt.Sprintf("%d", (c%3)&1)},
 					{Op: "poke", Name: "din", Value: fmt.Sprintf("%d", (c*7+si)&0xff)},
@@ -138,7 +139,7 @@ func TestHTTPSnapshotRestoreMidSession(t *testing.T) {
 	m := NewManager()
 	ts := httptest.NewServer(m.Handler())
 	defer ts.Close()
-	defer m.Drain()
+	defer m.Drain(context.Background())
 
 	var created CreateResponse
 	resp := postJSON(t, ts.URL+"/v1/sessions", CreateRequest{FIRRTL: readDesign(t, "counter.fir")}, &created)
@@ -282,7 +283,9 @@ func TestDrain(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m.Drain()
+	if err := m.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
 	if m.SessionCount() != 0 {
 		t.Fatalf("drain left %d sessions", m.SessionCount())
 	}
@@ -292,7 +295,9 @@ func TestDrain(t *testing.T) {
 	if _, err := m.CreateSession(src, SessionSpec{}); err == nil {
 		t.Fatal("create after drain succeeded")
 	}
-	m.Drain() // idempotent
+	if err := m.Drain(context.Background()); err != nil { // idempotent
+		t.Fatal(err)
+	}
 }
 
 // TestServerEndToEnd is the scripted smoke the CI job runs under -race: it

@@ -39,6 +39,7 @@ import (
 
 	"gsim/internal/emit"
 	"gsim/internal/engine"
+	"gsim/internal/faultpoint"
 )
 
 // Magic identifies a gsim snapshot blob.
@@ -70,7 +71,18 @@ func Save(sim engine.Sim) ([]byte, error) {
 	if m == nil {
 		return nil, fmt.Errorf("snapshot: engine has no compiled program")
 	}
-	return Encode(sn.CaptureState(), m.Prog)
+	data, err := Encode(sn.CaptureState(), m.Prog)
+	if err != nil {
+		return nil, err
+	}
+	if faultpoint.Hit(faultpoint.SnapshotCorrupt) {
+		// Model a corrupted blob (torn write, bit rot in transit). Smashing
+		// the magic and the design hash guarantees every reader detects it —
+		// a corrupt snapshot must be an error on restore, never silent state.
+		data[0] ^= 0xff
+		data[12] ^= 0xff
+	}
+	return data, nil
 }
 
 // Restore deserializes data and overwrites sim's state with it, after
