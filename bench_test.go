@@ -447,3 +447,54 @@ func BenchmarkServerSessions(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkGangThroughput measures batched-lane execution through the
+// service: one cache-hit gang session at 1/2/4/8 lanes stepping through the
+// batched-op path, reporting aggregate lane-cycles per second. The scalar
+// full-cycle engine (verilator preset) is the model a gang lane mirrors
+// bit-exactly, so the 1-lane row is the baseline the wider gangs amortize
+// instruction dispatch against — on one core, 8 lanes should deliver well
+// over 2x the aggregate of 8 independent scalar sessions.
+func BenchmarkGangThroughput(b *testing.B) {
+	d := harness.Synthetic(gen.StuCoreLike())
+	g, _, err := d.Build(harness.WorkloadCoreMark)
+	if err != nil {
+		b.Fatal(err)
+	}
+	key := d.Name + "/gangbench"
+	spec := server.SessionSpec{Engine: "verilator"}
+	mgr := server.NewManager()
+	defer mgr.Drain(context.Background())
+	// Pay the one cold compile up front; every lane count shares it.
+	warm, err := mgr.CreateSessionGraph(g, key, spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	warm.Close()
+
+	for _, lanes := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("%dlanes", lanes), func(b *testing.B) {
+			gspec := spec
+			gspec.Lanes = lanes
+			s, err := mgr.CreateSessionGraph(g, key, gspec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			if !s.CacheHit {
+				b.Fatal("gang session missed the warm compile cache")
+			}
+			const batch = 64
+			b.ResetTimer()
+			steps := 0
+			for c := 0; c < b.N; c += batch {
+				if _, err := s.Apply(context.Background(), []server.Op{{Op: "step", N: batch}}); err != nil {
+					b.Fatal(err)
+				}
+				steps += batch
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(steps*lanes)/b.Elapsed().Seconds()/1000, "simkHz")
+		})
+	}
+}

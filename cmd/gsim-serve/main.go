@@ -8,22 +8,32 @@
 //	gsim-serve [-addr host:port] [-drain-timeout 10s]
 //	           [-max-sessions N] [-max-inflight N] [-max-step-batch N]
 //	           [-op-timeout D] [-session-idle-timeout D] [-cache-budget-mb N]
+//	           [-max-body-bytes N]
 //	           [-read-header-timeout D] [-read-timeout D] [-http-idle-timeout D]
 //
 // API (JSON; see internal/server):
 //
 //	POST   /v1/sessions               {"firrtl": "...", "engine": "gsim", "eval": "kernel",
-//	                                   "threads": 0, "coarsen": false}
+//	                                   "threads": 0, "coarsen": false,
+//	                                   "lanes": 8, "trace_lanes": [0,3]}
 //	GET    /v1/sessions               list live sessions
-//	POST   /v1/sessions/{id}/ops      {"ops": [{"op":"poke","name":"en","value":"1"},
+//	POST   /v1/sessions/{id}/ops      {"ops": [{"op":"poke","name":"en","value":"1","lane":2},
 //	                                           {"op":"step","n":100},
-//	                                           {"op":"peek","name":"out"}]}
-//	POST   /v1/sessions/{id}/snapshot serialize complete state (base64)
-//	POST   /v1/sessions/{id}/restore  {"snapshot": "<base64>"}
+//	                                           {"op":"park","lane":2},
+//	                                           {"op":"peek","name":"out","lane":2}]}
+//	GET    /v1/sessions/{id}/lanes    per-lane liveness, cycles, trace status
+//	GET    /v1/sessions/{id}/vcd      a traced lane's waveform (?lane=N)
+//	POST   /v1/sessions/{id}/snapshot serialize complete state (base64; ?lane=N on gangs)
+//	POST   /v1/sessions/{id}/restore  {"snapshot": "<base64>"} (?lane=N on gangs)
 //	DELETE /v1/sessions/{id}          close a session
 //	GET    /v1/stats                  sessions, designs, cache + admission counters
 //	GET    /healthz                   liveness
 //	GET    /readyz                    readiness (503 while draining)
+//
+// "lanes": K > 1 opens a gang session: K independent stimulus lanes batched
+// through one compiled design (one instruction dispatch drives all lanes).
+// Ops address lanes via "lane"; step advances every live lane in lockstep;
+// park/wake freeze and resume individual lanes.
 //
 // Admission refusals return 429/503 with a Retry-After header; a session
 // poisoned by an internal panic returns 500 and must be closed and
@@ -58,6 +68,7 @@ func main() {
 	opTimeout := flag.Duration("op-timeout", 0, "per-request deadline for an ops batch (aborts at the next step chunk)")
 	idleTimeout := flag.Duration("session-idle-timeout", 0, "close sessions with no operations for this long")
 	cacheBudgetMB := flag.Int64("cache-budget-mb", 0, "compile-cache byte budget in MiB; cold designs evict LRU-first, designs with live sessions are pinned")
+	maxBodyBytes := flag.Int64("max-body-bytes", server.DefaultMaxBodyBytes, "maximum HTTP request body size (413 beyond; negative = unlimited)")
 
 	// HTTP hygiene: slow-client (slowloris) protection. These bound how long
 	// a connection may dribble its headers/body, not how long an op runs —
@@ -75,6 +86,7 @@ func main() {
 		OpTimeout:        *opTimeout,
 		IdleTimeout:      *idleTimeout,
 		CacheBudgetBytes: *cacheBudgetMB << 20,
+		MaxBodyBytes:     *maxBodyBytes,
 	})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

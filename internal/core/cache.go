@@ -128,6 +128,21 @@ func (d *CompiledDesign) NewSim(cfg Config) (engine.Sim, error) {
 	return nil, fmt.Errorf("core: unknown engine %d", cfg.Engine)
 }
 
+// NewGang instantiates a k-lane gang engine over the shared artifacts — K
+// independent stimulus lanes through the one compiled program (see
+// engine.Gang). Lane count is a per-session execution knob, deliberately NOT
+// part of CacheKey: one compile serves scalar sessions and gangs of every
+// width. Construction is serialized like NewSim — building a gang memoizes a
+// per-lane-count kernel table into the shared Program.
+func (d *CompiledDesign) NewGang(k int) (*engine.Gang, error) {
+	if k < 1 || k > emit.MaxGangLanes {
+		return nil, fmt.Errorf("core: gang lane count %d outside [1,%d]", k, emit.MaxGangLanes)
+	}
+	d.simMu.Lock()
+	defer d.simMu.Unlock()
+	return engine.NewGang(d.Prog, k), nil
+}
+
 // CacheKey derives the compile-cache key for a design source identity (the
 // caller supplies a content hash of the elaborated input, e.g. a FIRRTL text
 // hash) under a configuration. Every knob that can change the compiled

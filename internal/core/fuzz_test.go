@@ -187,6 +187,18 @@ func FuzzKernelLockstep(f *testing.F) {
 			sysK.Sim.(interface{ AttachTracer(engine.Tracer) }).AttachTracer(trK)
 			sysNA.Sim.(interface{ AttachTracer(engine.Tracer) }).AttachTracer(trNA)
 		}
+		// The gang axis: a 2-lane gang over the same compiled program. Lane 0
+		// rides the main stimulus and must track the kernel engine's state
+		// image word for word; lane 1 runs divergent stimulus beside a scalar
+		// full-cycle twin — parked at random so the masked gather/scatter
+		// paths fuzz too — and finishes with a snapshot epilogue where the
+		// lane's blob must equal the twin's byte for byte.
+		gang := engine.NewGang(sysK.Prog, 2)
+		defer gang.Close()
+		twin := engine.NewFullCycle(sysK.Prog, engine.EvalKernel)
+		defer twin.Close()
+		rngL1 := rand.New(rand.NewSource(int64(len(data))*77 + 3))
+
 		rng := rand.New(rand.NewSource(int64(len(data))*31 + 5))
 		const cycles = 24
 		for c := 0; c < cycles; c++ {
@@ -214,18 +226,31 @@ func FuzzKernelLockstep(f *testing.F) {
 				simI.Poke(in.ID, v)
 				simC.Poke(in.ID, v)
 				simS.Poke(in.ID, v)
+				gang.Poke(0, in.ID, v)
+				// Lane 1 and its twin always receive the divergent stimulus —
+				// pokes land on a parked lane too (they write state, they do
+				// not step it), and the twin mirrors that exactly.
+				v1 := bitvec.FromUint64(in.Width, rngL1.Uint64())
+				gang.Poke(1, in.ID, v1)
+				twin.Poke(in.ID, v1)
 				if errNA == nil {
 					if m, ok := naByID[in.ID]; ok {
 						sysNA.Sim.Poke(m.ID, v)
 					}
 				}
 			}
+			lane1Live := rngL1.Intn(6) != 0
+			gang.SetLive(1, lane1Live)
 			ref.Step()
 			sysK.Sim.Step()
 			simNF.Step()
 			simI.Step()
 			simC.Step()
 			simS.Step()
+			gang.Step()
+			if lane1Live {
+				twin.Step()
+			}
 			if errNA == nil {
 				sysNA.Sim.Step()
 				for i, n := range commonK {
@@ -235,11 +260,20 @@ func FuzzKernelLockstep(f *testing.F) {
 				}
 			}
 			stK := sysK.Sim.Machine().State
+			lane0, err := gang.CaptureLane(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lane1, err := gang.CaptureLane(1)
+			if err != nil {
+				t.Fatal(err)
+			}
 			for name, st := range map[string][]uint64{
 				"kernel-nofuse":      simNF.Machine().State,
 				"interp":             simI.Machine().State,
 				"coarsen-2T":         simC.Machine().State,
 				"snapshot-roundtrip": simS.Machine().State,
+				"gang-lane0":         lane0.State,
 			} {
 				for w := range stK {
 					if stK[w] != st[w] {
@@ -248,11 +282,32 @@ func FuzzKernelLockstep(f *testing.F) {
 					}
 				}
 			}
+			for w, tw := range twin.Machine().State {
+				if lane1.State[w] != tw {
+					t.Fatalf("cycle %d: state word %d: gang lane1 %#x vs scalar twin %#x (live=%v)",
+						c, w, lane1.State[w], tw, lane1Live)
+				}
+			}
 			for _, n := range outputs {
 				if a, b := ref.Peek(n.ID), sysK.Sim.Peek(n.ID); !a.EqValue(b) {
 					t.Fatalf("cycle %d: output %q: reference %s vs kernel %s", c, n.Name, a, b)
 				}
 			}
+		}
+
+		// Gang epilogue: the divergent lane's snapshot must be byte-identical
+		// to its scalar twin's — one blob format across shapes, stats and all.
+		laneBlob, err := snapshot.SaveLane(gang, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		twinBlob, err := snapshot.Save(twin)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(laneBlob, twinBlob) {
+			t.Fatalf("gang lane 1 snapshot differs from scalar twin (%d vs %d bytes)",
+				len(laneBlob), len(twinBlob))
 		}
 
 		// Stats must not depend on the evaluation mode — nor on a snapshot

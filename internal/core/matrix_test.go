@@ -112,6 +112,13 @@ func TestEngineMatrixLockstep(t *testing.T) {
 				outputs = append(outputs, n)
 			}
 		}
+		// The gang cell: a 3-lane gang with every lane fed the matrix
+		// stimulus. Each lane's extracted state must track the scalar cells
+		// word for word — the batched-lane sweep kernels join the same
+		// bit-identity contract as every engine × mode × thread cell.
+		const gangLanes = 3
+		gang := engine.NewGang(sys.Prog, gangLanes)
+
 		rng := rand.New(rand.NewSource(int64(di)*977 + 13))
 		base := sims[0]
 		for c := 0; c < cycles; c++ {
@@ -124,11 +131,15 @@ func TestEngineMatrixLockstep(t *testing.T) {
 				for _, ms := range sims {
 					ms.sim.Poke(in.ID, v)
 				}
+				for l := 0; l < gangLanes; l++ {
+					gang.Poke(l, in.ID, v)
+				}
 			}
 			ref.Step()
 			for _, ms := range sims {
 				ms.sim.Step()
 			}
+			gang.Step()
 			st0 := base.sim.Machine().State
 			for _, ms := range sims[1:] {
 				st := ms.sim.Machine().State
@@ -136,6 +147,18 @@ func TestEngineMatrixLockstep(t *testing.T) {
 					if st0[w] != st[w] {
 						t.Fatalf("%s cycle %d: state word %d: %s %#x vs %s %#x",
 							names[di], c, w, base.name, st0[w], ms.name, st[w])
+					}
+				}
+			}
+			for l := 0; l < gangLanes; l++ {
+				gst, err := gang.CaptureLane(l)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for w := range st0 {
+					if st0[w] != gst.State[w] {
+						t.Fatalf("%s cycle %d: state word %d: %s %#x vs gang lane %d %#x",
+							names[di], c, w, base.name, st0[w], l, gst.State[w])
 					}
 				}
 			}
@@ -152,6 +175,7 @@ func TestEngineMatrixLockstep(t *testing.T) {
 				c.Close()
 			}
 		}
+		gang.Close()
 		sys.Close()
 	}
 }

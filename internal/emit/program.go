@@ -142,6 +142,13 @@ type Program struct {
 	hashOnce sync.Once
 	hash     [32]byte
 	kernOnce sync.Once
+
+	// Gang kernel tables, built lazily per lane count by GangKernels and
+	// shared by every GangMachine of that shape (see gang.go). None of this
+	// affects the design hash: gang tables are execution strategy, not
+	// design identity.
+	gangMu      sync.Mutex
+	gangKernels map[int][]GangFn
 }
 
 // CodeBytes returns the emitted code size in bytes (Table IV "Code Size").

@@ -2,11 +2,13 @@
 //
 // Endpoints (all JSON bodies; errors are {"error": "..."} with 4xx/5xx):
 //
-//	POST   /v1/sessions               create a session
+//	POST   /v1/sessions               create a session (spec "lanes" > 1 opens a gang)
 //	GET    /v1/sessions               list live sessions
 //	POST   /v1/sessions/{id}/ops      apply a batched op list atomically
-//	POST   /v1/sessions/{id}/snapshot serialize state (base64 blob)
-//	POST   /v1/sessions/{id}/restore  overwrite state from a blob
+//	GET    /v1/sessions/{id}/lanes    per-lane liveness, cycles, trace status
+//	GET    /v1/sessions/{id}/vcd      fetch a traced lane's waveform (?lane=N)
+//	POST   /v1/sessions/{id}/snapshot serialize state (base64 blob; ?lane=N on gangs)
+//	POST   /v1/sessions/{id}/restore  overwrite state from a blob (?lane=N on gangs)
 //	DELETE /v1/sessions/{id}          close a session
 //	GET    /v1/stats                  manager + compile-cache counters
 //	GET    /healthz                   liveness (200 while the process runs)
@@ -16,7 +18,7 @@
 // step budget) or 503 (session limit, draining) with a Retry-After header; a
 // poisoned session reports 500 with the panic and stack in the body; a
 // canceled or deadline-exceeded op batch reports 408 with the partial
-// results.
+// results; a request body over Limits.MaxBodyBytes reports 413.
 package server
 
 import (
@@ -27,6 +29,7 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
+	"strconv"
 
 	"gsim/internal/snapshot"
 )
@@ -79,7 +82,16 @@ type SessionInfo struct {
 	Session    string `json:"session"`
 	DesignHash string `json:"design_hash"`
 	Cycles     uint64 `json:"cycles"`
+	Lanes      int    `json:"lanes,omitempty"`  // > 1 for gang sessions
 	Failed     bool   `json:"failed,omitempty"` // poisoned by a panic
+}
+
+// VCDResponse is the GET /v1/sessions/{id}/vcd body.
+type VCDResponse struct {
+	Lane      int    `json:"lane"`
+	VCD       string `json:"vcd"` // waveform text
+	Bytes     int    `json:"bytes"`
+	Truncated bool   `json:"truncated,omitempty"` // capture hit its byte cap
 }
 
 // StatsResponse is the GET /v1/stats body.
@@ -105,8 +117,10 @@ func (m *Manager) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/sessions", m.handleCreate)
 	mux.HandleFunc("GET /v1/sessions", m.handleList)
 	mux.HandleFunc("POST /v1/sessions/{id}/ops", m.withSession(m.handleOps))
+	mux.HandleFunc("GET /v1/sessions/{id}/lanes", m.withSession(handleLanes))
+	mux.HandleFunc("GET /v1/sessions/{id}/vcd", m.withSession(handleVCD))
 	mux.HandleFunc("POST /v1/sessions/{id}/snapshot", m.withSession(handleSnapshot))
-	mux.HandleFunc("POST /v1/sessions/{id}/restore", m.withSession(handleRestore))
+	mux.HandleFunc("POST /v1/sessions/{id}/restore", m.withSession(m.handleRestore))
 	mux.HandleFunc("DELETE /v1/sessions/{id}", m.withSession(handleClose))
 	mux.HandleFunc("GET /v1/stats", m.handleStats)
 	mux.HandleFunc("GET /healthz", m.handleHealthz)
@@ -158,10 +172,45 @@ func writeManagerError(w http.ResponseWriter, err error, extra any) {
 	writeError(w, status, err)
 }
 
+// decodeBody decodes a JSON request body under the manager's byte cap and
+// writes the error response itself on failure (413 when the cap is hit, 400
+// for malformed JSON). Every JSON-consuming handler funnels through here:
+// request bodies were previously read unbounded, so one oversized POST could
+// balloon the heap before validation ever saw it.
+func (m *Manager) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	body := r.Body
+	if limit := m.limits.MaxBodyBytes; limit > 0 {
+		body = http.MaxBytesReader(w, r.Body, limit)
+	}
+	if err := json.NewDecoder(body).Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", mbe.Limit))
+			return false
+		}
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %v", err))
+		return false
+	}
+	return true
+}
+
+// laneParam parses an optional ?lane=N query (default 0).
+func laneParam(r *http.Request) (int, error) {
+	q := r.URL.Query().Get("lane")
+	if q == "" {
+		return 0, nil
+	}
+	lane, err := strconv.Atoi(q)
+	if err != nil {
+		return 0, fmt.Errorf("bad lane %q: %v", q, err)
+	}
+	return lane, nil
+}
+
 func (m *Manager) handleCreate(w http.ResponseWriter, r *http.Request) {
 	var req CreateRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %v", err))
+	if !m.decodeBody(w, r, &req) {
 		return
 	}
 	if req.FIRRTL == "" {
@@ -195,6 +244,7 @@ func (m *Manager) handleList(w http.ResponseWriter, r *http.Request) {
 			Session:    s.ID,
 			DesignHash: s.Design.DesignHash(),
 			Cycles:     s.Cycles(),
+			Lanes:      s.Lanes(),
 			Failed:     s.Failed() != nil,
 		})
 	}
@@ -252,8 +302,7 @@ func (m *Manager) withSession(h func(s *Session, w http.ResponseWriter, r *http.
 
 func (m *Manager) handleOps(s *Session, w http.ResponseWriter, r *http.Request) {
 	var req OpsRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %v", err))
+	if !m.decodeBody(w, r, &req) {
 		return
 	}
 	// The per-request deadline: a runaway batch (a client asking for a
@@ -280,7 +329,12 @@ func (m *Manager) handleOps(s *Session, w http.ResponseWriter, r *http.Request) 
 }
 
 func handleSnapshot(s *Session, w http.ResponseWriter, r *http.Request) {
-	data, err := s.Snapshot()
+	lane, err := laneParam(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	data, err := s.SnapshotLane(lane)
 	if err != nil {
 		writeManagerError(w, err, nil)
 		return
@@ -300,10 +354,14 @@ func handleSnapshot(s *Session, w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func handleRestore(s *Session, w http.ResponseWriter, r *http.Request) {
+func (m *Manager) handleRestore(s *Session, w http.ResponseWriter, r *http.Request) {
 	var req RestoreRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %v", err))
+	if !m.decodeBody(w, r, &req) {
+		return
+	}
+	lane, err := laneParam(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	data, err := base64.StdEncoding.DecodeString(req.Snapshot)
@@ -311,11 +369,39 @@ func handleRestore(s *Session, w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad snapshot encoding: %v", err))
 		return
 	}
-	if err := s.Restore(data); err != nil {
+	if err := s.RestoreLane(lane, data); err != nil {
 		writeManagerError(w, err, nil)
 		return
 	}
 	writeJSON(w, http.StatusOK, RestoreResponse{Cycles: s.Cycles()})
+}
+
+func handleLanes(s *Session, w http.ResponseWriter, r *http.Request) {
+	infos, err := s.LaneInfos()
+	if err != nil {
+		writeManagerError(w, err, nil)
+		return
+	}
+	writeJSON(w, http.StatusOK, infos)
+}
+
+func handleVCD(s *Session, w http.ResponseWriter, r *http.Request) {
+	lane, err := laneParam(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	vcd, truncated, err := s.FetchVCD(lane)
+	if err != nil {
+		writeManagerError(w, err, nil)
+		return
+	}
+	writeJSON(w, http.StatusOK, VCDResponse{
+		Lane:      lane,
+		VCD:       string(vcd),
+		Bytes:     len(vcd),
+		Truncated: truncated,
+	})
 }
 
 func handleClose(s *Session, w http.ResponseWriter, r *http.Request) {

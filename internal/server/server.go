@@ -24,11 +24,13 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"crypto/sha256"
 	"errors"
 	"fmt"
 	"log"
+	"math/bits"
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
@@ -36,11 +38,13 @@ import (
 
 	"gsim/internal/bitvec"
 	"gsim/internal/core"
+	"gsim/internal/emit"
 	"gsim/internal/engine"
 	"gsim/internal/faultpoint"
 	"gsim/internal/firrtl"
 	"gsim/internal/ir"
 	"gsim/internal/snapshot"
+	"gsim/internal/trace"
 )
 
 // Sentinel errors for the service's refusal paths. The HTTP layer maps them
@@ -66,6 +70,21 @@ var (
 // the per-chunk check is invisible next to thousands of simulated cycles.
 const defaultStepChunk = 8192
 
+// DefaultMaxBodyBytes is the request-body cap applied when Limits leaves
+// MaxBodyBytes zero: generous enough for large FIRRTL sources and snapshot
+// blobs, small enough that one malicious POST cannot balloon the heap.
+const DefaultMaxBodyBytes int64 = 64 << 20
+
+// minReapInterval floors the idle reaper's poll period. A misconfigured (or
+// carelessly derived) interval of a few nanoseconds would make the reaper
+// goroutine busy-spin on its ticker; anything below this is clamped.
+const minReapInterval = time.Millisecond
+
+// maxTraceBytesPerLane caps each lane's in-memory VCD capture. A traced lane
+// that outgrows the cap keeps simulating; the waveform is truncated and
+// flagged, never the session killed.
+const maxTraceBytesPerLane = 16 << 20
+
 // Limits is the manager's admission-control and resource-governance
 // configuration. Zero values mean "unlimited" / "disabled" — NewManager uses
 // all-zero Limits, preserving the permissive single-user behavior.
@@ -87,9 +106,14 @@ type Limits struct {
 	// IdleTimeout reaps sessions with no operation for this long. Zero: no
 	// reaping.
 	IdleTimeout time.Duration
-	// ReapInterval is the reaper's poll period (default IdleTimeout/4,
-	// floored at one second).
+	// ReapInterval is the reaper's poll period (default IdleTimeout/4). Both
+	// the derived and an explicitly configured period are clamped to at least
+	// minReapInterval so a tiny IdleTimeout cannot produce a zero-period
+	// (ticker panic) or busy-spinning reaper.
 	ReapInterval time.Duration
+	// MaxBodyBytes caps each HTTP request body the JSON transport reads
+	// (create, ops, restore). Zero: DefaultMaxBodyBytes. Negative: unlimited.
+	MaxBodyBytes int64
 	// CacheBudgetBytes bounds the compile cache's resident code+data bytes;
 	// cold designs evict LRU-first, designs with live sessions are pinned.
 	// Zero: unlimited.
@@ -107,6 +131,20 @@ type SessionSpec struct {
 	Threads      int    `json:"threads,omitempty"`       // gsim -> GSIMMT, verilator -> Verilator-MT
 	Coarsen      bool   `json:"coarsen,omitempty"`       // adaptive level coarsening (parallel essential-signal)
 	MaxSupernode int    `json:"max_supernode,omitempty"` // supernode size cap (0 = default)
+
+	// Lanes batches K independent stimulus lanes through one compiled design
+	// (engine.Gang). 0 or 1 opens a plain scalar session; 2..emit.MaxGangLanes
+	// opens a gang session whose ops address lanes (Op.Lane). Lanes is a
+	// per-session execution knob, not a compile knob: it is deliberately
+	// absent from the compile-cache key, so scalar sessions and gangs of every
+	// width share one compiled design. Gang sessions execute on the full-cycle
+	// model regardless of Engine (the spec still selects the optimization
+	// pipeline and anchors the cache key).
+	Lanes int `json:"lanes,omitempty"`
+	// TraceLanes opts the listed lanes into in-memory VCD capture (fetched via
+	// GET .../vcd?lane=N), bounded at maxTraceBytesPerLane per lane. Scalar
+	// sessions accept only lane 0.
+	TraceLanes []int `json:"trace_lanes,omitempty"`
 }
 
 // coreConfig resolves the spec to a core configuration, mirroring cmd/gsim's
@@ -186,11 +224,20 @@ func NewManagerLimits(l Limits) *Manager {
 	if l.StepChunk <= 0 {
 		l.StepChunk = defaultStepChunk
 	}
-	if l.IdleTimeout > 0 && l.ReapInterval <= 0 {
-		l.ReapInterval = l.IdleTimeout / 4
-		if l.ReapInterval < time.Second {
-			l.ReapInterval = time.Second
+	if l.IdleTimeout > 0 {
+		if l.ReapInterval <= 0 {
+			l.ReapInterval = l.IdleTimeout / 4
 		}
+		// Clamp last, covering both the derived period (IdleTimeout/4
+		// truncates to zero below 4ns and time.NewTicker panics on
+		// non-positive periods) and an explicit near-zero period that would
+		// busy-spin the reaper goroutine.
+		if l.ReapInterval < minReapInterval {
+			l.ReapInterval = minReapInterval
+		}
+	}
+	if l.MaxBodyBytes == 0 {
+		l.MaxBodyBytes = DefaultMaxBodyBytes
 	}
 	m := &Manager{
 		cache:    core.NewCompileCache(),
@@ -211,8 +258,37 @@ func NewManagerLimits(l Limits) *Manager {
 // Limits returns the manager's admission configuration.
 func (m *Manager) Limits() Limits { return m.limits }
 
-// Session is one live simulator instance. All operations serialize on the
-// session's own lock; distinct sessions never contend (beyond the shared
+// capWriter is a bounded in-memory sink for per-lane VCD text. Writes past
+// the cap are dropped (and flagged) rather than failing: a long-running
+// traced lane keeps simulating with a truncated waveform instead of dying.
+type capWriter struct {
+	buf       bytes.Buffer
+	limit     int
+	truncated bool
+}
+
+func (c *capWriter) Write(p []byte) (int, error) {
+	if room := c.limit - c.buf.Len(); room < len(p) {
+		c.truncated = true
+		if room > 0 {
+			c.buf.Write(p[:room])
+		}
+		return len(p), nil
+	}
+	c.buf.Write(p)
+	return len(p), nil
+}
+
+// laneTrace is one lane's opt-in waveform capture: a synchronous VCD encoder
+// over a bounded buffer, flushed on demand when the client fetches it.
+type laneTrace struct {
+	sink *capWriter
+	vcd  *trace.VCD
+}
+
+// Session is one live simulator instance — a scalar engine (sim) or a K-lane
+// gang (gang); exactly one of the two is non-nil. All operations serialize on
+// the session's own lock; distinct sessions never contend (beyond the shared
 // read-only design).
 type Session struct {
 	ID       string
@@ -222,19 +298,25 @@ type Session struct {
 	mgr      *Manager
 	cfg      core.Config
 	cacheKey string
+	lanes    int // 1 for scalar sessions
 
 	lastActivity atomic.Int64  // unix nanos of the last operation
 	forceCancel  chan struct{} // closed by Drain to abort in-flight chunked ops
 	cancelOnce   sync.Once
 
 	mu         sync.Mutex
-	sim        engine.Sim
+	sim        engine.Sim   // scalar sessions
+	gang       *engine.Gang // gang sessions (lanes >= 2)
+	laneVCD    []*laneTrace // indexed by lane; nil entries for untraced lanes
 	closed     bool
 	failed     error         // non-nil once poisoned by a panic
 	lastCycles uint64        // cycle count captured at Close (sim is gone after)
-	steps      uint64        // cycles stepped through this session
+	steps      uint64        // lane-cycles stepped through this session
 	stepTime   time.Duration // wall time inside Step, for sessions/s diagnostics
 }
+
+// Lanes returns the session's lane count (1 for scalar sessions).
+func (s *Session) Lanes() int { return s.lanes }
 
 // CreateSession compiles (or reuses) the design described by FIRRTL source
 // text under the spec's configuration and opens a session over it.
@@ -265,8 +347,29 @@ func (m *Manager) admitSession() error {
 	return nil
 }
 
+// resolveLanes validates the spec's gang shape: lane count and trace opt-ins.
+func resolveLanes(spec SessionSpec) (int, error) {
+	lanes := spec.Lanes
+	if lanes == 0 {
+		lanes = 1
+	}
+	if lanes < 1 || lanes > emit.MaxGangLanes {
+		return 0, fmt.Errorf("server: lanes %d outside [1,%d]", spec.Lanes, emit.MaxGangLanes)
+	}
+	for _, l := range spec.TraceLanes {
+		if l < 0 || l >= lanes {
+			return 0, fmt.Errorf("server: trace lane %d outside [0,%d)", l, lanes)
+		}
+	}
+	return lanes, nil
+}
+
 func (m *Manager) create(sourceKey string, spec SessionSpec, load func() (*ir.Graph, error)) (*Session, error) {
 	cfg, err := spec.coreConfig()
+	if err != nil {
+		return nil, err
+	}
+	lanes, err := resolveLanes(spec)
 	if err != nil {
 		return nil, err
 	}
@@ -287,8 +390,30 @@ func (m *Manager) create(sourceKey string, spec SessionSpec, load func() (*ir.Gr
 	if err != nil {
 		return nil, err
 	}
-	sim, err := design.NewSim(cfg)
+	var sim engine.Sim
+	var gang *engine.Gang
+	if lanes > 1 {
+		gang, err = design.NewGang(lanes)
+	} else {
+		sim, err = design.NewSim(cfg)
+	}
 	if err != nil {
+		m.cache.Release(key)
+		return nil, err
+	}
+	closeEngine := func() {
+		if gang != nil {
+			gang.Close()
+		} else {
+			sim.Close()
+		}
+	}
+
+	// Wire opt-in per-lane VCD capture before the first step so traces start
+	// at the session's cycle zero.
+	laneVCD, err := attachLaneTraces(design, sim, gang, lanes, spec.TraceLanes)
+	if err != nil {
+		closeEngine()
 		m.cache.Release(key)
 		return nil, err
 	}
@@ -302,7 +427,7 @@ func (m *Manager) create(sourceKey string, spec SessionSpec, load func() (*ir.Gr
 			refuse = ErrTooManySessions
 		}
 		m.mu.Unlock()
-		sim.Close()
+		closeEngine()
 		m.cache.Release(key)
 		return nil, fmt.Errorf("server: %w, not accepting sessions", refuse)
 	}
@@ -315,12 +440,45 @@ func (m *Manager) create(sourceKey string, spec SessionSpec, load func() (*ir.Gr
 		mgr:         m,
 		cfg:         cfg,
 		cacheKey:    key,
+		lanes:       lanes,
 		forceCancel: make(chan struct{}),
 		sim:         sim,
+		gang:        gang,
+		laneVCD:     laneVCD,
 	}
 	s.lastActivity.Store(time.Now().UnixNano())
 	m.sessions[s.ID] = s
 	return s, nil
+}
+
+// attachLaneTraces builds bounded in-memory VCD capture for the requested
+// lanes. Returns nil when nothing is traced.
+func attachLaneTraces(design *core.CompiledDesign, sim engine.Sim, gang *engine.Gang, lanes int, traceLanes []int) ([]*laneTrace, error) {
+	if len(traceLanes) == 0 {
+		return nil, nil
+	}
+	out := make([]*laneTrace, lanes)
+	for _, l := range traceLanes {
+		if out[l] != nil {
+			continue // duplicate opt-in
+		}
+		sink := &capWriter{limit: maxTraceBytesPerLane}
+		v, err := trace.NewVCD(sink, design.Prog, nil, trace.Options{Sync: true})
+		if err != nil {
+			return nil, err
+		}
+		if gang != nil {
+			gang.AttachLaneTracer(l, v)
+		} else {
+			at, ok := sim.(interface{ AttachTracer(engine.Tracer) })
+			if !ok {
+				return nil, fmt.Errorf("server: engine does not support tracing")
+			}
+			at.AttachTracer(v)
+		}
+		out[l] = &laneTrace{sink: sink, vcd: v}
+	}
+	return out, nil
 }
 
 // Session returns a live session by ID.
@@ -460,11 +618,20 @@ func (m *Manager) Drain(ctx context.Context) error {
 // Op is one entry of a batched operation list — the unit of the service's
 // request batching. A round-trip per poke would dominate simulation cost;
 // a batch applies many pokes/steps/peeks atomically under one session lock.
+//
+// On gang sessions Lane addresses one stimulus lane: poke/peek default to
+// lane 0 when Lane is nil; step advances every live lane at once (Lane is
+// rejected — lanes advance in lockstep, that is the point of a gang); reset
+// with Lane resets one lane, without it the whole gang; park/wake (gang-only)
+// require Lane and toggle the lane's liveness — a parked lane freezes
+// bit-exactly and skips all work until woken. Scalar sessions accept only a
+// nil or zero Lane and reject park/wake.
 type Op struct {
-	Op    string `json:"op"`              // poke | peek | step | reset
+	Op    string `json:"op"`              // poke | peek | step | reset | park | wake
 	Name  string `json:"name,omitempty"`  // poke/peek: node name
 	Value string `json:"value,omitempty"` // poke: FIRRTL-style literal ("h1f", "42", "b101")
 	N     int    `json:"n,omitempty"`     // step: cycle count (default 1)
+	Lane  *int   `json:"lane,omitempty"`  // gang sessions: target lane
 }
 
 // OpResult is the outcome of one Op. Peek fills Value (width'hHEX); step
@@ -475,6 +642,7 @@ type OpResult struct {
 	Name   string `json:"name,omitempty"`
 	Value  string `json:"value,omitempty"`
 	Cycles uint64 `json:"cycles,omitempty"`
+	Lane   *int   `json:"lane,omitempty"`
 	Error  string `json:"error,omitempty"`
 }
 
@@ -577,7 +745,7 @@ func (s *Session) Apply(ctx context.Context, ops []Op) (results []OpResult, err 
 	}
 	for i, op := range ops {
 		cur = op
-		res := OpResult{Op: op.Op, Name: op.Name}
+		res := OpResult{Op: op.Op, Name: op.Name, Lane: op.Lane}
 		switch op.Op {
 		case "poke":
 			n := s.Design.Graph.FindNode(op.Name)
@@ -588,24 +756,53 @@ func (s *Session) Apply(ctx context.Context, ops []Op) (results []OpResult, err 
 			if err != nil {
 				return results, fmt.Errorf("server: op %d: %v", i, err)
 			}
-			s.sim.Poke(n.ID, v)
+			lane, lerr := s.opLane(op, i)
+			if lerr != nil {
+				return results, lerr
+			}
+			if s.gang != nil {
+				s.gang.Poke(lane, n.ID, v)
+			} else {
+				s.sim.Poke(n.ID, v)
+			}
 		case "peek":
 			n := s.Design.Graph.FindNode(op.Name)
 			if n == nil {
 				return results, fmt.Errorf("server: op %d: no node %q", i, op.Name)
 			}
-			res.Value = s.sim.Peek(n.ID).String()
+			lane, lerr := s.opLane(op, i)
+			if lerr != nil {
+				return results, lerr
+			}
+			if s.gang != nil {
+				res.Value = s.gang.Peek(lane, n.ID).String()
+			} else {
+				res.Value = s.sim.Peek(n.ID).String()
+			}
 		case "step":
+			if op.Lane != nil {
+				// Lanes advance in lockstep — that is the gang's economics.
+				// Park a lane to exclude it instead of stepping one lane.
+				return results, fmt.Errorf("server: op %d: step takes no lane (park/wake control per-lane progress)", i)
+			}
 			cycles := op.N
 			if cycles <= 0 {
 				cycles = 1
+			}
+			// steps counts lane-cycles (simulated work), so a gang session's
+			// Throughput reports aggregate lanes/s. The live mask is fixed for
+			// the whole op: ops in a batch are sequential, so no park/wake can
+			// interleave a step.
+			laneFactor := uint64(1)
+			if s.gang != nil {
+				laneFactor = uint64(bits.OnesCount64(s.gang.LiveMask()))
 			}
 			start := time.Now()
 			done := 0
 			for done < cycles {
 				if cerr := s.checkCancel(ctx); cerr != nil {
 					s.stepTime += time.Since(start)
-					s.steps += uint64(done)
+					s.steps += uint64(done) * laneFactor
 					return results, cerr
 				}
 				if faultpoint.Hit(faultpoint.StepPanic) {
@@ -615,24 +812,72 @@ func (s *Session) Apply(ctx context.Context, ops []Op) (results []OpResult, err 
 				if n > chunk {
 					n = chunk
 				}
-				for c := 0; c < n; c++ {
-					s.sim.Step()
+				if s.gang != nil {
+					for c := 0; c < n; c++ {
+						s.gang.Step()
+					}
+				} else {
+					for c := 0; c < n; c++ {
+						s.sim.Step()
+					}
 				}
 				done += n
 			}
 			s.stepTime += time.Since(start)
-			s.steps += uint64(cycles)
-			res.Cycles = s.sim.Stats().Cycles
+			s.steps += uint64(cycles) * laneFactor
+			if s.gang != nil {
+				res.Cycles = s.gang.Cycles()
+			} else {
+				res.Cycles = s.sim.Stats().Cycles
+			}
 		case "reset":
-			s.sim.Reset()
+			if s.gang != nil && op.Lane != nil {
+				lane, lerr := s.opLane(op, i)
+				if lerr != nil {
+					return results, lerr
+				}
+				s.gang.ResetLane(lane)
+				res.Cycles = s.gang.Cycles()
+				break
+			}
+			if s.gang != nil {
+				s.gang.Reset()
+			} else {
+				s.sim.Reset()
+			}
 			s.steps, s.stepTime = 0, 0
 			res.Cycles = 0
+		case "park", "wake":
+			if s.gang == nil {
+				return results, fmt.Errorf("server: op %d: %q requires a gang session", i, op.Op)
+			}
+			if op.Lane == nil {
+				return results, fmt.Errorf("server: op %d: %q requires a lane", i, op.Op)
+			}
+			lane, lerr := s.opLane(op, i)
+			if lerr != nil {
+				return results, lerr
+			}
+			s.gang.SetLive(lane, op.Op == "wake")
 		default:
-			return results, fmt.Errorf("server: op %d: unknown op %q (want poke, peek, step, or reset)", i, op.Op)
+			return results, fmt.Errorf("server: op %d: unknown op %q (want poke, peek, step, reset, park, or wake)", i, op.Op)
 		}
 		results = append(results, res)
 	}
 	return results, nil
+}
+
+// opLane resolves an op's target lane: nil defaults to lane 0 (the scalar
+// behavior), anything else must fall inside the session's lane range.
+func (s *Session) opLane(op Op, i int) (int, error) {
+	if op.Lane == nil {
+		return 0, nil
+	}
+	l := *op.Lane
+	if l < 0 || l >= s.lanes {
+		return 0, fmt.Errorf("server: op %d: lane %d outside [0,%d)", i, l, s.lanes)
+	}
+	return l, nil
 }
 
 // Poke sets an input by name from a FIRRTL-style literal.
@@ -659,8 +904,14 @@ func (s *Session) Step(n int) (uint64, error) {
 	return res[0].Cycles, nil
 }
 
-// Snapshot serializes the session's complete simulator state.
-func (s *Session) Snapshot() ([]byte, error) {
+// Snapshot serializes the session's complete simulator state (gang sessions:
+// lane 0 — use SnapshotLane for the others).
+func (s *Session) Snapshot() ([]byte, error) { return s.SnapshotLane(0) }
+
+// SnapshotLane serializes one lane's state in the standard scalar snapshot
+// format: the blob restores into a scalar session, a cmd/gsim run, or any
+// lane of any gang over the same compiled design.
+func (s *Session) SnapshotLane(lane int) ([]byte, error) {
 	s.touch()
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -670,6 +921,12 @@ func (s *Session) Snapshot() ([]byte, error) {
 	if s.failed != nil {
 		return nil, s.failed
 	}
+	if s.gang != nil {
+		return snapshot.SaveLane(s.gang, lane)
+	}
+	if lane != 0 {
+		return nil, fmt.Errorf("server: session %s is scalar; lane %d does not exist", s.ID, lane)
+	}
 	return snapshot.Save(s.sim)
 }
 
@@ -678,7 +935,12 @@ func (s *Session) Snapshot() ([]byte, error) {
 // in any session of the same compiled design — or by cmd/gsim -save on the
 // same design and options — restores cleanly. A blob that fails validation
 // (corruption, wrong design) leaves the session state untouched.
-func (s *Session) Restore(data []byte) error {
+func (s *Session) Restore(data []byte) error { return s.RestoreLane(0, data) }
+
+// RestoreLane overwrites one lane's state from a snapshot blob, leaving the
+// other lanes untouched. The format is lane-agnostic: a scalar session's
+// snapshot restores into any gang lane and vice versa.
+func (s *Session) RestoreLane(lane int, data []byte) error {
 	s.touch()
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -691,6 +953,12 @@ func (s *Session) Restore(data []byte) error {
 	// steps/stepTime keep counting only cycles this session stepped itself —
 	// a restored snapshot's history was simulated elsewhere, and folding it
 	// in would corrupt Throughput.
+	if s.gang != nil {
+		return snapshot.RestoreLane(s.gang, lane, data)
+	}
+	if lane != 0 {
+		return fmt.Errorf("server: session %s is scalar; lane %d does not exist", s.ID, lane)
+	}
 	return snapshot.Restore(s.sim, data)
 }
 
@@ -701,19 +969,90 @@ func (s *Session) Failed() error {
 	return s.failed
 }
 
-// Cycles returns the session's simulated cycle count. After Close it reports
-// the final count captured at close time (the engine itself is gone).
+// Cycles returns the session's simulated cycle count (gang sessions: step
+// calls issued, i.e. lockstep cycles, not lane-cycles). After Close it
+// reports the final count captured at close time (the engine itself is gone).
 func (s *Session) Cycles() uint64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return s.lastCycles
 	}
+	if s.gang != nil {
+		return s.gang.Cycles()
+	}
 	return s.sim.Stats().Cycles
 }
 
+// LaneInfo is one lane's state summary — GET /v1/sessions/{id}/lanes.
+type LaneInfo struct {
+	Lane           int    `json:"lane"`
+	Live           bool   `json:"live"`
+	Cycles         uint64 `json:"cycles"`
+	Instrs         uint64 `json:"instrs"`
+	Traced         bool   `json:"traced"`
+	TraceTruncated bool   `json:"trace_truncated,omitempty"`
+}
+
+// LaneInfos summarizes every lane. Scalar sessions report one lane (always
+// live), so clients can treat every session uniformly.
+func (s *Session) LaneInfos() ([]LaneInfo, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, s.errClosed()
+	}
+	infos := make([]LaneInfo, s.lanes)
+	for l := range infos {
+		infos[l].Lane = l
+		if s.gang != nil {
+			st := s.gang.LaneStats(l)
+			infos[l].Live = s.gang.Live(l)
+			infos[l].Cycles = st.Cycles
+			infos[l].Instrs = st.InstrsExecuted
+		} else {
+			st := s.sim.Stats()
+			infos[l].Live = true
+			infos[l].Cycles = st.Cycles
+			infos[l].Instrs = st.InstrsExecuted
+		}
+		if s.laneVCD != nil && s.laneVCD[l] != nil {
+			infos[l].Traced = true
+			infos[l].TraceTruncated = s.laneVCD[l].sink.truncated
+		}
+	}
+	return infos, nil
+}
+
+// FetchVCD flushes and returns one lane's captured waveform text. The lane
+// must have been opted in at creation (SessionSpec.TraceLanes). truncated
+// reports whether the capture hit its byte cap and lost the tail.
+func (s *Session) FetchVCD(lane int) (vcd []byte, truncated bool, err error) {
+	s.touch()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, false, s.errClosed()
+	}
+	if lane < 0 || lane >= s.lanes {
+		return nil, false, fmt.Errorf("server: lane %d outside [0,%d)", lane, s.lanes)
+	}
+	if s.laneVCD == nil || s.laneVCD[lane] == nil {
+		return nil, false, fmt.Errorf("server: lane %d is not traced (opt in with trace_lanes at creation)", lane)
+	}
+	lt := s.laneVCD[lane]
+	if err := lt.vcd.Flush(); err != nil {
+		return nil, false, err
+	}
+	// Copy under the lock: the caller writes the response after we release,
+	// and a concurrent step batch may append to the buffer meanwhile.
+	out := append([]byte(nil), lt.sink.buf.Bytes()...)
+	return out, lt.sink.truncated, nil
+}
+
 // Throughput reports the session's cumulative step throughput in kHz (0 when
-// it has not stepped).
+// it has not stepped). Gang sessions count lane-cycles — K live lanes
+// stepping N cycles is K*N — so this is aggregate simulated work per second.
 func (s *Session) Throughput() float64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -732,8 +1071,18 @@ func (s *Session) Close() error {
 		return nil
 	}
 	s.closed = true
-	s.lastCycles = s.sim.Stats().Cycles
-	s.sim.Close()
+	if s.gang != nil {
+		s.lastCycles = s.gang.Cycles()
+		s.gang.Close()
+	} else {
+		s.lastCycles = s.sim.Stats().Cycles
+		s.sim.Close()
+	}
+	for _, lt := range s.laneVCD {
+		if lt != nil {
+			_ = lt.vcd.Close()
+		}
+	}
 	s.mu.Unlock()
 
 	s.mgr.mu.Lock()

@@ -104,6 +104,36 @@ func Restore(sim engine.Sim, data []byte) error {
 	return sn.RestoreState(st)
 }
 
+// SaveLane captures one lane of a gang and serializes it in the standard
+// scalar format: the blob is byte-identical to Save of a scalar FullCycle
+// engine that ran the same stimulus, and restores into either shape.
+func SaveLane(g *engine.Gang, lane int) ([]byte, error) {
+	st, err := g.CaptureLane(lane)
+	if err != nil {
+		return nil, err
+	}
+	data, err := Encode(st, g.Program())
+	if err != nil {
+		return nil, err
+	}
+	if faultpoint.Hit(faultpoint.SnapshotCorrupt) {
+		data[0] ^= 0xff
+		data[12] ^= 0xff
+	}
+	return data, nil
+}
+
+// RestoreLane deserializes data into one lane of a gang, after the same
+// version and design-hash validation Restore applies. The other lanes are
+// untouched; a blob that fails validation leaves the lane untouched too.
+func RestoreLane(g *engine.Gang, lane int, data []byte) error {
+	st, err := Decode(data, g.Program())
+	if err != nil {
+		return err
+	}
+	return g.RestoreLane(lane, st)
+}
+
 // Encode serializes a captured state for the given program. The output is
 // deterministic: the same state and program always produce the same bytes.
 func Encode(st *engine.SimState, p *emit.Program) ([]byte, error) {

@@ -349,6 +349,18 @@ func (v *VCD) getErr() error {
 	return v.err
 }
 
+// Flush pushes buffered output to the underlying writer without ending the
+// trace — a consistent mid-run waveform read (e.g. serving a live session's
+// VCD over HTTP). Only synchronous tracers support it: in pipelined mode the
+// writer goroutine owns the buffer and a coordinator-side flush would race it.
+// Flush must not race Snapshot: stop stepping the engine first.
+func (v *VCD) Flush() error {
+	if !v.sync {
+		return fmt.Errorf("trace: Flush requires a synchronous tracer (Options.Sync)")
+	}
+	return v.w.Flush()
+}
+
 // Close drains the pipeline and flushes the stream: every snapshot taken
 // before Close is formatted and written (or discarded, after a write error)
 // before Close returns. The first error — mid-run write failure or final
