@@ -8,9 +8,15 @@
 package gsim_test
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
+	"io"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
 	"path/filepath"
 	"strings"
 	"sync"
@@ -20,6 +26,7 @@ import (
 	"gsim/internal/core"
 	"gsim/internal/engine"
 	"gsim/internal/firrtl"
+	"gsim/internal/fleet"
 	"gsim/internal/gen"
 	"gsim/internal/harness"
 	"gsim/internal/ir"
@@ -497,4 +504,152 @@ func BenchmarkGangThroughput(b *testing.B) {
 			b.ReportMetric(float64(steps*lanes)/b.Elapsed().Seconds()/1000, "simkHz")
 		})
 	}
+}
+
+// BenchmarkRouterHop measures the fleet router's proxy overhead: the same
+// single-step op batch issued over HTTP directly against a replica versus
+// through a gsim-router in front of it. The delta is the cost of one hop —
+// session-table lookup, migration-gate acquire, and the second HTTP leg.
+func BenchmarkRouterHop(b *testing.B) {
+	src, err := os.ReadFile("testdata/counter.fir")
+	if err != nil {
+		b.Fatal(err)
+	}
+	stepOps := server.OpsRequest{Ops: []server.Op{{Op: "step", N: 1}}}
+
+	run := func(b *testing.B, base, sid string) {
+		url := base + "/v1/sessions/" + sid + "/ops"
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if status := benchPostJSON(b, url, stepOps, nil); status != 200 {
+				b.Fatalf("ops: status %d", status)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "ops/s")
+	}
+
+	b.Run("direct", func(b *testing.B) {
+		mgr := server.NewManager()
+		defer mgr.Drain(context.Background())
+		ts := httptest.NewServer(mgr.Handler())
+		defer ts.Close()
+		var created server.CreateResponse
+		if status := benchPostJSON(b, ts.URL+"/v1/sessions", server.CreateRequest{FIRRTL: string(src)}, &created); status != 201 {
+			b.Fatalf("create: status %d", status)
+		}
+		run(b, ts.URL, created.Session)
+	})
+
+	b.Run("routed", func(b *testing.B) {
+		mgr := server.NewManager()
+		defer mgr.Drain(context.Background())
+		ts := httptest.NewServer(mgr.Handler())
+		defer ts.Close()
+		rt := fleet.NewRouter(fleet.Config{})
+		defer rt.Close()
+		rt.Register("r1", ts.URL)
+		front := httptest.NewServer(rt.Handler())
+		defer front.Close()
+		var created server.CreateResponse
+		if status := benchPostJSON(b, front.URL+"/v1/sessions", server.CreateRequest{FIRRTL: string(src)}, &created); status != 201 {
+			b.Fatalf("create: status %d", status)
+		}
+		run(b, front.URL, created.Session)
+	})
+}
+
+// BenchmarkMigration measures live-migration throughput in sessions/s: a
+// fleet of two replicas, K sessions homed on one, DrainReplica moves them
+// all (snapshot, reroute, recreate, restore, retarget) to the other. Between
+// timed iterations the drained slot is recycled with a fresh replica process
+// so the next drain has somewhere to go.
+func BenchmarkMigration(b *testing.B) {
+	src, err := os.ReadFile("testdata/counter.fir")
+	if err != nil {
+		b.Fatal(err)
+	}
+	const perDrain = 8
+
+	rt := fleet.NewRouter(fleet.Config{})
+	defer rt.Close()
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	mgrs := map[string]*server.Manager{}
+	servers := map[string]*httptest.Server{}
+	newReplica := func(name string) {
+		if old, ok := servers[name]; ok {
+			_ = mgrs[name].Drain(context.Background())
+			old.Close()
+		}
+		mgr := server.NewManager()
+		mgrs[name] = mgr
+		servers[name] = httptest.NewServer(mgr.Handler())
+		rt.Register(name, servers[name].URL)
+	}
+	newReplica("a")
+	newReplica("b")
+	defer func() {
+		for name, ts := range servers {
+			_ = mgrs[name].Drain(context.Background())
+			ts.Close()
+		}
+	}()
+
+	// All sessions share one design, so affinity homes them together; track
+	// that home as it bounces between the two slots.
+	var created server.CreateResponse
+	if status := benchPostJSON(b, front.URL+"/v1/sessions", server.CreateRequest{FIRRTL: string(src)}, &created); status != 201 {
+		b.Fatalf("create: status %d", status)
+	}
+	for i := 1; i < perDrain; i++ {
+		if status := benchPostJSON(b, front.URL+"/v1/sessions", server.CreateRequest{FIRRTL: string(src)}, nil); status != 201 {
+			b.Fatalf("create %d: status %d", i, status)
+		}
+	}
+	home := "a"
+	if mgrs["b"].SessionCount() > 0 {
+		home = "b"
+	}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		migrated, failed, err := rt.DrainReplica(home)
+		if err != nil || migrated != perDrain || len(failed) != 0 {
+			b.Fatalf("drain %s: migrated=%d failed=%v err=%v", home, migrated, failed, err)
+		}
+		b.StopTimer()
+		newReplica(home) // recycle the drained slot outside the timer
+		if home == "a" {
+			home = "b"
+		} else {
+			home = "a"
+		}
+		b.StartTimer()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N*perDrain)/b.Elapsed().Seconds(), "sessions/s")
+}
+
+// benchPostJSON is a minimal JSON POST helper for the HTTP benches.
+func benchPostJSON(b *testing.B, url string, body, out any) int {
+	b.Helper()
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(body); err != nil {
+		b.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", &buf)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode < 300 {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			b.Fatal(err)
+		}
+	} else {
+		_, _ = io.Copy(io.Discard, resp.Body)
+	}
+	return resp.StatusCode
 }

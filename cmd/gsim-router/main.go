@@ -1,0 +1,103 @@
+// Command gsim-router is the fleet front-end for gsim-serve: a stateless
+// routing layer that places sessions onto replicas by consistent-hashing
+// their design (so every session of one design shares a single compiled
+// artifact on one replica), proxies the /v1 API with per-session sticky
+// routing, and live-migrates sessions off a replica when it drains —
+// gracefully (SIGTERM, admin drain) or not (failed health checks).
+//
+// Usage:
+//
+//	gsim-router [-addr host:port]
+//	            [-heartbeat-ttl 10s] [-probe-interval 2s] [-probe-fail-threshold 3]
+//	            [-migration-retries 4] [-retry-backoff 25ms]
+//	            [-snapshot-budget-mb 1024]
+//
+// Replicas join with gsim-serve's -router/-advertise flags (they register
+// and heartbeat themselves); nothing is configured on the router ahead of
+// time, and a router restart loses nothing but the session table — replicas
+// re-register on their next heartbeat miss, but routed sessions must be
+// re-created (the router is the only holder of the public-ID mapping).
+//
+// API: the full gsim-serve /v1 surface, proxied (session IDs are
+// router-scoped: f1, f2, ...), plus the control plane:
+//
+//	POST /fleet/replicas                  {"name": "...", "url": "..."} register/refresh
+//	POST /fleet/replicas/{name}/heartbeat liveness refresh
+//	POST /fleet/replicas/{name}/drain     migrate every session off, exclude from placement
+//	GET  /fleet                           topology: replicas, states, session counts
+//	GET  /v1/stats                        fleet-aggregate + per-replica stats
+//	GET  /healthz, /readyz                router liveness; ready = ≥1 ready replica
+//
+// Migration semantics: draining a replica snapshots each of its sessions
+// (per-lane for gangs), reroutes via the hash ring minus that replica,
+// restores on the new home, and resumes — the restored trajectory is
+// bit-identical (state image, stat counters, VCD bytes) to an uninterrupted
+// run. Proxied requests overlapping a migration block briefly and land on
+// the new home; no request ever observes a half-moved session.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"gsim/internal/fleet"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8081", "listen address (use :0 for an ephemeral port)")
+	heartbeatTTL := flag.Duration("heartbeat-ttl", 10*time.Second, "declare a replica dead when its last heartbeat is older than this")
+	probeInterval := flag.Duration("probe-interval", 2*time.Second, "cadence of /readyz health probes against ready replicas")
+	probeFails := flag.Int("probe-fail-threshold", 3, "consecutive failed probes before a replica is drained/declared dead")
+	migrationRetries := flag.Int("migration-retries", 4, "alternate targets a migration tries before giving up")
+	retryBackoff := flag.Duration("retry-backoff", 25*time.Millisecond, "base backoff between migration retries (doubled per attempt)")
+	snapshotBudgetMB := flag.Int64("snapshot-budget-mb", 1024, "byte budget of the content-addressed snapshot handoff store, MiB")
+	flag.Parse()
+
+	rt := fleet.NewRouter(fleet.Config{
+		HeartbeatTTL:       *heartbeatTTL,
+		ProbeInterval:      *probeInterval,
+		ProbeFailThreshold: *probeFails,
+		MigrationRetries:   *migrationRetries,
+		RetryBackoff:       *retryBackoff,
+		SnapshotBudget:     *snapshotBudgetMB << 20,
+	})
+	defer rt.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gsim-router:", err)
+		os.Exit(1)
+	}
+	// Machine-readable on purpose: the fleet smoke harness starts the binary
+	// with -addr 127.0.0.1:0 and scrapes the port.
+	fmt.Printf("gsim-router listening on http://%s\n", ln.Addr())
+
+	srv := &http.Server{
+		Handler:           rt.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		// The router holds no simulation state; shutting it down abandons
+		// nothing but in-flight proxying. Replicas keep serving.
+		fmt.Printf("gsim-router: %v, shutting down\n", s)
+		_ = srv.Close()
+	case err := <-done:
+		if err != nil && err != http.ErrServerClosed {
+			fmt.Fprintln(os.Stderr, "gsim-router:", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -10,6 +10,7 @@
 //	           [-op-timeout D] [-session-idle-timeout D] [-cache-budget-mb N]
 //	           [-max-body-bytes N]
 //	           [-read-header-timeout D] [-read-timeout D] [-http-idle-timeout D]
+//	           [-router URL] [-advertise URL] [-name NAME]
 //
 // API (JSON; see internal/server):
 //
@@ -28,7 +29,9 @@
 //	DELETE /v1/sessions/{id}          close a session
 //	GET    /v1/stats                  sessions, designs, cache + admission counters
 //	GET    /healthz                   liveness
-//	GET    /readyz                    readiness (503 while draining)
+//	GET    /readyz                    readiness (503 the moment a drain begins)
+//	POST   /admin/drain               begin a migration-window drain (refuse new
+//	                                  sessions, keep serving existing ones)
 //
 // "lanes": K > 1 opens a gang session: K independent stimulus lanes batched
 // through one compiled design (one instruction dispatch drives all lanes).
@@ -41,6 +44,13 @@
 // 503, new sessions are refused, in-flight op batches are canceled at their
 // next chunk boundary, every session's engine is closed (all bounded by
 // -drain-timeout), and the process exits.
+//
+// Fleet mode: -router points at a gsim-router (see cmd/gsim-router) and
+// -advertise is the URL other processes reach this replica at. The replica
+// self-registers, heartbeats, and on SIGINT/SIGTERM retires gracefully:
+// readiness flips to 503 immediately, the router is asked to live-migrate
+// every session away (state, stats, and waveforms continue bit-identically
+// on their new homes), and only then does the local drain reap what is left.
 package main
 
 import (
@@ -54,6 +64,7 @@ import (
 	"syscall"
 	"time"
 
+	"gsim/internal/fleet"
 	"gsim/internal/server"
 )
 
@@ -77,6 +88,12 @@ func main() {
 	readHeaderTimeout := flag.Duration("read-header-timeout", 10*time.Second, "maximum time to read a request's headers")
 	readTimeout := flag.Duration("read-timeout", 30*time.Second, "maximum time to read a full request including body")
 	httpIdleTimeout := flag.Duration("http-idle-timeout", 2*time.Minute, "keep-alive timeout for idle connections")
+
+	// Fleet mode: register with a gsim-router so sessions are placed here by
+	// design affinity and migrated away on graceful termination.
+	routerURL := flag.String("router", "", "gsim-router base URL to register with (empty = standalone)")
+	advertise := flag.String("advertise", "", "base URL other processes reach this replica at (default http://<resolved addr>)")
+	name := flag.String("name", "", "replica name in the fleet registry (default the advertised address)")
 	flag.Parse()
 
 	mgr := server.NewManagerLimits(server.Limits{
@@ -106,12 +123,47 @@ func main() {
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(ln) }()
 
+	var agent *fleet.Agent
+	if *routerURL != "" {
+		self := *advertise
+		if self == "" {
+			self = fmt.Sprintf("http://%s", ln.Addr())
+		}
+		replicaName := *name
+		if replicaName == "" {
+			replicaName = self
+		}
+		agent = &fleet.Agent{
+			RouterURL: *routerURL,
+			Name:      replicaName,
+			SelfURL:   self,
+			Manager:   mgr,
+		}
+		regCtx, regCancel := context.WithTimeout(context.Background(), time.Minute)
+		if err := agent.Start(regCtx); err != nil {
+			fmt.Fprintln(os.Stderr, "gsim-serve: fleet registration:", err)
+		} else {
+			fmt.Printf("gsim-serve: registered with router %s as %s\n", *routerURL, replicaName)
+		}
+		regCancel()
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	select {
 	case s := <-sig:
 		fmt.Printf("gsim-serve: %v, draining (%d sessions)\n", s, mgr.SessionCount())
 		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		if agent != nil {
+			// Graceful retirement: the router live-migrates every session
+			// homed here before the local drain destroys anything.
+			if err := agent.Retire(ctx); err != nil {
+				fmt.Fprintln(os.Stderr, "gsim-serve: retire:", err)
+			} else {
+				fmt.Println("gsim-serve: all sessions migrated away")
+			}
+			agent.Stop()
+		}
 		// Drain sessions first (force-cancels in-flight chunked ops so their
 		// HTTP requests finish), then shut the listener down within the same
 		// deadline.

@@ -127,6 +127,12 @@ func (g *Gang) checkLane(lane int) {
 // for part of the run has fewer).
 func (g *Gang) Cycles() uint64 { return g.steps }
 
+// SetCycles re-anchors the lockstep counter. A gang rebuilt on a new process
+// and refilled lane-by-lane from snapshots starts at zero Step calls; the
+// restorer sets the counter to the migrated run's cycle so wall-clock
+// reporting continues instead of restarting.
+func (g *Gang) SetCycles(c uint64) { g.steps = c }
+
 // Step simulates one clock cycle on every live lane.
 func (g *Gang) Step() { g.StepLanes(g.live) }
 

@@ -1,0 +1,132 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"gsim/internal/server"
+)
+
+// Agent is the replica side of the fleet protocol, run inside gsim-serve
+// when it is launched with a router: it self-registers, heartbeats, and on
+// graceful termination asks the router to migrate its sessions away before
+// the process drains for real.
+type Agent struct {
+	RouterURL string // router base URL
+	Name      string // this replica's registry name
+	SelfURL   string // this replica's advertised base URL
+	Manager   *server.Manager
+	// Heartbeat cadence (0 = 2s). Keep well under the router's HeartbeatTTL.
+	Interval time.Duration
+	// HTTPClient overrides the client for router traffic.
+	HTTPClient *http.Client
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	wg       sync.WaitGroup
+}
+
+func (a *Agent) client() *http.Client {
+	if a.HTTPClient != nil {
+		return a.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+func (a *Agent) interval() time.Duration {
+	if a.Interval > 0 {
+		return a.Interval
+	}
+	return 2 * time.Second
+}
+
+// Start registers with the router (retrying until it answers — the router
+// may come up after its replicas) and begins the heartbeat loop. Returns
+// once the first registration succeeds or ctx ends.
+func (a *Agent) Start(ctx context.Context) error {
+	a.stop = make(chan struct{})
+	for {
+		if err := a.register(); err == nil {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("fleet: registration canceled: %w", ctx.Err())
+		case <-time.After(a.interval()):
+		}
+	}
+	a.wg.Add(1)
+	go a.heartbeatLoop()
+	return nil
+}
+
+// Stop ends the heartbeat loop. It does not deregister: a stopping replica
+// either drained (router already knows) or crashed (heartbeats expire).
+func (a *Agent) Stop() {
+	a.stopOnce.Do(func() {
+		if a.stop != nil {
+			close(a.stop)
+		}
+	})
+	a.wg.Wait()
+}
+
+func (a *Agent) register() error {
+	return a.post("/fleet/replicas", RegisterRequest{Name: a.Name, URL: a.SelfURL})
+}
+
+func (a *Agent) heartbeatLoop() {
+	defer a.wg.Done()
+	t := time.NewTicker(a.interval())
+	defer t.Stop()
+	for {
+		select {
+		case <-a.stop:
+			return
+		case <-t.C:
+			if err := a.post("/fleet/replicas/"+a.Name+"/heartbeat", struct{}{}); err != nil {
+				// 404 = the router restarted and lost us; re-register so our
+				// slot (and placement share) comes back.
+				_ = a.register()
+			}
+		}
+	}
+}
+
+// Retire runs the graceful-termination handoff: flip this replica to its
+// migration-window drain (readyz 503, creates refused, sessions serving),
+// ask the router to migrate everything away, then wait — up to ctx — for the
+// session count to reach zero. Callers follow with Manager.Drain to reap
+// whatever remains (sessions the router could not move, or all of them when
+// no router is reachable).
+func (a *Agent) Retire(ctx context.Context) error {
+	a.Manager.BeginDrain()
+	if err := a.post("/fleet/replicas/"+a.Name+"/drain", struct{}{}); err != nil {
+		return fmt.Errorf("fleet: drain notification failed (sessions will be dropped): %w", err)
+	}
+	for a.Manager.SessionCount() > 0 {
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("fleet: %d sessions still homed here: %w", a.Manager.SessionCount(), ctx.Err())
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+	return nil
+}
+
+func (a *Agent) post(path string, body any) error {
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(body); err != nil {
+		return err
+	}
+	resp, err := a.client().Post(a.RouterURL+path, "application/json", &buf)
+	if err != nil {
+		return err
+	}
+	return decodeResponse(resp, nil)
+}

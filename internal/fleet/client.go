@@ -1,0 +1,168 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"gsim/internal/server"
+)
+
+// replicaClient is a typed client for the slice of the gsim-serve API the
+// migration orchestrator drives directly (everything else is proxied raw).
+type replicaClient struct {
+	base string // replica base URL
+	http *http.Client
+}
+
+// statusError carries the replica's HTTP status so callers can distinguish
+// retryable refusals (503 draining, 429 backpressure) from hard failures.
+type statusError struct {
+	status int
+	msg    string
+}
+
+func (e *statusError) Error() string {
+	return fmt.Sprintf("replica returned %d: %s", e.status, e.msg)
+}
+
+// retryableStatus reports whether err is a replica refusal worth retrying on
+// another replica (the migration-race case: the chosen target started
+// draining between placement and create).
+func retryableStatus(err error) bool {
+	var se *statusError
+	if !errors.As(err, &se) {
+		return false
+	}
+	return se.status == http.StatusServiceUnavailable || se.status == http.StatusTooManyRequests
+}
+
+// postJSON sends body as JSON and decodes the response into out (when
+// non-nil). Non-2xx responses become *statusError with the replica's error
+// string.
+func (c *replicaClient) postJSON(path string, body, out any) error {
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(body); err != nil {
+		return err
+	}
+	resp, err := c.http.Post(c.base+path, "application/json", &buf)
+	if err != nil {
+		return err
+	}
+	return decodeResponse(resp, out)
+}
+
+func (c *replicaClient) getJSON(path string, out any) error {
+	resp, err := c.http.Get(c.base + path)
+	if err != nil {
+		return err
+	}
+	return decodeResponse(resp, out)
+}
+
+func decodeResponse(resp *http.Response, out any) error {
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		msg := string(data)
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			msg = e.Error
+		}
+		return &statusError{status: resp.StatusCode, msg: msg}
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(data, out)
+}
+
+func (c *replicaClient) create(req server.CreateRequest) (server.CreateResponse, error) {
+	var resp server.CreateResponse
+	err := c.postJSON("/v1/sessions", req, &resp)
+	return resp, err
+}
+
+func (c *replicaClient) lanes(id string) ([]server.LaneInfo, error) {
+	var infos []server.LaneInfo
+	err := c.getJSON("/v1/sessions/"+id+"/lanes", &infos)
+	return infos, err
+}
+
+// snapshotLane fetches lane's serialized state as raw snapshot-format bytes.
+func (c *replicaClient) snapshotLane(id string, lane int) ([]byte, error) {
+	var resp server.SnapshotResponse
+	if err := c.postJSON("/v1/sessions/"+id+"/snapshot?lane="+strconv.Itoa(lane), struct{}{}, &resp); err != nil {
+		return nil, err
+	}
+	return base64.StdEncoding.DecodeString(resp.Snapshot)
+}
+
+// restoreLane writes blob into lane; a non-empty vcdPrefix seeds the lane's
+// trace-resume buffer (requires the session was created with trace_resume).
+func (c *replicaClient) restoreLane(id string, lane int, blob, vcdPrefix []byte) error {
+	req := server.RestoreRequest{Snapshot: base64.StdEncoding.EncodeToString(blob)}
+	if len(vcdPrefix) > 0 {
+		req.TracePrefix = base64.StdEncoding.EncodeToString(vcdPrefix)
+	}
+	return c.postJSON("/v1/sessions/"+id+"/restore?lane="+strconv.Itoa(lane), req, nil)
+}
+
+func (c *replicaClient) vcd(id string, lane int) (data []byte, truncated bool, err error) {
+	var resp server.VCDResponse
+	if err := c.getJSON("/v1/sessions/"+id+"/vcd?lane="+strconv.Itoa(lane), &resp); err != nil {
+		return nil, false, err
+	}
+	return []byte(resp.VCD), resp.Truncated, nil
+}
+
+// applyOps runs an op batch (migration uses this to re-park lanes that were
+// parked on the old home).
+func (c *replicaClient) applyOps(id string, ops []server.Op) error {
+	return c.postJSON("/v1/sessions/"+id+"/ops", server.OpsRequest{Ops: ops}, nil)
+}
+
+func (c *replicaClient) deleteSession(id string) error {
+	req, err := http.NewRequest(http.MethodDelete, c.base+"/v1/sessions/"+id, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	return decodeResponse(resp, nil)
+}
+
+func (c *replicaClient) stats() (server.StatsResponse, error) {
+	var resp server.StatsResponse
+	err := c.getJSON("/v1/stats", &resp)
+	return resp, err
+}
+
+// ready probes /readyz; false covers both a 503 (draining) and an
+// unreachable replica.
+func (c *replicaClient) ready() bool {
+	resp, err := c.http.Get(c.base + "/readyz")
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode == http.StatusOK
+}
+
+// beginDrain asks the replica to enter its migration-window drain.
+func (c *replicaClient) beginDrain() error {
+	return c.postJSON("/admin/drain", struct{}{}, nil)
+}

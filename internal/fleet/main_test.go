@@ -1,0 +1,15 @@
+package fleet
+
+import (
+	"testing"
+
+	"gsim/internal/leakcheck"
+)
+
+// TestMain gates the whole fleet suite on goroutine hygiene: every router,
+// replica server, and manager a test starts must be torn down by the time
+// the suite ends — the CI fleet-smoke job runs this package under -race with
+// leak checking as one of its acceptance criteria.
+func TestMain(m *testing.M) {
+	leakcheck.Main(m)
+}

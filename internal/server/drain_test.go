@@ -1,0 +1,164 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestReadyzFlipsOnBeginDrain is the readiness regression for fleet routing:
+// the moment a drain begins — before any session is touched — /readyz must
+// report 503 so routers and load balancers stop placing new sessions here,
+// while the sessions already homed here keep serving (that window is when a
+// router snapshots and migrates them). Previously the only way readiness
+// flipped was the full Drain, which destroys every session in the same
+// breath; a replica being drained for migration kept reporting ready.
+func TestReadyzFlipsOnBeginDrain(t *testing.T) {
+	m := NewManager()
+	ts := httptest.NewServer(m.Handler())
+	defer ts.Close()
+	defer m.Drain(context.Background())
+
+	var created CreateResponse
+	postJSON(t, ts.URL+"/v1/sessions", CreateRequest{FIRRTL: readDesign(t, "counter.fir")}, &created)
+
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz before drain: %d, want 200", resp.StatusCode)
+	}
+
+	// Begin the migration-window drain over the admin endpoint.
+	if resp := postJSON(t, ts.URL+"/admin/drain", struct{}{}, nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("admin drain: %d", resp.StatusCode)
+	}
+
+	// Readiness flips immediately...
+	resp, err = http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz after BeginDrain: %d, want 503", resp.StatusCode)
+	}
+
+	// ...new sessions are refused...
+	if resp := postJSON(t, ts.URL+"/v1/sessions", CreateRequest{FIRRTL: readDesign(t, "counter.fir")}, nil); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("create while draining: %d, want 503", resp.StatusCode)
+	}
+
+	// ...but the session that lives here still serves ops and snapshots —
+	// the handoff a migrating router depends on.
+	base := ts.URL + "/v1/sessions/" + created.Session
+	var ops OpsResponse
+	if resp := postJSON(t, base+"/ops", OpsRequest{Ops: []Op{{Op: "step", N: 5}}}, &ops); resp.StatusCode != http.StatusOK {
+		t.Fatalf("ops while draining: %d, want 200", resp.StatusCode)
+	}
+	var snap SnapshotResponse
+	if resp := postJSON(t, base+"/snapshot", struct{}{}, &snap); resp.StatusCode != http.StatusOK {
+		t.Fatalf("snapshot while draining: %d, want 200", resp.StatusCode)
+	}
+	if snap.Cycles != 5 {
+		t.Fatalf("snapshot cycles = %d, want 5", snap.Cycles)
+	}
+}
+
+// TestBeginDrainInProcess pins the manager-level contract Drain builds on:
+// BeginDrain refuses new sessions and reports draining instantly, is
+// idempotent, and leaves live sessions fully operable until Drain closes
+// them.
+func TestBeginDrainInProcess(t *testing.T) {
+	m := NewManager()
+	src := readDesign(t, "counter.fir")
+	s, err := m.CreateSession(src, SessionSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m.BeginDrain()
+	m.BeginDrain() // idempotent
+	if !m.Draining() {
+		t.Fatal("manager does not report draining after BeginDrain")
+	}
+	if _, err := m.CreateSession(src, SessionSpec{}); !errors.Is(err, ErrDraining) {
+		t.Fatalf("create after BeginDrain: %v, want ErrDraining", err)
+	}
+	if _, err := s.Step(3); err != nil {
+		t.Fatalf("step on live session during drain window: %v", err)
+	}
+	if _, err := s.Snapshot(); err != nil {
+		t.Fatalf("snapshot during drain window: %v", err)
+	}
+	if got := m.SessionCount(); got != 1 {
+		t.Fatalf("BeginDrain closed sessions: %d live, want 1", got)
+	}
+	if err := m.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if m.SessionCount() != 0 {
+		t.Fatalf("Drain left %d sessions", m.SessionCount())
+	}
+}
+
+// TestReadyzDuringDrain drives the full Drain while an op batch is mid-step
+// and asserts readiness is already 503 before the drain completes — "the
+// moment Drain begins", not after the last session closes.
+func TestReadyzDuringDrain(t *testing.T) {
+	m := NewManagerLimits(Limits{StepChunk: 1})
+	ts := httptest.NewServer(m.Handler())
+	defer ts.Close()
+
+	s, err := m.CreateSession(readDesign(t, "counter.fir"), SessionSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A long chunked step holds the session busy; Drain must cancel it.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _ = s.Apply(context.Background(), []Op{{Op: "step", N: 50_000_000}})
+	}()
+	// Wait until the op is actually in flight.
+	for i := 0; m.InFlightOps() == 0 && i < 1000; i++ {
+		time.Sleep(time.Millisecond)
+	}
+
+	drainDone := make(chan error, 1)
+	go func() { drainDone <- m.Drain(context.Background()) }()
+
+	// Poll readiness; it must flip while the drain is still in progress (the
+	// in-flight op guarantees a window) and certainly before drainDone.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			break
+		}
+		select {
+		case err := <-drainDone:
+			t.Fatalf("drain completed (err=%v) before readyz ever reported 503", err)
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("readyz never flipped to 503 during drain")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := <-drainDone; err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+}

@@ -12,7 +12,9 @@
 //	DELETE /v1/sessions/{id}          close a session
 //	GET    /v1/stats                  manager + compile-cache counters
 //	GET    /healthz                   liveness (200 while the process runs)
-//	GET    /readyz                    readiness (503 once draining)
+//	GET    /readyz                    readiness (503 the moment a drain begins)
+//	POST   /admin/drain               begin a migration-window drain (refuse new
+//	                                  sessions, keep serving existing ones)
 //
 // Failure semantics: admission refusals are 429 (too many in-flight ops,
 // step budget) or 503 (session limit, draining) with a Retry-After header; a
@@ -70,6 +72,11 @@ type SnapshotResponse struct {
 // RestoreRequest is the POST /v1/sessions/{id}/restore body.
 type RestoreRequest struct {
 	Snapshot string `json:"snapshot"` // base64 of the internal/snapshot format
+	// TracePrefix carries the waveform bytes a migrated session captured on
+	// its previous home (base64). Valid only on a lane created with
+	// trace_resume: the prefix seeds the lane's capture buffer and the
+	// restored state arms its continuation tracer.
+	TracePrefix string `json:"trace_prefix,omitempty"`
 }
 
 // RestoreResponse reports the resumed cycle count.
@@ -125,7 +132,20 @@ func (m *Manager) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/stats", m.handleStats)
 	mux.HandleFunc("GET /healthz", m.handleHealthz)
 	mux.HandleFunc("GET /readyz", m.handleReadyz)
+	mux.HandleFunc("POST /admin/drain", m.handleAdminDrain)
 	return mux
+}
+
+// handleAdminDrain begins a migration-window drain: readiness flips to 503
+// and new sessions are refused immediately, but live sessions keep serving so
+// a fleet router can snapshot and move them before the process is retired.
+// Idempotent; reports how many sessions are still homed here.
+func (m *Manager) handleAdminDrain(w http.ResponseWriter, r *http.Request) {
+	m.BeginDrain()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"draining": true,
+		"sessions": m.SessionCount(),
+	})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -369,7 +389,15 @@ func (m *Manager) handleRestore(s *Session, w http.ResponseWriter, r *http.Reque
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad snapshot encoding: %v", err))
 		return
 	}
-	if err := s.RestoreLane(lane, data); err != nil {
+	var prefix []byte
+	if req.TracePrefix != "" {
+		prefix, err = base64.StdEncoding.DecodeString(req.TracePrefix)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad trace_prefix encoding: %v", err))
+			return
+		}
+	}
+	if err := s.RestoreLaneTrace(lane, data, prefix); err != nil {
 		writeManagerError(w, err, nil)
 		return
 	}

@@ -145,6 +145,16 @@ type SessionSpec struct {
 	// GET .../vcd?lane=N), bounded at maxTraceBytesPerLane per lane. Scalar
 	// sessions accept only lane 0.
 	TraceLanes []int `json:"trace_lanes,omitempty"`
+	// TraceResume defers each traced lane's capture to its first restore:
+	// instead of writing a VCD header at session creation, the lane's tracer
+	// is attached in resume mode when a snapshot is restored into it, seeded
+	// from the restored state and timestamped at the restored cycle — and
+	// optionally prefixed with waveform bytes captured elsewhere (the restore
+	// request's trace_prefix). This is the session-migration handoff: a fleet
+	// router recreates a traced session on a new replica with TraceResume set,
+	// restores each lane, and the lane's waveform continues byte-identically
+	// to an unmigrated run.
+	TraceResume bool `json:"trace_resume,omitempty"`
 }
 
 // coreConfig resolves the spec to a core configuration, mirroring cmd/gsim's
@@ -304,15 +314,16 @@ type Session struct {
 	forceCancel  chan struct{} // closed by Drain to abort in-flight chunked ops
 	cancelOnce   sync.Once
 
-	mu         sync.Mutex
-	sim        engine.Sim   // scalar sessions
-	gang       *engine.Gang // gang sessions (lanes >= 2)
-	laneVCD    []*laneTrace // indexed by lane; nil entries for untraced lanes
-	closed     bool
-	failed     error         // non-nil once poisoned by a panic
-	lastCycles uint64        // cycle count captured at Close (sim is gone after)
-	steps      uint64        // lane-cycles stepped through this session
-	stepTime   time.Duration // wall time inside Step, for sessions/s diagnostics
+	mu           sync.Mutex
+	sim          engine.Sim   // scalar sessions
+	gang         *engine.Gang // gang sessions (lanes >= 2)
+	laneVCD      []*laneTrace // indexed by lane; nil entries for untraced lanes
+	pendingTrace []bool       // TraceResume lanes awaiting their arming restore
+	closed       bool
+	failed       error         // non-nil once poisoned by a panic
+	lastCycles   uint64        // cycle count captured at Close (sim is gone after)
+	steps        uint64        // lane-cycles stepped through this session
+	stepTime     time.Duration // wall time inside Step, for sessions/s diagnostics
 }
 
 // Lanes returns the session's lane count (1 for scalar sessions).
@@ -410,12 +421,25 @@ func (m *Manager) create(sourceKey string, spec SessionSpec, load func() (*ir.Gr
 	}
 
 	// Wire opt-in per-lane VCD capture before the first step so traces start
-	// at the session's cycle zero.
-	laneVCD, err := attachLaneTraces(design, sim, gang, lanes, spec.TraceLanes)
-	if err != nil {
-		closeEngine()
-		m.cache.Release(key)
-		return nil, err
+	// at the session's cycle zero. TraceResume sessions defer the attach to
+	// each lane's first restore instead (armResumeTrace), where the restored
+	// state seeds the diff base and the restored cycle stamps the stream.
+	var laneVCD []*laneTrace
+	var pendingTrace []bool
+	if spec.TraceResume {
+		if len(spec.TraceLanes) > 0 {
+			pendingTrace = make([]bool, lanes)
+			for _, l := range spec.TraceLanes {
+				pendingTrace[l] = true
+			}
+		}
+	} else {
+		laneVCD, err = attachLaneTraces(design, sim, gang, lanes, spec.TraceLanes)
+		if err != nil {
+			closeEngine()
+			m.cache.Release(key)
+			return nil, err
+		}
 	}
 
 	m.mu.Lock()
@@ -434,17 +458,18 @@ func (m *Manager) create(sourceKey string, spec SessionSpec, load func() (*ir.Gr
 	defer m.mu.Unlock()
 	m.nextID++
 	s := &Session{
-		ID:          fmt.Sprintf("s%d", m.nextID),
-		Design:      design,
-		CacheHit:    hit,
-		mgr:         m,
-		cfg:         cfg,
-		cacheKey:    key,
-		lanes:       lanes,
-		forceCancel: make(chan struct{}),
-		sim:         sim,
-		gang:        gang,
-		laneVCD:     laneVCD,
+		ID:           fmt.Sprintf("s%d", m.nextID),
+		Design:       design,
+		CacheHit:     hit,
+		mgr:          m,
+		cfg:          cfg,
+		cacheKey:     key,
+		lanes:        lanes,
+		forceCancel:  make(chan struct{}),
+		sim:          sim,
+		gang:         gang,
+		laneVCD:      laneVCD,
+		pendingTrace: pendingTrace,
 	}
 	s.lastActivity.Store(time.Now().UnixNano())
 	m.sessions[s.ID] = s
@@ -580,26 +605,40 @@ func (m *Manager) stopReaper() {
 	})
 }
 
+// BeginDrain flips the manager into its draining state without touching the
+// live sessions: new session creation is refused with ErrDraining and /readyz
+// reports 503, while existing sessions keep serving ops, snapshots, and
+// restores. This is the migration window a fleet router needs — the replica
+// stops attracting new placements the instant the drain is decided, but its
+// sessions stay alive (and snapshot-able) until they have been moved off.
+// Idempotent; Drain goes through it as its first step.
+func (m *Manager) BeginDrain() {
+	m.mu.Lock()
+	m.draining = true
+	m.mu.Unlock()
+}
+
 // Drain stops accepting new sessions and closes every live one, bounded by
 // ctx. In-flight chunked operations are force-canceled (they abort at their
 // next chunk boundary with a cancellation error); the drain then waits for
 // each session to close. If ctx expires first, the remaining closes continue
 // in the background and Drain reports how many sessions were still open.
 func (m *Manager) Drain(ctx context.Context) error {
+	m.BeginDrain()
 	m.mu.Lock()
-	m.draining = true
 	open := make([]*Session, 0, len(m.sessions))
 	for _, s := range m.sessions {
 		open = append(open, s)
 	}
 	m.mu.Unlock()
 
-	m.stopReaper()
-	// Signal first, then close: a session mid-10M-cycle-step sees the force
-	// cancel at its next chunk and releases its lock to the Close below.
+	// Cancel before joining the reaper: the reaper may be blocked in Close on
+	// a session mid-10M-cycle step, and only the force cancel makes that step
+	// release the session lock at its next chunk boundary.
 	for _, s := range open {
 		s.cancel()
 	}
+	m.stopReaper()
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
@@ -941,6 +980,20 @@ func (s *Session) Restore(data []byte) error { return s.RestoreLane(0, data) }
 // other lanes untouched. The format is lane-agnostic: a scalar session's
 // snapshot restores into any gang lane and vice versa.
 func (s *Session) RestoreLane(lane int, data []byte) error {
+	return s.restoreLane(lane, data, nil)
+}
+
+// RestoreLaneTrace is RestoreLane plus waveform continuation: vcdPrefix (the
+// waveform the session captured before a migration handoff) seeds the lane's
+// capture buffer, and the lane's resume-mode tracer — deferred at creation by
+// SessionSpec.TraceResume — is armed from the restored state. Fetching the
+// lane's VCD afterwards returns prefix + continuation, byte-identical to a
+// session that was never moved.
+func (s *Session) RestoreLaneTrace(lane int, data, vcdPrefix []byte) error {
+	return s.restoreLane(lane, data, vcdPrefix)
+}
+
+func (s *Session) restoreLane(lane int, data, vcdPrefix []byte) error {
 	s.touch()
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -950,16 +1003,81 @@ func (s *Session) RestoreLane(lane int, data []byte) error {
 	if s.failed != nil {
 		return s.failed
 	}
+	if s.gang == nil && lane != 0 {
+		return fmt.Errorf("server: session %s is scalar; lane %d does not exist", s.ID, lane)
+	}
+	if len(vcdPrefix) > 0 && (s.pendingTrace == nil || lane >= len(s.pendingTrace) || !s.pendingTrace[lane]) {
+		return fmt.Errorf("server: lane %d is not awaiting a trace resume (create the session with trace_resume and trace_lanes)", lane)
+	}
+	// Decode once so the restored state image is in hand for the resume
+	// tracer's diff base; the blob's design hash is validated against this
+	// session's compiled program exactly as snapshot.Restore would.
+	st, err := snapshot.Decode(data, s.Design.Prog)
+	if err != nil {
+		return err
+	}
 	// steps/stepTime keep counting only cycles this session stepped itself —
 	// a restored snapshot's history was simulated elsewhere, and folding it
 	// in would corrupt Throughput.
 	if s.gang != nil {
-		return snapshot.RestoreLane(s.gang, lane, data)
+		if err := s.gang.RestoreLane(lane, st); err != nil {
+			return err
+		}
+		// The gang's lockstep counter is wall-clock-like (Step calls issued);
+		// re-anchor it so a migrated gang reports cycle continuity instead of
+		// restarting from zero on its new home.
+		if st.Stats.Cycles > s.gang.Cycles() {
+			s.gang.SetCycles(st.Stats.Cycles)
+		}
+	} else {
+		sn, ok := s.sim.(engine.Snapshotter)
+		if !ok {
+			return snapshot.ErrNotSnapshotter
+		}
+		if err := sn.RestoreState(st); err != nil {
+			return err
+		}
 	}
-	if lane != 0 {
-		return fmt.Errorf("server: session %s is scalar; lane %d does not exist", s.ID, lane)
+	if s.pendingTrace != nil && lane < len(s.pendingTrace) && s.pendingTrace[lane] {
+		if err := s.armResumeTrace(lane, st, vcdPrefix); err != nil {
+			return err
+		}
+		s.pendingTrace[lane] = false
 	}
-	return snapshot.Restore(s.sim, data)
+	return nil
+}
+
+// armResumeTrace attaches a resume-mode tracer to a TraceResume lane after
+// its first restore: the capture buffer is seeded with the pre-handoff
+// waveform bytes, the diff base with the restored state, and the timestamp
+// with the restored cycle — the continuation appends byte-identically to the
+// prefix.
+func (s *Session) armResumeTrace(lane int, st *engine.SimState, prefix []byte) error {
+	sink := &capWriter{limit: maxTraceBytesPerLane}
+	if len(prefix) > 0 {
+		_, _ = sink.Write(prefix)
+	}
+	v, err := trace.NewVCD(sink, s.Design.Prog, nil, trace.Options{
+		Sync:   true,
+		Resume: &trace.Resume{Time: st.Stats.Cycles, State: st.State},
+	})
+	if err != nil {
+		return err
+	}
+	if s.gang != nil {
+		s.gang.AttachLaneTracer(lane, v)
+	} else {
+		at, ok := s.sim.(interface{ AttachTracer(engine.Tracer) })
+		if !ok {
+			return fmt.Errorf("server: engine does not support tracing")
+		}
+		at.AttachTracer(v)
+	}
+	if s.laneVCD == nil {
+		s.laneVCD = make([]*laneTrace, s.lanes)
+	}
+	s.laneVCD[lane] = &laneTrace{sink: sink, vcd: v}
+	return nil
 }
 
 // Failed returns the poisoning error, or nil while the session is healthy.
@@ -1019,6 +1137,8 @@ func (s *Session) LaneInfos() ([]LaneInfo, error) {
 		if s.laneVCD != nil && s.laneVCD[l] != nil {
 			infos[l].Traced = true
 			infos[l].TraceTruncated = s.laneVCD[l].sink.truncated
+		} else if s.pendingTrace != nil && s.pendingTrace[l] {
+			infos[l].Traced = true // armed on first restore (TraceResume)
 		}
 	}
 	return infos, nil
