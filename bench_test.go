@@ -30,6 +30,7 @@ import (
 	"gsim/internal/gen"
 	"gsim/internal/harness"
 	"gsim/internal/ir"
+	"gsim/internal/obs"
 	"gsim/internal/partition"
 	"gsim/internal/rv"
 	"gsim/internal/server"
@@ -357,6 +358,51 @@ func BenchmarkTable4(b *testing.B) {
 				b.ReportMetric(float64(data), "dataB")
 			})
 		}
+	}
+}
+
+// BenchmarkMetricsOverhead pins the observability tax on the step hot loop:
+// the same compiled design stepped bare and with an engine metrics bundle
+// attached (stats deltas fold into process counters on the amortized flush
+// schedule). The bench gate holds the instrumented row's regression bound,
+// and the issue's acceptance bar is <2% between the two rows. The
+// rocket-scale profile keeps each run long enough for the fixed-benchtime
+// CI gate to resolve percent-level deltas.
+func BenchmarkMetricsOverhead(b *testing.B) {
+	d := harness.Synthetic(gen.RocketLike())
+	g, _, err := d.Build(harness.WorkloadCoreMark)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, instrumented := range []bool{false, true} {
+		name := "bare"
+		if instrumented {
+			name = "instrumented"
+		}
+		b.Run(name, func(b *testing.B) {
+			sys, err := core.Build(g, core.GSIM())
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer sys.Close()
+			if instrumented {
+				em := engine.NewMetrics(obs.NewRegistry())
+				a, ok := sys.Sim.(interface{ AttachObs(*engine.Metrics) })
+				if !ok {
+					b.Fatalf("%T does not support AttachObs", sys.Sim)
+				}
+				a.AttachObs(em)
+			}
+			for c := 0; c < 20; c++ {
+				sys.Sim.Step()
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sys.Sim.Step()
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N), "ns/cycle")
+		})
 	}
 }
 

@@ -5,10 +5,18 @@
 // paper's T = ((E+Asucc)*af + Aexam)*N.
 //
 //	go run ./cmd/gsim-diag [rocket|boom|xiangshan]
+//
+// Live mode inspects a running service instead: -live scrapes a gsim-serve
+// (or gsim-router) /metrics endpoint twice, -interval apart, and renders the
+// deltas as rates — simulation kHz per session, compile-cache hit rate, and
+// op/migration latency quantiles estimated from the histogram buckets.
+//
+//	go run ./cmd/gsim-diag -live http://127.0.0.1:8080 [-interval 2s]
 package main
 
 import (
 	"context"
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -30,9 +38,20 @@ import (
 )
 
 func main() {
+	live := flag.String("live", "", "base URL of a running gsim-serve/gsim-router; scrape its /metrics twice and render rates instead of the synthetic suite")
+	interval := flag.Duration("interval", 2*time.Second, "gap between the two -live scrapes")
+	flag.Parse()
+	if *live != "" {
+		if err := runLive(os.Stdout, *live, *interval); err != nil {
+			fmt.Fprintln(os.Stderr, "gsim-diag:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	prof := gen.StuCoreLike()
-	if len(os.Args) > 1 {
-		switch os.Args[1] {
+	if flag.NArg() > 0 {
+		switch flag.Arg(0) {
 		case "rocket":
 			prof = gen.RocketLike()
 		case "boom":
@@ -172,10 +191,10 @@ func main() {
 			}
 			sess = append(sess, s)
 		}
-		hits, misses, designs := mgr.CacheStats()
+		cs := mgr.CacheStats()
 		fmt.Printf("compile-cache    sessions=%d designs=%d hits=%d misses=%d hitrate=%.1f%% compile=%v\n",
-			mgr.SessionCount(), designs, hits, misses,
-			100*float64(hits)/float64(hits+misses), sess[0].Design.CompileTime.Round(1000))
+			mgr.SessionCount(), cs.Designs, cs.Hits, cs.Misses,
+			100*float64(cs.Hits)/float64(cs.Hits+cs.Misses), sess[0].Design.CompileTime.Round(1000))
 		n := 400
 		for _, s := range sess {
 			if _, err := s.Apply(context.Background(), []server.Op{{Op: "step", N: n}}); err != nil {

@@ -11,6 +11,7 @@
 //	            [-heartbeat-ttl 10s] [-probe-interval 2s] [-probe-fail-threshold 3]
 //	            [-migration-retries 4] [-retry-backoff 25ms]
 //	            [-snapshot-budget-mb 1024]
+//	            [-log-format text|json] [-log-level debug|info|warn|error] [-pprof]
 //
 // Replicas join with gsim-serve's -router/-advertise flags (they register
 // and heartbeat themselves); nothing is configured on the router ahead of
@@ -26,6 +27,7 @@
 //	POST /fleet/replicas/{name}/drain     migrate every session off, exclude from placement
 //	GET  /fleet                           topology: replicas, states, session counts
 //	GET  /v1/stats                        fleet-aggregate + per-replica stats
+//	GET  /metrics                         Prometheus text exposition (fleet layer)
 //	GET  /healthz, /readyz                router liveness; ready = ≥1 ready replica
 //
 // Migration semantics: draining a replica snapshots each of its sessions
@@ -41,13 +43,28 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"gsim/internal/fleet"
+	"gsim/internal/obs"
 )
+
+// withPprof mounts the net/http/pprof profiling handlers beside the API
+// (mirrors gsim-serve's -pprof).
+func withPprof(api http.Handler) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/", api)
+	return mux
+}
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8081", "listen address (use :0 for an ephemeral port)")
@@ -57,6 +74,9 @@ func main() {
 	migrationRetries := flag.Int("migration-retries", 4, "alternate targets a migration tries before giving up")
 	retryBackoff := flag.Duration("retry-backoff", 25*time.Millisecond, "base backoff between migration retries (doubled per attempt)")
 	snapshotBudgetMB := flag.Int64("snapshot-budget-mb", 1024, "byte budget of the content-addressed snapshot handoff store, MiB")
+	logFormat := flag.String("log-format", "text", "structured log encoding: text or json")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, or error")
+	enablePprof := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	flag.Parse()
 
 	rt := fleet.NewRouter(fleet.Config{
@@ -68,6 +88,9 @@ func main() {
 		SnapshotBudget:     *snapshotBudgetMB << 20,
 	})
 	defer rt.Close()
+	rt.SetLogger(obs.NewLogger(os.Stderr, *logFormat, *logLevel))
+	rt.InitObs(obs.Default)
+	obs.RegisterProcessMetrics(obs.Default)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -78,8 +101,12 @@ func main() {
 	// with -addr 127.0.0.1:0 and scrapes the port.
 	fmt.Printf("gsim-router listening on http://%s\n", ln.Addr())
 
+	handler := rt.Handler()
+	if *enablePprof {
+		handler = withPprof(handler)
+	}
 	srv := &http.Server{
-		Handler:           rt.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 		IdleTimeout:       2 * time.Minute,
 	}

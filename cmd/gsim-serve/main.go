@@ -11,6 +11,7 @@
 //	           [-max-body-bytes N]
 //	           [-read-header-timeout D] [-read-timeout D] [-http-idle-timeout D]
 //	           [-router URL] [-advertise URL] [-name NAME]
+//	           [-log-format text|json] [-log-level debug|info|warn|error] [-pprof]
 //
 // API (JSON; see internal/server):
 //
@@ -28,6 +29,7 @@
 //	POST   /v1/sessions/{id}/restore  {"snapshot": "<base64>"} (?lane=N on gangs)
 //	DELETE /v1/sessions/{id}          close a session
 //	GET    /v1/stats                  sessions, designs, cache + admission counters
+//	GET    /metrics                   Prometheus text exposition (all layers)
 //	GET    /healthz                   liveness
 //	GET    /readyz                    readiness (503 the moment a drain begins)
 //	POST   /admin/drain               begin a migration-window drain (refuse new
@@ -59,14 +61,30 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"gsim/internal/fleet"
+	"gsim/internal/obs"
 	"gsim/internal/server"
 )
+
+// withPprof mounts the net/http/pprof profiling handlers beside the API.
+// Shared by gsim-serve and gsim-router (via a copy) so -pprof means the same
+// thing on both binaries.
+func withPprof(api http.Handler) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/", api)
+	return mux
+}
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address (use :0 for an ephemeral port)")
@@ -94,6 +112,11 @@ func main() {
 	routerURL := flag.String("router", "", "gsim-router base URL to register with (empty = standalone)")
 	advertise := flag.String("advertise", "", "base URL other processes reach this replica at (default http://<resolved addr>)")
 	name := flag.String("name", "", "replica name in the fleet registry (default the advertised address)")
+
+	// Observability: structured logging, Prometheus metrics, profiling.
+	logFormat := flag.String("log-format", "text", "structured log encoding: text or json")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, or error")
+	enablePprof := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	flag.Parse()
 
 	mgr := server.NewManagerLimits(server.Limits{
@@ -105,6 +128,10 @@ func main() {
 		CacheBudgetBytes: *cacheBudgetMB << 20,
 		MaxBodyBytes:     *maxBodyBytes,
 	})
+	mgr.SetLogger(obs.NewLogger(os.Stderr, *logFormat, *logLevel))
+	mgr.InitObs(obs.Default)
+	obs.RegisterProcessMetrics(obs.Default)
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gsim-serve:", err)
@@ -114,8 +141,12 @@ func main() {
 	// harness starts the binary with -addr 127.0.0.1:0 and scrapes the port.
 	fmt.Printf("gsim-serve listening on http://%s\n", ln.Addr())
 
+	handler := mgr.Handler()
+	if *enablePprof {
+		handler = withPprof(handler)
+	}
 	srv := &http.Server{
-		Handler:           mgr.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: *readHeaderTimeout,
 		ReadTimeout:       *readTimeout,
 		IdleTimeout:       *httpIdleTimeout,
@@ -174,8 +205,8 @@ func main() {
 			fmt.Fprintln(os.Stderr, "gsim-serve: shutdown:", err)
 		}
 		cancel()
-		hits, misses, designs := mgr.CacheStats()
-		fmt.Printf("gsim-serve: drained; compile cache served %d hits / %d misses over %d designs\n", hits, misses, designs)
+		cs := mgr.CacheStats()
+		fmt.Printf("gsim-serve: drained; compile cache served %d hits / %d misses over %d designs\n", cs.Hits, cs.Misses, cs.Designs)
 	case err := <-done:
 		if err != nil && err != http.ErrServerClosed {
 			fmt.Fprintln(os.Stderr, "gsim-serve:", err)

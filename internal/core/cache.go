@@ -184,6 +184,7 @@ type CompileCache struct {
 	hits      uint64
 	misses    uint64
 	evictions uint64
+	m         *CacheMetrics // nil = uninstrumented
 }
 
 type cacheEntry struct {
@@ -211,6 +212,26 @@ func (c *CompileCache) SetBudget(budget int64) {
 	defer c.mu.Unlock()
 	c.budget = budget
 	c.evictLocked()
+	c.syncGaugesLocked()
+}
+
+// SetObs attaches the metrics bundle; subsequent cache activity is credited
+// to it and the residency gauges snap to the current state.
+func (c *CompileCache) SetObs(m *CacheMetrics) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m = m
+	c.syncGaugesLocked()
+}
+
+// syncGaugesLocked mirrors the governance view into the gauges. Caller holds
+// c.mu.
+func (c *CompileCache) syncGaugesLocked() {
+	if c.m == nil {
+		return
+	}
+	c.m.ResidentBytes.Set(float64(c.used))
+	c.m.Designs.Set(float64(len(c.entries)))
 }
 
 // designCost is an entry's residency weight: the bytes that stay alive as
@@ -228,13 +249,20 @@ func designCost(d *CompiledDesign) int64 {
 // Failed compiles return the cached error and hold no reference.
 func (c *CompileCache) Get(key string, compile func() (*CompiledDesign, error)) (*CompiledDesign, bool, error) {
 	c.mu.Lock()
+	m := c.m
 	e, hit := c.entries[key]
 	if !hit {
 		e = &cacheEntry{}
 		c.entries[key] = e
 		c.misses++
+		if m != nil {
+			m.Misses.Inc()
+		}
 	} else {
 		c.hits++
+		if m != nil {
+			m.Hits.Inc()
+		}
 	}
 	e.refs++ // pin through the compile so a concurrent eviction can't drop it
 	c.seq++
@@ -242,7 +270,11 @@ func (c *CompileCache) Get(key string, compile func() (*CompiledDesign, error)) 
 	c.mu.Unlock()
 
 	e.once.Do(func() {
+		start := time.Now()
 		e.design, e.err = compile()
+		if m != nil {
+			m.CompileSeconds.Observe(time.Since(start).Seconds())
+		}
 	})
 
 	c.mu.Lock()
@@ -257,6 +289,7 @@ func (c *CompileCache) Get(key string, compile func() (*CompiledDesign, error)) 
 		c.used += e.cost
 	}
 	c.evictLocked()
+	c.syncGaugesLocked()
 	return e.design, hit, nil
 }
 
@@ -271,6 +304,7 @@ func (c *CompileCache) Release(key string) {
 	}
 	e.refs--
 	c.evictLocked()
+	c.syncGaugesLocked()
 }
 
 // evictLocked drops least-recently-used unreferenced entries until the
@@ -299,6 +333,9 @@ func (c *CompileCache) evictLocked() {
 		victim.evicted = true
 		c.used -= victim.cost
 		c.evictions++
+		if c.m != nil {
+			c.m.Evictions.Inc()
+		}
 	}
 }
 

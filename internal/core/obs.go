@@ -1,0 +1,32 @@
+package core
+
+import "gsim/internal/obs"
+
+// CacheMetrics is the compile-cache observability bundle: lookup traffic,
+// eviction pressure, residency, and the compile-duration histogram. Attach
+// to a CompileCache with SetObs.
+type CacheMetrics struct {
+	Hits      *obs.Counter
+	Misses    *obs.Counter
+	Evictions *obs.Counter
+	// ResidentBytes / Designs mirror the cache's governance view on every
+	// mutation, so /metrics needs no lock acquisition at scrape time.
+	ResidentBytes *obs.Gauge
+	Designs       *obs.Gauge
+	// CompileSeconds observes each actual compile (singleflight winners
+	// only — hits and blocked waiters don't re-observe).
+	CompileSeconds *obs.Histogram
+}
+
+// NewCacheMetrics registers the compile-cache metric family in r
+// (idempotent).
+func NewCacheMetrics(r *obs.Registry) *CacheMetrics {
+	return &CacheMetrics{
+		Hits:           r.Counter("gsim_compile_cache_hits_total", "Compile-cache lookups that found an existing entry."),
+		Misses:         r.Counter("gsim_compile_cache_misses_total", "Compile-cache lookups that created the entry and ran the compile."),
+		Evictions:      r.Counter("gsim_compile_cache_evictions_total", "Compiled designs evicted under the byte budget."),
+		ResidentBytes:  r.Gauge("gsim_compile_cache_resident_bytes", "Accounted bytes of resident compiled designs."),
+		Designs:        r.Gauge("gsim_compile_cache_designs", "Cached designs (including failed compiles)."),
+		CompileSeconds: r.Histogram("gsim_compile_duration_seconds", "Wall time of each design compile.", nil),
+	}
+}

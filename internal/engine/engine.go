@@ -92,6 +92,14 @@ type base struct {
 	resets []resetGroup
 	tracer Tracer
 	stats  Stats
+
+	// Observability plumbing (see obs.go): the attached process-wide bundle,
+	// the stats image as of the last flush, and the barrier-schedule shape
+	// level-scheduled engines report.
+	obs           *Metrics
+	obsFlushed    Stats
+	obsLevels     int
+	obsOrigLevels int
 }
 
 // resetGroup is the set of registers sharing one extracted reset signal.
@@ -181,9 +189,11 @@ func (b *base) applyResets(onChange func(id int32)) {
 // block (EvaluableNodes is structural and survives). Engines layer their own
 // re-arming (active bits, pending lists) on top.
 func (b *base) resetBase() {
+	b.FlushObs() // bank progress earned since the last flush before zeroing
 	b.m.Reset()
 	b.m.Executed = 0
 	b.stats = Stats{EvaluableNodes: uint64(len(b.coded))}
+	b.obsFlushed = b.stats
 }
 
 // countInstrs retires n instructions into both the engine stats and the
@@ -201,12 +211,14 @@ func (b *base) countInstrs(n uint64) {
 // into all four the same way.
 func (b *base) AttachTracer(t Tracer) { b.tracer = t }
 
-// sampleTrace feeds the attached tracer, if any. Engines call it as the last
-// action of Step, from serial coordinator context.
+// sampleTrace feeds the attached tracer, if any, and amortizes the metrics
+// flush. Engines call it as the last action of Step, from serial coordinator
+// context — the one hook every engine already has at end-of-cycle.
 func (b *base) sampleTrace() {
 	if b.tracer != nil {
 		b.tracer.Snapshot(b.m.State)
 	}
+	b.maybeFlushObs()
 }
 
 func (b *base) Peek(nodeID int) bitvec.BV            { return b.m.Peek(nodeID) }

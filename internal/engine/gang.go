@@ -44,6 +44,9 @@ type Gang struct {
 	laneExec  []uint64
 	tracers   []Tracer
 	view      []uint64 // scalar-image scratch for tracers and captures
+
+	obs        *Metrics // attached process-wide bundle (see obs.go)
+	obsFlushed Stats    // aggregate stats image as of the last flush
 }
 
 // NewGang builds a k-lane gang over a compiled program (1 <= k <=
@@ -164,6 +167,7 @@ func (g *Gang) StepLanes(mask uint64) {
 			t.Snapshot(g.view)
 		}
 	}
+	g.maybeFlushObs()
 }
 
 // commitRegs copies next values over current values on the stepped lanes.
@@ -315,15 +319,20 @@ func (g *Gang) AttachLaneTracer(lane int, t Tracer) {
 // without touching the others or the gang's liveness mask.
 func (g *Gang) ResetLane(lane int) {
 	g.checkLane(lane)
+	g.FlushObs() // bank earned progress before the aggregate moves backward
 	g.gm.ResetLane(lane)
 	g.laneStats[lane] = Stats{EvaluableNodes: uint64(g.nCoded)}
 	g.laneExec[lane] = 0
 	g.recountExecuted()
+	if g.obs != nil {
+		g.obsFlushed = g.AggregateStats()
+	}
 }
 
 // Reset restores every lane to power-on state and re-arms all lanes live —
 // indistinguishable from a fresh NewGang of the same shape.
 func (g *Gang) Reset() {
+	g.FlushObs()
 	g.gm.Reset()
 	for l := range g.laneStats {
 		g.laneStats[l] = Stats{EvaluableNodes: uint64(g.nCoded)}
@@ -331,6 +340,9 @@ func (g *Gang) Reset() {
 	}
 	g.live = g.full
 	g.steps = 0
+	if g.obs != nil {
+		g.obsFlushed = g.AggregateStats()
+	}
 }
 
 // Close releases engine resources — a no-op for the serial gang, present for
@@ -385,6 +397,11 @@ func (g *Gang) RestoreLane(lane int, s *SimState) error {
 	g.laneStats[lane] = s.Stats
 	g.laneStats[lane].EvaluableNodes = uint64(g.nCoded) // engine-derived, same design => same value
 	g.recountExecuted()
+	if g.obs != nil {
+		// Restored history is not newly simulated work: re-baseline so the
+		// jump (forward or backward) never reaches the process counters.
+		g.obsFlushed = g.AggregateStats()
+	}
 	return nil
 }
 

@@ -89,6 +89,8 @@ func NewParallel(p *emit.Program, byLevel [][]int32, threads int, mode EvalMode)
 		}
 	}
 	e.pool = newWorkerPool(threads, len(e.chunks), e.runLevel)
+	e.obsLevels = len(e.chunks)
+	e.obsOrigLevels = len(e.chunks)
 	return e
 }
 

@@ -145,6 +145,8 @@ func NewParallelActivity(p *emit.Program, part *partition.Result, cfg ActivityCo
 		func(id int32) int64 { return int64(p.Code[id].Len()) },
 		partition.CoarsenOptions{Enable: cfg.Coarsen, Grain: cfg.CoarsenGrain})
 	e.levels = e.shard.Levels
+	e.obsLevels = e.shard.Levels
+	e.obsOrigLevels = e.shard.OrigLevels
 	e.activationPlan = buildActivationPlan(p, part, cfg, e.resets)
 
 	// Slot layout: shard-major, level-minor, each chunk padded to whole

@@ -81,8 +81,12 @@ func (b *base) restoreBase(s *SimState) error {
 		copy(b.m.Mems[i], s.Mems[i])
 	}
 	b.m.Executed = s.Executed
+	b.FlushObs() // bank progress earned before the counters are overwritten
 	b.stats = s.Stats
 	b.stats.EvaluableNodes = uint64(len(b.coded)) // engine-derived, same design => same value
+	// Restored history is not newly simulated work: re-baseline so the jump
+	// (forward or backward) never reaches the process counters.
+	b.obsFlushed = b.stats
 	return nil
 }
 

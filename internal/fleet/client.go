@@ -16,8 +16,9 @@ import (
 // replicaClient is a typed client for the slice of the gsim-serve API the
 // migration orchestrator drives directly (everything else is proxied raw).
 type replicaClient struct {
-	base string // replica base URL
-	http *http.Client
+	base  string // replica base URL
+	http  *http.Client
+	reqID string // correlation ID stamped on outgoing requests ("" = none)
 }
 
 // statusError carries the replica's HTTP status so callers can distinguish
@@ -50,7 +51,12 @@ func (c *replicaClient) postJSON(path string, body, out any) error {
 	if err := json.NewEncoder(&buf).Encode(body); err != nil {
 		return err
 	}
-	resp, err := c.http.Post(c.base+path, "application/json", &buf)
+	req, err := http.NewRequest(http.MethodPost, c.base+path, &buf)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.do(req)
 	if err != nil {
 		return err
 	}
@@ -58,11 +64,23 @@ func (c *replicaClient) postJSON(path string, body, out any) error {
 }
 
 func (c *replicaClient) getJSON(path string, out any) error {
-	resp, err := c.http.Get(c.base + path)
+	req, err := http.NewRequest(http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.do(req)
 	if err != nil {
 		return err
 	}
 	return decodeResponse(resp, out)
+}
+
+// do stamps the correlation ID (when the client carries one) and sends.
+func (c *replicaClient) do(req *http.Request) (*http.Response, error) {
+	if c.reqID != "" {
+		req.Header.Set(server.RequestIDHeader, c.reqID)
+	}
+	return c.http.Do(req)
 }
 
 func decodeResponse(resp *http.Response, out any) error {
@@ -137,7 +155,7 @@ func (c *replicaClient) deleteSession(id string) error {
 	if err != nil {
 		return err
 	}
-	resp, err := c.http.Do(req)
+	resp, err := c.do(req)
 	if err != nil {
 		return err
 	}

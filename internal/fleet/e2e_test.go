@@ -204,7 +204,9 @@ func (p *procTail) waitExit() error {
 // the process already exited.
 func startProcTail(t *testing.T, bin string, args ...string) (url string, tail *procTail, kill func()) {
 	t.Helper()
-	cmd := exec.Command(bin, args...)
+	// Warn-level logging keeps the forwarded stderr quiet in healthy runs
+	// while still surfacing drain/migration failures.
+	cmd := exec.Command(bin, append([]string{"-log-level", "warn"}, args...)...)
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {
 		t.Fatal(err)

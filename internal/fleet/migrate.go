@@ -34,14 +34,20 @@ func (rt *Router) DrainReplica(name string) (migrated int, failed []string, err 
 	// draining (SIGTERM path) or unreachable (dead path) changes nothing.
 	_ = rt.clientFor(repCopy).beginDrain()
 
+	rt.log().Info("drain started", "replica", name, "sessions", len(victims))
 	for _, fs := range victims {
 		if merr := rt.migrateSession(fs, name); merr != nil {
 			rt.migrateFail.Add(1)
+			if rm := rt.Metrics(); rm != nil {
+				rm.MigrationsFailed.Inc()
+			}
+			rt.log().Error("migration failed", "session", fs.id, "from", name, "error", merr)
 			failed = append(failed, fs.id)
 			continue
 		}
 		migrated++
 	}
+	rt.log().Info("drain finished", "replica", name, "migrated", migrated, "failed", len(failed))
 	return migrated, failed, nil
 }
 
@@ -63,6 +69,7 @@ func (rt *Router) migrateSession(fs *fleetSession, fromReplica string) error {
 	if fs.closed || fs.replica != fromReplica {
 		return nil // closed or already moved by a concurrent pass
 	}
+	moveStart := time.Now()
 	oldRep, ok := rt.replicaByName(fromReplica)
 	if !ok {
 		return fmt.Errorf("fleet: replica %s vanished", fromReplica)
@@ -153,6 +160,23 @@ func (rt *Router) migrateSession(fs *fleetSession, fromReplica string) error {
 		fs.designHash = created.DesignHash
 		_ = oldC.deleteSession(oldBackend)
 		rt.migrated.Add(1)
+		var moved uint64
+		for _, b := range blobs {
+			moved += uint64(len(b))
+		}
+		for _, p := range prefixes {
+			moved += uint64(len(p))
+		}
+		elapsed := time.Since(moveStart)
+		if rm := rt.Metrics(); rm != nil {
+			rm.MigrationsOK.Inc()
+			rm.MigrationSeconds.Observe(elapsed.Seconds())
+			rm.MigrationBytes.Add(moved)
+		}
+		rt.log().Info("session migrated",
+			"session", fs.id, "from", fromReplica, "to", newRep.Name,
+			"lanes", len(infos), "bytes", moved,
+			"duration_ms", float64(elapsed.Microseconds())/1000)
 		return nil
 	}
 	return fmt.Errorf("fleet: migrate %s off %s: no target after %d attempts: %v",

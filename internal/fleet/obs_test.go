@@ -1,0 +1,157 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"sync"
+	"testing"
+	"time"
+
+	"gsim/internal/obs"
+	"gsim/internal/server"
+)
+
+// jsonBody encodes v for requests that need explicit headers (doJSON owns
+// the plain-JSON path).
+func jsonBody(t *testing.T, v any) *bytes.Buffer {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(v); err != nil {
+		t.Fatal(err)
+	}
+	return &buf
+}
+
+// TestMetricNameLint instantiates every metric bundle in the codebase —
+// server (which pulls in engine, trace, and compile cache), fleet (which
+// pulls in the snapshot store), and process — against one registry and walks
+// the registered names: everything must match the gsim_ naming convention,
+// and the combined surface must clear the fleet-wide breadth bar.
+func TestMetricNameLint(t *testing.T) {
+	reg := obs.NewRegistry()
+
+	mgr := server.NewManager()
+	defer mgr.Drain(context.Background())
+	mgr.InitObs(reg)
+
+	rt := NewRouter(Config{})
+	defer rt.Close()
+	rt.InitObs(reg)
+
+	obs.RegisterProcessMetrics(reg)
+
+	nameRE := regexp.MustCompile(`^gsim_[a-z0-9_]+$`)
+	names := reg.Names()
+	for _, n := range names {
+		if !nameRE.MatchString(n) {
+			t.Errorf("metric %q violates the gsim_[a-z0-9_]+ naming convention", n)
+		}
+	}
+	if len(names) < 25 {
+		t.Errorf("registry holds %d metric families, want >= 25 across all layers", len(names))
+	}
+}
+
+// TestRouterMetricsAndRequestID checks the router half of the observability
+// surface over real HTTP: the router's /metrics reflects membership, routed
+// sessions, and placement traffic; a caller-supplied X-Gsim-Request-ID rides
+// the proxied request all the way to the replica and comes back on the
+// response; and header-less requests get router-generated IDs that propagate
+// the same way.
+func TestRouterMetricsAndRequestID(t *testing.T) {
+	mgr := server.NewManager()
+	defer mgr.Drain(context.Background())
+	inner := mgr.Handler()
+
+	// Wrap the replica to record the request ID each proxied call arrives
+	// with (the create below is the only traffic, so a plain mutex is ample).
+	var mu sync.Mutex
+	var seenIDs []string
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		seenIDs = append(seenIDs, r.Header.Get(server.RequestIDHeader))
+		mu.Unlock()
+		inner.ServeHTTP(w, r)
+	}))
+	defer ts.Close()
+
+	rt := NewRouter(Config{RetryBackoff: time.Millisecond})
+	defer rt.Close()
+	reg := obs.NewRegistry()
+	rt.InitObs(reg)
+	rt.Register("a", ts.URL)
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	src := readDesign(t, "counter.fir")
+	req, err := http.NewRequest("POST", front.URL+"/v1/sessions",
+		jsonBody(t, server.CreateRequest{FIRRTL: src}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(server.RequestIDHeader, "fleet-trace-7")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("routed create: status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get(server.RequestIDHeader); got != "fleet-trace-7" {
+		t.Errorf("request ID came back as %q, want fleet-trace-7", got)
+	}
+	mu.Lock()
+	forwarded := append([]string(nil), seenIDs...)
+	mu.Unlock()
+	if len(forwarded) == 0 || forwarded[len(forwarded)-1] != "fleet-trace-7" {
+		t.Errorf("replica saw request IDs %v, want the caller's fleet-trace-7 last", forwarded)
+	}
+
+	// Header-less requests get a router-generated ID, also propagated.
+	resp2, err := http.Get(front.URL + "/fleet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.Header.Get(server.RequestIDHeader) == "" {
+		t.Error("no generated request ID on a header-less routed request")
+	}
+
+	// The fleet families must reflect what just happened.
+	mresp, err := http.Get(front.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	sc, err := obs.ParseText(mresp.Body)
+	if err != nil {
+		t.Fatalf("parsing router /metrics: %v", err)
+	}
+	for _, c := range []struct {
+		name string
+		min  float64
+	}{
+		{"gsim_fleet_replicas", 1},
+		{"gsim_fleet_replicas_ready", 1},
+		{"gsim_fleet_sessions", 1},
+		{"gsim_fleet_placement_lookups_total", 1},
+	} {
+		v, ok := sc.Value(c.name)
+		if !ok || v < c.min {
+			t.Errorf("%s = %v (present=%v), want >= %v", c.name, v, ok, c.min)
+		}
+	}
+	// Registered-but-idle families still expose their zero series.
+	if _, ok := sc.Value("gsim_snapshot_store_puts_total"); !ok {
+		t.Error("snapshot store family missing from router /metrics")
+	}
+	if _, ok := sc.Value("gsim_fleet_migrations_total", "outcome", "success"); !ok {
+		t.Error("migration outcome series missing from router /metrics")
+	}
+}

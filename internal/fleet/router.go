@@ -7,13 +7,16 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"gsim/internal/obs"
 	"gsim/internal/server"
 	"gsim/internal/snapshot"
 )
@@ -98,6 +101,8 @@ type Router struct {
 	ring     *Ring
 	sessions map[string]*fleetSession
 	nextID   uint64
+	metrics  *RouterMetrics // nil until InitObs
+	logger   *slog.Logger   // never nil (obs.NopLogger default)
 
 	migrated    atomic.Uint64 // sessions successfully migrated
 	migrateFail atomic.Uint64 // sessions whose migration failed
@@ -137,6 +142,7 @@ func NewRouter(cfg Config) *Router {
 		replicas: make(map[string]*Replica),
 		ring:     BuildRing(nil, cfg.Vnodes),
 		sessions: make(map[string]*fleetSession),
+		logger:   obs.NopLogger(),
 		stop:     make(chan struct{}),
 	}
 	if cfg.ProbeInterval > 0 {
@@ -184,6 +190,7 @@ func (rt *Router) Register(name, url string) {
 		orphans = rt.sessionsOnLocked(name)
 	}
 	rt.mu.Unlock()
+	rt.log().Info("replica registered", "replica", name, "url", url, "new_process", newProcess)
 	for _, fs := range orphans {
 		rt.dropSession(fs, "home replica restarted")
 	}
@@ -220,7 +227,10 @@ func (rt *Router) dropSession(fs *fleetSession, reason string) {
 	rt.mu.Unlock()
 	rt.store.Unpin(fs.sourceKey)
 	rt.lost.Add(1)
-	_ = reason
+	if rm := rt.Metrics(); rm != nil {
+		rm.SessionsLost.Inc()
+	}
+	rt.log().Warn("session lost", "session", fs.id, "reason", reason)
 }
 
 // pickReplica resolves the placement for key among ready replicas, skipping
@@ -228,6 +238,9 @@ func (rt *Router) dropSession(fs *fleetSession, reason string) {
 func (rt *Router) pickReplica(key string, exclude map[string]bool) (Replica, bool) {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
+	if rt.metrics != nil {
+		rt.metrics.PlacementLookups.Inc()
+	}
 	name, ok := rt.ring.Lookup(key, func(n string) bool {
 		if exclude[n] {
 			return true
@@ -243,6 +256,15 @@ func (rt *Router) pickReplica(key string, exclude map[string]bool) (Replica, boo
 
 func (rt *Router) clientFor(r Replica) *replicaClient {
 	return &replicaClient{base: r.URL, http: rt.cfg.HTTPClient}
+}
+
+// clientForReq is clientFor carrying the inbound request's correlation ID,
+// so replica calls made on behalf of req (session creates, closes) appear in
+// the replica's access log under the same ID as the routed request itself.
+func (rt *Router) clientForReq(r Replica, req *http.Request) *replicaClient {
+	c := rt.clientFor(r)
+	c.reqID = req.Header.Get(server.RequestIDHeader)
+	return c
 }
 
 // Handler returns the router's HTTP API: the full /v1 surface (proxied), the
@@ -266,7 +288,61 @@ func (rt *Router) Handler() http.Handler {
 	mux.HandleFunc("POST /fleet/replicas/{name}/heartbeat", rt.handleHeartbeat)
 	mux.HandleFunc("POST /fleet/replicas/{name}/drain", rt.handleDrainReplica)
 	mux.HandleFunc("GET /fleet", rt.handleFleet)
-	return mux
+	mux.HandleFunc("GET /metrics", rt.handleMetrics)
+	return rt.withObs(mux)
+}
+
+// handleMetrics serves the registry wired by InitObs; 404 until then.
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	rm := rt.Metrics()
+	if rm == nil {
+		http.NotFound(w, r)
+		return
+	}
+	rm.Registry().Handler().ServeHTTP(w, r)
+}
+
+// routerReqSeq numbers request IDs the router originates.
+var routerReqSeq atomic.Uint64
+
+// routerStatusWriter records the status written to a routed response.
+type routerStatusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sw *routerStatusWriter) WriteHeader(code int) {
+	sw.status = code
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+// withObs assigns each request its fleet-wide correlation ID (stamped into
+// the request headers so forward propagates it to the replica), echoes it on
+// the response, and emits one access-log line. Heartbeats are logged at
+// Debug — they arrive every couple of seconds per replica and would bury
+// real events at Info.
+func (rt *Router) withObs(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get(server.RequestIDHeader)
+		if id == "" {
+			id = "r" + strconv.FormatUint(routerReqSeq.Add(1), 10)
+			r.Header.Set(server.RequestIDHeader, id)
+		}
+		w.Header().Set(server.RequestIDHeader, id)
+		sw := &routerStatusWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		logf := rt.log().Info
+		if strings.HasSuffix(r.URL.Path, "/heartbeat") {
+			logf = rt.log().Debug
+		}
+		logf("http request",
+			"request_id", id,
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", sw.status,
+			"duration_ms", float64(time.Since(start).Microseconds())/1000)
+	})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -311,7 +387,7 @@ func (rt *Router) handleCreate(w http.ResponseWriter, r *http.Request) {
 				fmt.Errorf("fleet: no ready replica for placement (last error: %v)", lastErr))
 			return
 		}
-		resp, err := rt.clientFor(rep).create(req)
+		resp, err := rt.clientForReq(rep, r).create(req)
 		if err != nil {
 			lastErr = err
 			if retryableStatus(err) {
@@ -399,7 +475,16 @@ func (rt *Router) forward(w http.ResponseWriter, r *http.Request, rep Replica, b
 		return
 	}
 	req.Header.Set("Content-Type", r.Header.Get("Content-Type"))
+	// The correlation ID follows the request onto the replica, so one ID
+	// stitches the router and replica access logs together.
+	if id := r.Header.Get(server.RequestIDHeader); id != "" {
+		req.Header.Set(server.RequestIDHeader, id)
+	}
+	start := time.Now()
 	resp, err := rt.cfg.HTTPClient.Do(req)
+	if rm := rt.Metrics(); rm != nil {
+		rm.ProxyLatency.Observe(time.Since(start).Seconds())
+	}
 	if err != nil {
 		writeError(w, http.StatusBadGateway, fmt.Errorf("replica %s: %v", rep.Name, err))
 		return
@@ -448,7 +533,7 @@ func (rt *Router) handleClose(w http.ResponseWriter, r *http.Request) {
 		rt.store.Unpin(fs.sourceKey)
 		if repOK {
 			// Best-effort: a dead home means the backend session died with it.
-			_ = rt.clientFor(rep).deleteSession(backendID)
+			_ = rt.clientForReq(rep, r).deleteSession(backendID)
 		}
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"closed": fs.id})
@@ -718,12 +803,16 @@ func (rt *Router) CheckHealth(now time.Time) {
 func (rt *Router) reapDeadReplica(name string) {
 	rt.mu.Lock()
 	rep, ok := rt.replicas[name]
-	if ok && rep.State != StateDead {
+	died := ok && rep.State != StateDead
+	if died {
 		rep.State = StateDead
 		rt.rebuildRingLocked()
 	}
 	orphans := rt.sessionsOnLocked(name)
 	rt.mu.Unlock()
+	if died {
+		rt.log().Warn("replica dead", "replica", name, "orphans", len(orphans))
+	}
 	for _, fs := range orphans {
 		rt.dropSession(fs, "home replica died")
 	}

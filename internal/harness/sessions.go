@@ -112,7 +112,8 @@ func SessionsSweep(designs []Design, counts []int, b Budget) ([]SessionsRow, err
 			}
 			agg := float64(n*cycles) / elapsed / 1000
 
-			hits, misses, _ := mgr.CacheStats()
+			cstats := mgr.CacheStats()
+			hits, misses := cstats.Hits, cstats.Misses
 			if err := mgr.Drain(context.Background()); err != nil {
 				return nil, err
 			}

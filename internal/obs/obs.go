@@ -1,0 +1,196 @@
+// Package obs is the repo's dependency-free observability kit: counters,
+// gauges, and histograms with lock-free atomic hot paths, a registry that
+// renders the Prometheus text exposition format (version 0.0.4), a parser for
+// that format (gsim-diag -live diffs two scrapes), and a slog construction
+// helper shared by the binaries.
+//
+// Design rules:
+//
+//   - Mutation is wait-free where possible: counters and histogram bucket
+//     increments are single atomic adds; float accumulation (gauge Add,
+//     histogram sums) is a CAS loop on the bit pattern. Nothing on a metric's
+//     write path takes a lock or allocates.
+//   - Every metric method is nil-receiver safe, so instrumentation can be
+//     threaded unconditionally through hot code and compiled out of the
+//     picture by simply not attaching a bundle (a nil check per call is the
+//     entire disabled-mode cost).
+//   - Registration is idempotent for an identical spec (same name, type,
+//     help, buckets, labels returns the same instance) and panics on a
+//     conflicting respec — silent double registration under one name with
+//     different meaning is a bug worth failing loudly on.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync/atomic"
+)
+
+// Label is one constant name=value pair attached to a metric series.
+type Label struct {
+	Key, Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(k, v string) Label { return Label{Key: k, Value: v} }
+
+// Counter is a monotonically increasing uint64.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (0 on a nil counter).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float64 that can go up and down. The value is stored as IEEE-754
+// bits in a uint64; Set is a single store, Add a CAS loop.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Add accumulates delta into the gauge.
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value (0 on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram counts observations into fixed upper-bound buckets and tracks the
+// running sum. Buckets are cumulative only at encode time; the hot path does
+// one atomic add into the owning bucket plus a CAS-loop float add for the sum.
+type Histogram struct {
+	uppers []float64 // sorted ascending; an implicit +Inf bucket follows
+	counts []atomic.Uint64
+	inf    atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+	count  atomic.Uint64
+}
+
+// DefBuckets spans microseconds to tens of seconds — wide enough for compile
+// times and narrow enough for per-op latencies.
+var DefBuckets = []float64{
+	1e-6, 1e-5, 1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 5e-2, 0.1, 0.5, 1, 5, 10, 30,
+}
+
+// Observe records one sample. A sample lands in the first bucket whose upper
+// bound is >= v (Prometheus le semantics).
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// Buckets are few (≤ ~20): a linear scan beats binary search in practice
+	// and keeps the path branch-predictable for the common small-value case.
+	idx := -1
+	for i, ub := range h.uppers {
+		if v <= ub {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		h.inf.Add(1)
+	} else {
+		h.counts[idx].Add(1)
+	}
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the running sum of observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// snapshot returns cumulative bucket counts aligned with uppers plus +Inf.
+func (h *Histogram) snapshot() (cum []uint64, sum float64, count uint64) {
+	cum = make([]uint64, len(h.uppers)+1)
+	var run uint64
+	for i := range h.uppers {
+		run += h.counts[i].Load()
+		cum[i] = run
+	}
+	cum[len(h.uppers)] = run + h.inf.Load()
+	return cum, h.Sum(), h.count.Load()
+}
+
+// labelSig renders labels in a canonical sorted form — both the series map
+// key and the exposition form.
+func labelSig(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		// Go %q escapes \n, \", and \\ exactly as the exposition format
+		// requires for label values.
+		fmt.Fprintf(&sb, "%s=%q", l.Key, l.Value)
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}

@@ -1,0 +1,271 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed exposition-format line: a metric name (histogram
+// expansions keep their _bucket/_sum/_count suffixes), its labels, and the
+// value. Scrape holds one scrape's worth.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Scrape indexes one /metrics payload for diffing.
+type Scrape struct {
+	Samples []Sample
+	byKey   map[string]float64
+}
+
+// key is the canonical sample identity: name plus sorted labels.
+func sampleKey(name string, labels map[string]string) string {
+	if len(labels) == 0 {
+		return name
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	sb.WriteString(name)
+	sb.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%s=%q", k, labels[k])
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// Value returns the sample value for name with exactly the given labels
+// (pass pairs as k1, v1, k2, v2, ...). ok reports presence.
+func (s *Scrape) Value(name string, kv ...string) (v float64, ok bool) {
+	labels := map[string]string{}
+	for i := 0; i+1 < len(kv); i += 2 {
+		labels[kv[i]] = kv[i+1]
+	}
+	v, ok = s.byKey[sampleKey(name, labels)]
+	return v, ok
+}
+
+// Matching returns every sample whose name matches exactly.
+func (s *Scrape) Matching(name string) []Sample {
+	var out []Sample
+	for _, sm := range s.Samples {
+		if sm.Name == name {
+			out = append(out, sm)
+		}
+	}
+	return out
+}
+
+// ParseText parses a Prometheus text-format payload (the subset this
+// package's encoder emits: comments, blank lines, and name{labels} value
+// lines — no timestamps, no escapes beyond \\, \", \n in label values).
+func ParseText(r io.Reader) (*Scrape, error) {
+	sc := &Scrape{byKey: map[string]float64{}}
+	br := bufio.NewScanner(r)
+	br.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for br.Scan() {
+		lineNo++
+		line := strings.TrimSpace(br.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		smp, err := parseLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("obs: parse line %d: %v", lineNo, err)
+		}
+		sc.Samples = append(sc.Samples, smp)
+		sc.byKey[sampleKey(smp.Name, smp.Labels)] = smp.Value
+	}
+	if err := br.Err(); err != nil {
+		return nil, err
+	}
+	return sc, nil
+}
+
+func parseLine(line string) (Sample, error) {
+	var smp Sample
+	rest := line
+	if i := strings.IndexAny(rest, "{ \t"); i < 0 {
+		return smp, fmt.Errorf("no value in %q", line)
+	} else {
+		smp.Name = rest[:i]
+		rest = rest[i:]
+	}
+	if strings.HasPrefix(rest, "{") {
+		end := strings.Index(rest, "}")
+		if end < 0 {
+			return smp, fmt.Errorf("unterminated label set in %q", line)
+		}
+		labels, err := parseLabels(rest[1:end])
+		if err != nil {
+			return smp, err
+		}
+		smp.Labels = labels
+		rest = rest[end+1:]
+	}
+	valStr := strings.TrimSpace(rest)
+	if valStr == "+Inf" || valStr == "Inf" {
+		smp.Value = inf()
+		return smp, nil
+	}
+	v, err := strconv.ParseFloat(valStr, 64)
+	if err != nil {
+		return smp, fmt.Errorf("bad value %q: %v", valStr, err)
+	}
+	smp.Value = v
+	return smp, nil
+}
+
+func inf() float64 {
+	v, _ := strconv.ParseFloat("+Inf", 64)
+	return v
+}
+
+func parseLabels(s string) (map[string]string, error) {
+	labels := map[string]string{}
+	for len(s) > 0 {
+		eq := strings.Index(s, "=")
+		if eq < 0 {
+			return nil, fmt.Errorf("bad label pair in %q", s)
+		}
+		key := strings.TrimSpace(s[:eq])
+		s = s[eq+1:]
+		if !strings.HasPrefix(s, `"`) {
+			return nil, fmt.Errorf("unquoted label value for %q", key)
+		}
+		// Scan to the closing quote, honoring backslash escapes.
+		var val strings.Builder
+		i := 1
+		for ; i < len(s); i++ {
+			c := s[i]
+			if c == '\\' && i+1 < len(s) {
+				i++
+				switch s[i] {
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					val.WriteByte(s[i])
+				}
+				continue
+			}
+			if c == '"' {
+				break
+			}
+			val.WriteByte(c)
+		}
+		if i >= len(s) {
+			return nil, fmt.Errorf("unterminated label value for %q", key)
+		}
+		labels[key] = val.String()
+		s = strings.TrimPrefix(strings.TrimSpace(s[i+1:]), ",")
+		s = strings.TrimSpace(s)
+	}
+	return labels, nil
+}
+
+// BucketDelta is one histogram bucket's upper bound and the count delta
+// between two scrapes (non-cumulative).
+type BucketDelta struct {
+	Upper float64 // +Inf for the overflow bucket
+	Count uint64
+}
+
+// HistogramDelta extracts the per-bucket observation deltas for histogram
+// name (optionally restricted to a label pair list) between scrapes a and b.
+// Returns nil if the histogram is absent from either scrape.
+func HistogramDelta(a, b *Scrape, name string, kv ...string) []BucketDelta {
+	want := map[string]string{}
+	for i := 0; i+1 < len(kv); i += 2 {
+		want[kv[i]] = kv[i+1]
+	}
+	collect := func(s *Scrape) map[float64]float64 {
+		out := map[float64]float64{}
+		for _, sm := range s.Matching(name + "_bucket") {
+			match := true
+			for k, v := range want {
+				if sm.Labels[k] != v {
+					match = false
+					break
+				}
+			}
+			if !match {
+				continue
+			}
+			le, err := strconv.ParseFloat(strings.Replace(sm.Labels["le"], "+Inf", "Inf", 1), 64)
+			if err != nil {
+				continue
+			}
+			out[le] += sm.Value
+		}
+		return out
+	}
+	ca, cb := collect(a), collect(b)
+	if len(ca) == 0 || len(cb) == 0 {
+		return nil
+	}
+	uppers := make([]float64, 0, len(cb))
+	for ub := range cb {
+		uppers = append(uppers, ub)
+	}
+	sort.Float64s(uppers)
+	out := make([]BucketDelta, len(uppers))
+	var prevA, prevB float64
+	for i, ub := range uppers {
+		da := ca[ub] - prevA
+		db := cb[ub] - prevB
+		prevA, prevB = ca[ub], cb[ub]
+		d := db - da
+		if d < 0 {
+			d = 0
+		}
+		out[i] = BucketDelta{Upper: ub, Count: uint64(d)}
+	}
+	return out
+}
+
+// Quantile estimates quantile q (0..1) from non-cumulative bucket deltas by
+// linear interpolation within the target bucket — the standard Prometheus
+// histogram_quantile estimate. Returns 0 when there are no observations.
+func Quantile(q float64, buckets []BucketDelta) float64 {
+	var total uint64
+	for _, b := range buckets {
+		total += b.Count
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var seen float64
+	lower := 0.0
+	for _, b := range buckets {
+		if seen+float64(b.Count) >= rank {
+			if b.Upper == inf() {
+				// Tail beyond the last finite bound: the lower edge is the
+				// best defensible estimate.
+				return lower
+			}
+			if b.Count == 0 {
+				return b.Upper
+			}
+			frac := (rank - seen) / float64(b.Count)
+			return lower + (b.Upper-lower)*frac
+		}
+		seen += float64(b.Count)
+		lower = b.Upper
+	}
+	return lower
+}

@@ -1,0 +1,20 @@
+package obs
+
+import "runtime"
+
+// RegisterProcessMetrics adds the Go-runtime gauges every gsim binary
+// exports: goroutine count and live heap bytes. GaugeFunc evaluation happens
+// at scrape time, so the values are current without a sampler goroutine.
+// ReadMemStats stops the world briefly; at scrape cadence (seconds) that is
+// noise, which is why these are scrape-time funcs rather than hot-path
+// counters. Idempotent per registry.
+func RegisterProcessMetrics(r *Registry) {
+	r.GaugeFunc("gsim_go_goroutines", "Live goroutines.", func() float64 {
+		return float64(runtime.NumGoroutine())
+	})
+	r.GaugeFunc("gsim_go_heap_alloc_bytes", "Bytes of allocated heap objects.", func() float64 {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return float64(ms.HeapAlloc)
+	})
+}

@@ -1,0 +1,300 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// metricKind discriminates what a family holds.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindGaugeFunc
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge, kindGaugeFunc:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// series is one (family, label-set) instance.
+type series struct {
+	sig    string // canonical sorted {k="v",...} form; "" for unlabeled
+	c      *Counter
+	g      *Gauge
+	fn     func() float64
+	h      *Histogram
+	labels []Label
+}
+
+// family groups every series registered under one metric name.
+type family struct {
+	name    string
+	help    string
+	kind    metricKind
+	buckets []float64 // histogram families only
+	series  map[string]*series
+}
+
+// Registry holds metric families and renders them in the Prometheus text
+// exposition format. A Registry may also have child registries attached
+// (per-component sub-registries); WriteTo gathers the whole tree.
+//
+// Registration is idempotent: asking for a series that already exists with an
+// identical spec returns the existing instance, so component bundles can be
+// constructed repeatedly against one process-global registry (every Manager,
+// Router, or test harness sharing it observes the same series). A respec —
+// same name with a different type, help string, or bucket layout — panics.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	children []*Registry
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+// Default is the process-global registry the binaries expose on /metrics.
+var Default = NewRegistry()
+
+// nameRE is the charset this repo enforces for metric names — deliberately
+// tighter than Prometheus' own grammar (TestMetricNameLint pins the gsim_
+// prefix on top of it).
+var nameRE = regexp.MustCompile(`^[a-z_][a-z0-9_]*$`)
+
+// Attach makes child a sub-registry: its families render inside r's output.
+// Binaries attach one child per component when they want per-component
+// scoping; most callers simply register into one registry directly.
+func (r *Registry) Attach(child *Registry) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.children = append(r.children, child)
+}
+
+// lookup finds or creates the (family, series) slot, enforcing spec
+// consistency. Caller does NOT hold r.mu.
+func (r *Registry) lookup(name, help string, kind metricKind, buckets []float64, labels []Label) *series {
+	if !nameRE.MatchString(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	sig := labelSig(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: kind, buckets: buckets, series: map[string]*series{}}
+		r.families[name] = f
+	} else {
+		if f.kind != kind || f.help != help || !equalBuckets(f.buckets, buckets) {
+			panic(fmt.Sprintf("obs: metric %q re-registered with a conflicting spec", name))
+		}
+	}
+	s, ok := f.series[sig]
+	if !ok {
+		s = &series{sig: sig, labels: append([]Label(nil), labels...)}
+		switch kind {
+		case kindCounter:
+			s.c = &Counter{}
+		case kindGauge:
+			s.g = &Gauge{}
+		case kindHistogram:
+			h := &Histogram{uppers: append([]float64(nil), buckets...)}
+			sort.Float64s(h.uppers)
+			h.counts = make([]atomic.Uint64, len(h.uppers))
+			s.h = h
+		}
+		f.series[sig] = s
+	}
+	return s
+}
+
+func equalBuckets(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Counter registers (or returns the existing) counter series.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	return r.lookup(name, help, kindCounter, nil, labels).c
+}
+
+// Gauge registers (or returns the existing) gauge series.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	return r.lookup(name, help, kindGauge, nil, labels).g
+}
+
+// GaugeFunc registers a gauge whose value is computed at scrape time. Re-
+// registering the same series replaces the callback (last writer wins), so a
+// restartable component can re-point the gauge at its live instance.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	s := r.lookup(name, help, kindGaugeFunc, nil, labels)
+	r.mu.Lock()
+	s.fn = fn
+	r.mu.Unlock()
+}
+
+// Histogram registers (or returns the existing) histogram series. A nil or
+// empty buckets slice selects DefBuckets.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
+	if len(buckets) == 0 {
+		buckets = DefBuckets
+	}
+	return r.lookup(name, help, kindHistogram, buckets, labels).h
+}
+
+// Names returns every registered family name in the registry tree, sorted.
+// The metric-name lint test walks this.
+func (r *Registry) Names() []string {
+	seen := map[string]bool{}
+	r.collectNames(seen)
+	out := make([]string, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (r *Registry) collectNames(seen map[string]bool) {
+	r.mu.Lock()
+	for n := range r.families {
+		seen[n] = true
+	}
+	children := append([]*Registry(nil), r.children...)
+	r.mu.Unlock()
+	for _, c := range children {
+		c.collectNames(seen)
+	}
+}
+
+// WriteTo renders the registry tree in the Prometheus text exposition format:
+// families sorted by name, series sorted by label signature, histograms as
+// cumulative _bucket/_sum/_count expansions.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	fams := map[string]*family{}
+	r.gather(fams)
+	names := make([]string, 0, len(fams))
+	for n := range fams {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	var sb strings.Builder
+	for _, name := range names {
+		f := fams[name]
+		fmt.Fprintf(&sb, "# HELP %s %s\n", f.name, strings.ReplaceAll(f.help, "\n", " "))
+		fmt.Fprintf(&sb, "# TYPE %s %s\n", f.name, f.kind)
+		sigs := make([]string, 0, len(f.series))
+		for sig := range f.series {
+			sigs = append(sigs, sig)
+		}
+		sort.Strings(sigs)
+		for _, sig := range sigs {
+			s := f.series[sig]
+			switch f.kind {
+			case kindCounter:
+				fmt.Fprintf(&sb, "%s%s %s\n", f.name, sig, fmtVal(float64(s.c.Value())))
+			case kindGauge:
+				fmt.Fprintf(&sb, "%s%s %s\n", f.name, sig, fmtVal(s.g.Value()))
+			case kindGaugeFunc:
+				var v float64
+				if s.fn != nil {
+					v = s.fn()
+				}
+				fmt.Fprintf(&sb, "%s%s %s\n", f.name, sig, fmtVal(v))
+			case kindHistogram:
+				cum, sum, count := s.h.snapshot()
+				for i, ub := range s.h.uppers {
+					fmt.Fprintf(&sb, "%s_bucket%s %d\n", f.name, withLE(sig, fmtVal(ub)), cum[i])
+				}
+				fmt.Fprintf(&sb, "%s_bucket%s %d\n", f.name, withLE(sig, "+Inf"), cum[len(s.h.uppers)])
+				fmt.Fprintf(&sb, "%s_sum%s %s\n", f.name, sig, fmtVal(sum))
+				fmt.Fprintf(&sb, "%s_count%s %d\n", f.name, sig, count)
+			}
+		}
+	}
+	n, err := io.WriteString(w, sb.String())
+	return int64(n), err
+}
+
+// gather merges the registry tree's families into fams. Two registries
+// contributing the same family name must agree on its spec; their series
+// merge (distinct label sets coexist, an identical label set panics — two
+// components are fighting over one series).
+func (r *Registry) gather(fams map[string]*family) {
+	r.mu.Lock()
+	for name, f := range r.families {
+		dst, ok := fams[name]
+		if !ok {
+			dst = &family{name: f.name, help: f.help, kind: f.kind, buckets: f.buckets, series: map[string]*series{}}
+			fams[name] = dst
+		} else if dst.kind != f.kind || dst.help != f.help || !equalBuckets(dst.buckets, f.buckets) {
+			panic(fmt.Sprintf("obs: family %q registered with conflicting specs across registries", name))
+		}
+		for sig, s := range f.series {
+			if _, dup := dst.series[sig]; dup {
+				panic(fmt.Sprintf("obs: series %s%s registered in multiple registries", name, sig))
+			}
+			dst.series[sig] = s
+		}
+	}
+	children := append([]*Registry(nil), r.children...)
+	r.mu.Unlock()
+	for _, c := range children {
+		c.gather(fams)
+	}
+}
+
+// withLE splices le="v" into an existing label signature (or creates one).
+func withLE(sig, le string) string {
+	if sig == "" {
+		return `{le="` + le + `"}`
+	}
+	return sig[:len(sig)-1] + `,le="` + le + `"}`
+}
+
+// fmtVal renders a float the way Prometheus clients do: integral values
+// without an exponent, everything else in shortest-round-trip form.
+func fmtVal(v float64) string {
+	if v == float64(int64(v)) && v < 1e15 && v > -1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// ContentType is the exposition-format content type /metrics responds with.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Handler returns an http.Handler serving the registry as /metrics text.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", ContentType)
+		_, _ = r.WriteTo(w)
+	})
+}

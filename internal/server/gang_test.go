@@ -184,9 +184,8 @@ func TestGangSessionHTTP(t *testing.T) {
 	}
 
 	// One compile served all five sessions.
-	_, misses, designs := m.CacheStats()
-	if misses != 1 || designs != 1 {
-		t.Fatalf("cache: misses=%d designs=%d, want 1/1", misses, designs)
+	if cs := m.CacheStats(); cs.Misses != 1 || cs.Designs != 1 {
+		t.Fatalf("cache: misses=%d designs=%d, want 1/1", cs.Misses, cs.Designs)
 	}
 }
 

@@ -32,6 +32,9 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
 
 	"gsim/internal/snapshot"
 )
@@ -130,10 +133,87 @@ func (m *Manager) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/sessions/{id}/restore", m.withSession(m.handleRestore))
 	mux.HandleFunc("DELETE /v1/sessions/{id}", m.withSession(handleClose))
 	mux.HandleFunc("GET /v1/stats", m.handleStats)
+	mux.HandleFunc("GET /metrics", m.handleMetrics)
 	mux.HandleFunc("GET /healthz", m.handleHealthz)
 	mux.HandleFunc("GET /readyz", m.handleReadyz)
 	mux.HandleFunc("POST /admin/drain", m.handleAdminDrain)
-	return mux
+	return m.withObs(mux)
+}
+
+// RequestIDHeader carries a request's correlation ID. The router stamps it
+// when proxying; withObs generates one for direct requests. The value is
+// echoed on the response and attached to every access-log line, so one ID
+// follows a request across the fleet hop.
+const RequestIDHeader = "X-Gsim-Request-ID"
+
+// reqSeq numbers locally generated request IDs.
+var reqSeq atomic.Uint64
+
+// statusWriter records the status a handler wrote (200 when it never calls
+// WriteHeader explicitly).
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	sw.status = code
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+// withObs is the transport-level observability middleware: it assigns (or
+// propagates) the request ID, counts the request, and emits one structured
+// access-log line with method, path, session, status, and duration. With the
+// default NopLogger and no metrics it is a thin passthrough.
+func (m *Manager) withObs(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get(RequestIDHeader)
+		if id == "" {
+			id = fmt.Sprintf("local-%d", reqSeq.Add(1))
+		}
+		w.Header().Set(RequestIDHeader, id)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		if mt := m.Metrics(); mt != nil {
+			mt.httpReqs.Inc()
+		}
+		attrs := []any{
+			"request_id", id,
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", sw.status,
+			"duration_ms", float64(time.Since(start).Microseconds()) / 1000,
+		}
+		if sid := sessionFromPath(r.URL.Path); sid != "" {
+			attrs = append(attrs, "session", sid)
+		}
+		m.log().Info("http request", attrs...)
+	})
+}
+
+// sessionFromPath extracts the {id} segment of /v1/sessions/{id}/... routes
+// (the middleware runs outside the mux, so PathValue is not populated yet).
+func sessionFromPath(p string) string {
+	rest, ok := strings.CutPrefix(p, "/v1/sessions/")
+	if !ok || rest == "" {
+		return ""
+	}
+	if i := strings.IndexByte(rest, '/'); i >= 0 {
+		rest = rest[:i]
+	}
+	return rest
+}
+
+// handleMetrics serves the Prometheus text exposition of the registry wired
+// by InitObs; 404 until the manager is instrumented.
+func (m *Manager) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	mt := m.Metrics()
+	if mt == nil {
+		http.NotFound(w, r)
+		return
+	}
+	mt.Registry().Handler().ServeHTTP(w, r)
 }
 
 // handleAdminDrain begins a migration-window drain: readiness flips to 503
@@ -272,17 +352,16 @@ func (m *Manager) handleList(w http.ResponseWriter, r *http.Request) {
 }
 
 func (m *Manager) handleStats(w http.ResponseWriter, r *http.Request) {
-	hits, misses, designs := m.CacheStats()
-	used, budget, evictions := m.CacheGovernance()
+	cs := m.CacheStats()
 	l := m.Limits()
 	writeJSON(w, http.StatusOK, StatsResponse{
 		Sessions:        m.SessionCount(),
-		Designs:         designs,
-		CacheHits:       hits,
-		CacheMisses:     misses,
-		CacheBytes:      used,
-		CacheBudget:     budget,
-		CacheEvictions:  evictions,
+		Designs:         cs.Designs,
+		CacheHits:       cs.Hits,
+		CacheMisses:     cs.Misses,
+		CacheBytes:      cs.Bytes,
+		CacheBudget:     cs.Budget,
+		CacheEvictions:  cs.Evictions,
 		InFlightOps:     m.InFlightOps(),
 		Draining:        m.Draining(),
 		MaxSessions:     l.MaxSessions,

@@ -576,8 +576,7 @@ func TestCacheBudgetOverServer(t *testing.T) {
 	if _, _, ev := m.CacheGovernance(); ev != 0 {
 		t.Fatalf("%d evictions while every design had live sessions", ev)
 	}
-	_, _, designs := m.CacheStats()
-	if designs != 6 {
+	if designs := m.CacheStats().Designs; designs != 6 {
 		t.Fatalf("%d designs resident, want 6 (pinned)", designs)
 	}
 

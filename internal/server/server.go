@@ -29,9 +29,10 @@ import (
 	"crypto/sha256"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"math/bits"
 	"runtime/debug"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -43,6 +44,7 @@ import (
 	"gsim/internal/faultpoint"
 	"gsim/internal/firrtl"
 	"gsim/internal/ir"
+	"gsim/internal/obs"
 	"gsim/internal/snapshot"
 	"gsim/internal/trace"
 )
@@ -216,6 +218,8 @@ type Manager struct {
 	sessions map[string]*Session
 	nextID   uint64
 	draining bool
+	metrics  *Metrics     // nil until InitObs
+	logger   *slog.Logger // never nil (obs.NopLogger default)
 
 	reapStop chan struct{} // closed to stop the reaper goroutine
 	reapDone chan struct{} // closed when the reaper has exited
@@ -253,6 +257,7 @@ func NewManagerLimits(l Limits) *Manager {
 		cache:    core.NewCompileCache(),
 		limits:   l,
 		sessions: map[string]*Session{},
+		logger:   obs.NopLogger(),
 	}
 	if l.CacheBudgetBytes > 0 {
 		m.cache.SetBudget(l.CacheBudgetBytes)
@@ -311,6 +316,7 @@ type Session struct {
 	lanes    int // 1 for scalar sessions
 
 	lastActivity atomic.Int64  // unix nanos of the last operation
+	liveLanes    atomic.Int64  // unparked lanes, readable without s.mu (scrapes)
 	forceCancel  chan struct{} // closed by Drain to abort in-flight chunked ops
 	cancelOnce   sync.Once
 
@@ -350,9 +356,11 @@ func (m *Manager) admitSession() error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.draining {
+		m.metrics.reject(rejectDraining)
 		return fmt.Errorf("server: %w, not accepting sessions", ErrDraining)
 	}
 	if m.limits.MaxSessions > 0 && len(m.sessions) >= m.limits.MaxSessions {
+		m.metrics.reject(rejectSessions)
 		return fmt.Errorf("server: %w (%d live)", ErrTooManySessions, len(m.sessions))
 	}
 	return nil
@@ -434,7 +442,7 @@ func (m *Manager) create(sourceKey string, spec SessionSpec, load func() (*ir.Gr
 			}
 		}
 	} else {
-		laneVCD, err = attachLaneTraces(design, sim, gang, lanes, spec.TraceLanes)
+		laneVCD, err = attachLaneTraces(design, sim, gang, lanes, spec.TraceLanes, m.Metrics().traceMetrics())
 		if err != nil {
 			closeEngine()
 			m.cache.Release(key)
@@ -446,10 +454,11 @@ func (m *Manager) create(sourceKey string, spec SessionSpec, load func() (*ir.Gr
 	// Re-check admission: a drain or a competing create may have raced the
 	// compile. Refusal must release everything acquired above.
 	if m.draining || (m.limits.MaxSessions > 0 && len(m.sessions) >= m.limits.MaxSessions) {
-		refuse := ErrDraining
+		refuse, cause := ErrDraining, rejectDraining
 		if !m.draining {
-			refuse = ErrTooManySessions
+			refuse, cause = ErrTooManySessions, rejectSessions
 		}
+		m.metrics.reject(cause)
 		m.mu.Unlock()
 		closeEngine()
 		m.cache.Release(key)
@@ -473,12 +482,30 @@ func (m *Manager) create(sourceKey string, spec SessionSpec, load func() (*ir.Gr
 	}
 	s.lastActivity.Store(time.Now().UnixNano())
 	m.sessions[s.ID] = s
+	// Metrics/logger are read directly: this goroutine holds m.mu.
+	if m.metrics != nil {
+		m.metrics.attachEngineObs(sim, gang)
+		m.metrics.SessionsCreated.Inc()
+	}
+	s.syncLiveLanes()
+	m.logger.Info("session created",
+		"session", s.ID, "design", designHashPrefix(sourceKey),
+		"lanes", lanes, "cache_hit", hit)
 	return s, nil
+}
+
+// designHashPrefix shortens a session source key ("firrtl:<sha256>" or
+// "graph:<key>") to a log-friendly design identifier.
+func designHashPrefix(sourceKey string) string {
+	if _, h, ok := strings.Cut(sourceKey, ":"); ok && len(h) > 12 {
+		return h[:12]
+	}
+	return sourceKey
 }
 
 // attachLaneTraces builds bounded in-memory VCD capture for the requested
 // lanes. Returns nil when nothing is traced.
-func attachLaneTraces(design *core.CompiledDesign, sim engine.Sim, gang *engine.Gang, lanes int, traceLanes []int) ([]*laneTrace, error) {
+func attachLaneTraces(design *core.CompiledDesign, sim engine.Sim, gang *engine.Gang, lanes int, traceLanes []int, tm *trace.Metrics) ([]*laneTrace, error) {
 	if len(traceLanes) == 0 {
 		return nil, nil
 	}
@@ -488,7 +515,7 @@ func attachLaneTraces(design *core.CompiledDesign, sim engine.Sim, gang *engine.
 			continue // duplicate opt-in
 		}
 		sink := &capWriter{limit: maxTraceBytesPerLane}
-		v, err := trace.NewVCD(sink, design.Prog, nil, trace.Options{Sync: true})
+		v, err := trace.NewVCD(sink, design.Prog, nil, trace.Options{Sync: true, Metrics: tm})
 		if err != nil {
 			return nil, err
 		}
@@ -545,10 +572,30 @@ func (m *Manager) Draining() bool {
 	return m.draining
 }
 
-// CacheStats reports compile-cache hits, misses, and resident designs.
-func (m *Manager) CacheStats() (hits, misses uint64, designs int) {
-	hits, misses = m.cache.Stats()
-	return hits, misses, m.cache.Len()
+// CacheStats is the compile cache's full governance view: lookup traffic,
+// residency, and eviction pressure.
+type CacheStats struct {
+	Hits      uint64 // lookups that found an existing entry
+	Misses    uint64 // lookups that compiled
+	Designs   int    // resident compiled designs
+	Evictions uint64 // lifetime evictions under the byte budget
+	Bytes     int64  // accounted resident bytes
+	Budget    int64  // byte budget (0 = unlimited)
+}
+
+// CacheStats reports the compile cache's hit/miss traffic, resident designs
+// and bytes, byte budget, and lifetime evictions.
+func (m *Manager) CacheStats() CacheStats {
+	hits, misses := m.cache.Stats()
+	used, budget, evictions := m.cache.Governance()
+	return CacheStats{
+		Hits:      hits,
+		Misses:    misses,
+		Designs:   m.cache.Len(),
+		Evictions: evictions,
+		Bytes:     used,
+		Budget:    budget,
+	}
 }
 
 // CacheGovernance reports the compile cache's resident bytes, byte budget
@@ -591,6 +638,12 @@ func (m *Manager) ReapIdle(maxIdle time.Duration) int {
 	m.mu.Unlock()
 	for _, s := range idle {
 		_ = s.Close()
+	}
+	if len(idle) > 0 {
+		if mt := m.Metrics(); mt != nil {
+			mt.SessionsReaped.Add(uint64(len(idle)))
+		}
+		m.log().Info("idle sessions reaped", "count", len(idle), "max_idle", maxIdle)
 	}
 	return len(idle)
 }
@@ -736,8 +789,10 @@ func stepBudget(ops []Op) int {
 // wrapping ErrSessionFailed, with the panic value and stack in the failing
 // op's result — and no other session is affected.
 func (s *Session) Apply(ctx context.Context, ops []Op) (results []OpResult, err error) {
+	mt := s.mgr.Metrics()
 	if lim := s.mgr.limits.MaxInFlightOps; lim > 0 && s.mgr.inflight.Add(1) > int64(lim) {
 		s.mgr.inflight.Add(-1)
+		mt.reject(rejectInFlight)
 		return nil, fmt.Errorf("server: %w (limit %d)", ErrTooManyInFlight, lim)
 	} else if lim <= 0 {
 		s.mgr.inflight.Add(1)
@@ -745,6 +800,7 @@ func (s *Session) Apply(ctx context.Context, ops []Op) (results []OpResult, err 
 	defer s.mgr.inflight.Add(-1)
 	if lim := s.mgr.limits.MaxStepsPerBatch; lim > 0 {
 		if total := stepBudget(ops); total > lim {
+			mt.reject(rejectStepBudget)
 			return nil, fmt.Errorf("server: %w (%d cycles requested, limit %d)", ErrStepBudget, total, lim)
 		}
 	}
@@ -772,7 +828,11 @@ func (s *Session) Apply(ctx context.Context, ops []Op) (results []OpResult, err 
 			stack := debug.Stack()
 			s.failed = fmt.Errorf("server: session %s: %w: panic in %q op: %v", s.ID, ErrSessionFailed, cur.Op, r)
 			detail := fmt.Sprintf("panic in %q op: %v\n%s", cur.Op, r, stack)
-			log.Printf("server: session %s poisoned: %s", s.ID, detail)
+			if mt != nil {
+				mt.SessionsFailed.Inc()
+			}
+			s.mgr.log().Error("session poisoned",
+				"session", s.ID, "op", cur.Op, "panic", fmt.Sprint(r), "stack", string(stack))
 			results = append(results, OpResult{Op: cur.Op, Name: cur.Name, Error: detail})
 			err = s.failed
 		}
@@ -785,6 +845,10 @@ func (s *Session) Apply(ctx context.Context, ops []Op) (results []OpResult, err 
 	for i, op := range ops {
 		cur = op
 		res := OpResult{Op: op.Op, Name: op.Name, Lane: op.Lane}
+		var opStart time.Time
+		if mt != nil {
+			opStart = time.Now()
+		}
 		switch op.Op {
 		case "poke":
 			n := s.Design.Graph.FindNode(op.Name)
@@ -864,6 +928,12 @@ func (s *Session) Apply(ctx context.Context, ops []Op) (results []OpResult, err 
 			}
 			s.stepTime += time.Since(start)
 			s.steps += uint64(cycles) * laneFactor
+			if mt != nil {
+				mt.StepCycles.Add(uint64(cycles) * laneFactor)
+				// Flush so /metrics is exact between op batches, not just at
+				// the 1k-cycle amortization boundary.
+				flushEngineObs(s.sim, s.gang)
+			}
 			if s.gang != nil {
 				res.Cycles = s.gang.Cycles()
 			} else {
@@ -898,8 +968,12 @@ func (s *Session) Apply(ctx context.Context, ops []Op) (results []OpResult, err 
 				return results, lerr
 			}
 			s.gang.SetLive(lane, op.Op == "wake")
+			s.syncLiveLanes()
 		default:
 			return results, fmt.Errorf("server: op %d: unknown op %q (want poke, peek, step, reset, park, or wake)", i, op.Op)
+		}
+		if mt != nil {
+			mt.opDone(op.Op, time.Since(opStart).Seconds())
 		}
 		results = append(results, res)
 	}
@@ -1058,8 +1132,9 @@ func (s *Session) armResumeTrace(lane int, st *engine.SimState, prefix []byte) e
 		_, _ = sink.Write(prefix)
 	}
 	v, err := trace.NewVCD(sink, s.Design.Prog, nil, trace.Options{
-		Sync:   true,
-		Resume: &trace.Resume{Time: st.Stats.Cycles, State: st.State},
+		Sync:    true,
+		Resume:  &trace.Resume{Time: st.Stats.Cycles, State: st.State},
+		Metrics: s.mgr.Metrics().traceMetrics(),
 	})
 	if err != nil {
 		return err
@@ -1191,6 +1266,10 @@ func (s *Session) Close() error {
 		return nil
 	}
 	s.closed = true
+	// Fold any unflushed engine work into the process counters before the
+	// engine is released — a session's tail cycles must not vanish.
+	flushEngineObs(s.sim, s.gang)
+	s.liveLanes.Store(0)
 	if s.gang != nil {
 		s.lastCycles = s.gang.Cycles()
 		s.gang.Close()
@@ -1207,6 +1286,10 @@ func (s *Session) Close() error {
 
 	s.mgr.mu.Lock()
 	delete(s.mgr.sessions, s.ID)
+	if s.mgr.metrics != nil {
+		s.mgr.metrics.SessionsClosed.Inc()
+	}
+	s.mgr.logger.Info("session closed", "session", s.ID, "cycles", s.lastCycles)
 	s.mgr.mu.Unlock()
 	s.mgr.cache.Release(s.cacheKey)
 	return nil

@@ -107,9 +107,9 @@ func TestConcurrentSessionsShareOneCompile(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	hits, misses, designs := m.CacheStats()
-	if misses != 1 || hits != nSessions-1 || designs != 1 {
-		t.Fatalf("cache stats: hits=%d misses=%d designs=%d, want %d/1/1", hits, misses, designs, nSessions-1)
+	cs := m.CacheStats()
+	if cs.Misses != 1 || cs.Hits != nSessions-1 || cs.Designs != 1 {
+		t.Fatalf("cache stats: hits=%d misses=%d designs=%d, want %d/1/1", cs.Hits, cs.Misses, cs.Designs, nSessions-1)
 	}
 }
 
@@ -340,7 +340,7 @@ func TestServerEndToEnd(t *testing.T) {
 	}
 
 	// Start the server on an ephemeral port and scrape the address.
-	serve := exec.Command(filepath.Join(bin, "gsim-serve"), "-addr", "127.0.0.1:0")
+	serve := exec.Command(filepath.Join(bin, "gsim-serve"), "-addr", "127.0.0.1:0", "-log-level", "warn")
 	stdout, err := serve.StdoutPipe()
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,50 @@
+package snapshot
+
+import "gsim/internal/obs"
+
+// StoreMetrics is the snapshot-store observability bundle: blob traffic,
+// eviction pressure, and residency (total and pinned bytes). Attach to a
+// Store with SetObs.
+type StoreMetrics struct {
+	Puts      *obs.Counter
+	Gets      *obs.Counter
+	Evictions *obs.Counter
+	// ResidentBytes / PinnedBytes / Blobs mirror the store's occupancy on
+	// every mutation; pinned bytes are the portion eviction cannot reclaim
+	// (live migration handoffs).
+	ResidentBytes *obs.Gauge
+	PinnedBytes   *obs.Gauge
+	Blobs         *obs.Gauge
+}
+
+// NewStoreMetrics registers the snapshot-store metric family in r
+// (idempotent).
+func NewStoreMetrics(r *obs.Registry) *StoreMetrics {
+	return &StoreMetrics{
+		Puts:          r.Counter("gsim_snapshot_store_puts_total", "Blob store puts (including deduplicated re-puts)."),
+		Gets:          r.Counter("gsim_snapshot_store_gets_total", "Blob store reads."),
+		Evictions:     r.Counter("gsim_snapshot_store_evictions_total", "Blobs evicted under the byte budget."),
+		ResidentBytes: r.Gauge("gsim_snapshot_store_resident_bytes", "Bytes of resident snapshot blobs."),
+		PinnedBytes:   r.Gauge("gsim_snapshot_store_pinned_bytes", "Bytes of pinned (eviction-exempt) snapshot blobs."),
+		Blobs:         r.Gauge("gsim_snapshot_store_blobs", "Resident snapshot blobs."),
+	}
+}
+
+// SetObs attaches the metrics bundle; the occupancy gauges snap to the
+// current state and track every subsequent mutation.
+func (s *Store) SetObs(m *StoreMetrics) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m = m
+	s.syncGaugesLocked()
+}
+
+// syncGaugesLocked mirrors occupancy into the gauges. Caller holds s.mu.
+func (s *Store) syncGaugesLocked() {
+	if s.m == nil {
+		return
+	}
+	s.m.ResidentBytes.Set(float64(s.used))
+	s.m.PinnedBytes.Set(float64(s.pinned))
+	s.m.Blobs.Set(float64(len(s.blobs)))
+}

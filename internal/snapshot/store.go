@@ -25,9 +25,11 @@ type Store struct {
 	mu     sync.Mutex
 	budget int64
 	used   int64
+	pinned int64 // bytes of blobs with pins > 0 (eviction-exempt residency)
 	blobs  map[string]*storeEntry
 	lru    *list.List // front = most recently used; holds *storeEntry
 	evict  uint64
+	m      *StoreMetrics // nil = uninstrumented
 }
 
 type storeEntry struct {
@@ -69,11 +71,15 @@ func (s *Store) put(data []byte, pin bool) string {
 	key := hex.EncodeToString(sum[:])
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.m != nil {
+		s.m.Puts.Inc()
+	}
 	if e, ok := s.blobs[key]; ok {
 		s.lru.MoveToFront(e.elem)
 		if pin {
-			e.pins++
+			s.pinLocked(e)
 		}
+		s.syncGaugesLocked()
 		return key
 	}
 	e := &storeEntry{key: key, data: append([]byte(nil), data...)}
@@ -81,10 +87,20 @@ func (s *Store) put(data []byte, pin bool) string {
 	s.blobs[key] = e
 	s.used += int64(len(e.data))
 	if pin {
-		e.pins++
+		s.pinLocked(e)
 	}
 	s.evictOverBudget(e)
+	s.syncGaugesLocked()
 	return key
+}
+
+// pinLocked adds one pin, tracking the pinned-byte transition. Caller holds
+// s.mu.
+func (s *Store) pinLocked(e *storeEntry) {
+	if e.pins == 0 {
+		s.pinned += int64(len(e.data))
+	}
+	e.pins++
 }
 
 // Get returns a copy of the blob stored under key. The bytes are re-hashed on
@@ -93,6 +109,9 @@ func (s *Store) put(data []byte, pin bool) string {
 func (s *Store) Get(key string) ([]byte, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.m != nil {
+		s.m.Gets.Inc()
+	}
 	e, ok := s.blobs[key]
 	if !ok {
 		return nil, fmt.Errorf("snapshot: store has no blob %s", key)
@@ -115,7 +134,8 @@ func (s *Store) Pin(key string) error {
 	if !ok {
 		return fmt.Errorf("snapshot: cannot pin missing blob %s", key)
 	}
-	e.pins++
+	s.pinLocked(e)
+	s.syncGaugesLocked()
 	return nil
 }
 
@@ -130,8 +150,10 @@ func (s *Store) Unpin(key string) {
 	}
 	e.pins--
 	if e.pins == 0 {
+		s.pinned -= int64(len(e.data))
 		s.evictOverBudget(nil)
 	}
+	s.syncGaugesLocked()
 }
 
 // Delete removes the blob regardless of pins. Use when the owning operation
@@ -141,6 +163,7 @@ func (s *Store) Delete(key string) {
 	defer s.mu.Unlock()
 	if e, ok := s.blobs[key]; ok {
 		s.removeLocked(e)
+		s.syncGaugesLocked()
 	}
 }
 
@@ -164,9 +187,13 @@ func (s *Store) evictOverBudget(keep *storeEntry) {
 		if entry.pins == 0 && entry != keep {
 			s.removeLocked(entry)
 			s.evict++
+			if s.m != nil {
+				s.m.Evictions.Inc()
+			}
 		}
 		e = prev
 	}
+	s.syncGaugesLocked()
 }
 
 // removeLocked unlinks the entry. Caller holds s.mu.
@@ -174,4 +201,7 @@ func (s *Store) removeLocked(e *storeEntry) {
 	s.lru.Remove(e.elem)
 	delete(s.blobs, e.key)
 	s.used -= int64(len(e.data))
+	if e.pins > 0 {
+		s.pinned -= int64(len(e.data)) // Delete removes regardless of pins
+	}
 }

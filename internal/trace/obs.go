@@ -1,0 +1,54 @@
+package trace
+
+import (
+	"io"
+
+	"gsim/internal/obs"
+)
+
+// Metrics is the trace-pipeline observability bundle. One bundle serves
+// every VCD pipeline in the process (pass it via Options.Metrics): the
+// counters aggregate across sessions, and the occupancy gauge reports the
+// most recently sampled ring — a fleet-level congestion signal, not a
+// per-session one.
+type Metrics struct {
+	// Snapshots counts cycles captured into the pipeline (sync or async).
+	Snapshots *obs.Counter
+	// Stalls counts Snapshot calls that found the ring full and had to
+	// block for the writer — the backpressure events that throttle the
+	// simulation to the sink's speed.
+	Stalls *obs.Counter
+	// RingOccupancy is the number of filled slots observed at the last
+	// Snapshot (0..ring depth).
+	RingOccupancy *obs.Gauge
+	// Bytes counts VCD bytes that reached the underlying sink.
+	Bytes *obs.Counter
+	// Errors counts sink write failures (at most one per pipeline — after
+	// the first, the writer drains without encoding).
+	Errors *obs.Counter
+}
+
+// NewMetrics registers the trace metric family in r (idempotent).
+func NewMetrics(r *obs.Registry) *Metrics {
+	return &Metrics{
+		Snapshots:     r.Counter("gsim_trace_snapshots_total", "Cycles captured into waveform pipelines."),
+		Stalls:        r.Counter("gsim_trace_backpressure_stalls_total", "Snapshot calls that blocked on a full ring."),
+		RingOccupancy: r.Gauge("gsim_trace_ring_occupancy", "Filled ring slots at the last snapshot (most recent pipeline sampled)."),
+		Bytes:         r.Counter("gsim_trace_bytes_written_total", "VCD bytes written to trace sinks."),
+		Errors:        r.Counter("gsim_trace_errors_total", "Trace sink write failures."),
+	}
+}
+
+// countingWriter forwards to w, crediting written bytes to c. It wraps the
+// sink *under* the bufio layer, so the counter reports bytes that actually
+// left the process-side buffer.
+type countingWriter struct {
+	w io.Writer
+	c *obs.Counter
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.c.Add(uint64(n))
+	return n, err
+}

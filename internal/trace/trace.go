@@ -56,6 +56,10 @@ type Options struct {
 	// reproduces an uninterrupted run's VCD exactly (the snapshot round-trip
 	// suite pins this).
 	Resume *Resume
+	// Metrics, when non-nil, credits pipeline activity (snapshots, stalls,
+	// occupancy, sink bytes, errors) to the process-wide trace bundle. Nil
+	// leaves the pipeline uninstrumented.
+	Metrics *Metrics
 }
 
 // Resume is the waveform continuation point after a snapshot restore.
@@ -110,6 +114,8 @@ type VCD struct {
 	opened  bool
 	time    uint64
 	syncBuf []uint64
+
+	m *Metrics // nil = uninstrumented
 }
 
 // SelectNodes returns the default trace set — every input, register, and
@@ -135,7 +141,12 @@ func NewVCD(w io.Writer, p *emit.Program, nodes []*ir.Node, opt Options) (*VCD, 
 	if nodes == nil {
 		nodes = SelectNodes(p.Graph)
 	}
-	v := &VCD{w: bufio.NewWriter(w), sync: opt.Sync}
+	if opt.Metrics != nil {
+		// Count under the bufio layer so Bytes reports what actually
+		// reached the sink, not what entered the buffer.
+		w = &countingWriter{w: w, c: opt.Metrics.Bytes}
+	}
+	v := &VCD{w: bufio.NewWriter(w), sync: opt.Sync, m: opt.Metrics}
 	v.fields = make([]field, len(nodes))
 	var pos int32
 	for i, n := range nodes {
@@ -217,14 +228,30 @@ func (v *VCD) header(nodes []*ir.Node) error {
 // recycling slots after an error). Snapshot must come from one goroutine (the
 // engine coordinator); it is not safe to call concurrently with Close.
 func (v *VCD) Snapshot(st []uint64) {
+	if v.m != nil {
+		v.m.Snapshots.Inc()
+	}
 	if v.sync {
 		v.pack(st, v.syncBuf)
 		v.encode(v.syncBuf)
 		return
 	}
-	buf := <-v.free
+	var buf []uint64
+	select {
+	case buf = <-v.free:
+	default:
+		// Ring full: this capture will block the coordinator until the
+		// writer recycles a slot — the backpressure event worth counting.
+		if v.m != nil {
+			v.m.Stalls.Inc()
+		}
+		buf = <-v.free
+	}
 	v.pack(st, buf)
 	v.full <- buf
+	if v.m != nil {
+		v.m.RingOccupancy.Set(float64(len(v.full)))
+	}
 }
 
 // pack copies the traced words into a snapshot buffer, masking each field's
@@ -337,6 +364,9 @@ func (v *VCD) setErr(err error) {
 		v.errMu.Lock()
 		v.err = err
 		v.errMu.Unlock()
+		if v.m != nil {
+			v.m.Errors.Inc()
+		}
 		if v.errCh != nil {
 			v.errCh <- err
 		}
